@@ -1,0 +1,177 @@
+//! Baseline sparse-tensor-core models for the Uni-STC evaluation.
+//!
+//! Each baseline implements [`simkit::TileEngine`] with the dataflow and
+//! task geometry the paper documents for it (Tables III and VI, Figs. 4, 6
+//! and 14):
+//!
+//! | Engine | Dataflow | T3 task (64-MAC config) | Key restriction |
+//! |---|---|---|---|
+//! | [`NvDtc`] | dense | 4x4x4 boxes | no sparsity adaptation |
+//! | [`DsStc`] | outer product | 8x8x1 (gathered) | no concatenation across K; every partial scattered |
+//! | [`RmStc`] | row-row | 8x4x2 (gathered) | concatenation only along N; sensitive to sparse A |
+//! | [`Gamma`] | Gustavson row-wise | 16x4x1 | cannot bypass empty rows in a 16-row group |
+//! | [`Sigma`] | flexible dot product | 1x4x16 | single-sided: B zeros occupy lanes |
+//! | [`Trapezoid`] | grouped dot product | best of TrIP/TrGT/TrGS | per-row load imbalance inside a group |
+//!
+//! GAMMA, SIGMA and Trapezoid are throughput-aligned adaptations (the paper
+//! does the same and compares them on performance only, Section VI-C).
+//!
+//! # Example
+//!
+//! ```
+//! use baselines::{DsStc, RmStc};
+//! use simkit::{driver, EnergyModel, Precision, TileEngine};
+//! use sparse::{BbcMatrix, CsrMatrix, CooMatrix};
+//!
+//! # fn main() -> Result<(), sparse::FormatError> {
+//! let mut coo = CooMatrix::new(32, 32);
+//! for i in 0..32 { coo.push(i, i, 1.0); }
+//! let a = BbcMatrix::from_csr(&CsrMatrix::try_from(coo)?);
+//! let em = EnergyModel::default();
+//! let ds = driver::run_spmv(&DsStc::new(Precision::Fp64), &em, &a);
+//! let rm = driver::run_spmv(&RmStc::new(Precision::Fp64), &em, &a);
+//! assert!(ds.cycles > 0 && rm.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ds_stc;
+mod gamma;
+mod nv_dtc;
+mod rm_stc;
+mod sigma;
+mod trapezoid;
+pub(crate) mod util;
+
+pub use ds_stc::DsStc;
+pub use gamma::Gamma;
+pub use nv_dtc::NvDtc;
+pub use rm_stc::RmStc;
+pub use sigma::Sigma;
+pub use trapezoid::Trapezoid;
+
+use simkit::{Precision, TileEngine};
+
+/// All six baseline engines at the given precision, boxed for driver loops.
+pub fn all_baselines(precision: Precision) -> Vec<Box<dyn TileEngine>> {
+    vec![
+        Box::new(NvDtc::new(precision)),
+        Box::new(DsStc::new(precision)),
+        Box::new(RmStc::new(precision)),
+        Box::new(Gamma::new(precision)),
+        Box::new(Sigma::new(precision)),
+        Box::new(Trapezoid::new(precision)),
+    ]
+}
+
+#[cfg(test)]
+mod conformance {
+    //! Cross-engine conformance: every baseline must (a) account for every
+    //! intermediate product exactly once and (b) never exceed its lane
+    //! budget in any cycle — checked by construction of `UtilHistogram` —
+    //! across randomized task structures.
+
+    use super::*;
+    use proptest::prelude::*;
+    use simkit::{Block16, Precision, T1Task};
+
+    fn arb_block(max_nnz: usize) -> impl Strategy<Value = Block16> {
+        proptest::collection::vec((0usize..16, 0usize..16), 0..=max_nnz).prop_map(|pts| {
+            let mut b = Block16::empty();
+            for (r, c) in pts {
+                b.set(r, c);
+            }
+            b
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn engines_cover_all_products_mm(a in arb_block(48), b in arb_block(48)) {
+            let task = T1Task::mm(a, b);
+            prop_assume!(!task.is_trivial());
+            for engine in all_baselines(Precision::Fp64) {
+                let r = engine.execute(&task);
+                prop_assert_eq!(
+                    r.useful, task.products(),
+                    "{} lost or duplicated products", engine.name()
+                );
+                prop_assert_eq!(r.util.useful_ops(), r.useful, "{}", engine.name());
+                prop_assert!(r.cycles > 0, "{} took zero cycles", engine.name());
+            }
+        }
+
+        #[test]
+        fn engines_cover_all_products_mv(a in arb_block(48), mask in any::<u16>()) {
+            let task = T1Task::mv(a, mask);
+            prop_assume!(!task.is_trivial());
+            for engine in all_baselines(Precision::Fp64) {
+                let r = engine.execute(&task);
+                prop_assert_eq!(r.useful, task.products(), "{}", engine.name());
+                prop_assert!(r.cycles > 0, "{}", engine.name());
+            }
+        }
+
+        #[test]
+        fn fp32_doubles_lanes(a in arb_block(32), b in arb_block(32)) {
+            let task = T1Task::mm(a, b);
+            prop_assume!(!task.is_trivial());
+            for engine in all_baselines(Precision::Fp32) {
+                let r = engine.execute(&task);
+                prop_assert_eq!(engine.lanes(), 128, "{}", engine.name());
+                prop_assert_eq!(r.useful, task.products(), "{}", engine.name());
+            }
+        }
+
+        #[test]
+        fn fp16_quadruples_lanes(a in arb_block(32), b in arb_block(32)) {
+            let task = T1Task::mm(a, b);
+            prop_assume!(!task.is_trivial());
+            for engine in all_baselines(Precision::Fp16) {
+                let r = engine.execute(&task);
+                prop_assert_eq!(engine.lanes(), 256, "{}", engine.name());
+                prop_assert_eq!(r.useful, task.products(), "{}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dense_mm_cycle_counts() {
+        let task = T1Task::mm(Block16::dense(), Block16::dense());
+        // The dense floor per precision: 4096 products / lanes. Every
+        // baseline's dense schedule reaches it (full utilisation).
+        for (precision, floor) in
+            [(Precision::Fp64, 64u64), (Precision::Fp32, 32), (Precision::Fp16, 16)]
+        {
+            for engine in all_baselines(precision) {
+                let r = engine.execute(&task);
+                assert!(
+                    r.cycles >= floor,
+                    "{} broke the {floor}-cycle floor at {precision}",
+                    engine.name()
+                );
+                assert!(
+                    r.cycles <= floor + 16,
+                    "{} needs {} cycles on a dense block at {precision}",
+                    engine.name(),
+                    r.cycles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<String> =
+            all_baselines(Precision::Fp64).iter().map(|e| e.name().to_owned()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,224 @@
+//! Trapezoid (Yang et al., ISCA'24), throughput-aligned as in the paper.
+//!
+//! Trapezoid is a versatile dense/sparse matrix engine with three modes
+//! and rigid T3 geometries (Table VI, 64-MAC column):
+//!
+//! * **TrIP** (inner product): 16 x 2 x 2,
+//! * **TrGT** (Gustavson, tall): 16 x 4 x 1,
+//! * **TrGS** (Gustavson, square): 8 x 4 x 2.
+//!
+//! Each mode assigns one PE row per (compacted nonempty) A row; a PE row
+//! processes a positional `k0`-wide K window against a positional `n0`-wide
+//! B-column window per cycle, and a row group finishes when its *slowest*
+//! row finishes — the
+//! per-row **load imbalance** the paper blames for Trapezoid's modest
+//! SpGEMM gains on irregular matrices (Section VI-D). Each T1 task runs
+//! under every mode and the best is kept, matching the paper's
+//! "best-performing configuration" methodology.
+
+use simkit::{network, NetworkCosts, Precision, T1Result, T1Task, TileEngine};
+
+/// The Trapezoid baseline (performance comparison only, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trapezoid {
+    precision: Precision,
+}
+
+impl Trapezoid {
+    /// Creates the engine at the given precision.
+    pub fn new(precision: Precision) -> Self {
+        Trapezoid { precision }
+    }
+
+    /// The `(m0, n0, k0)` geometries of TrIP / TrGT / TrGS (Table VI).
+    fn modes(&self) -> [(usize, usize, usize); 3] {
+        match self.precision {
+            Precision::Fp64 => [(16, 2, 2), (16, 4, 1), (8, 4, 2)],
+            Precision::Fp32 => [(16, 4, 2), (16, 4, 2), (8, 4, 4)],
+            Precision::Fp16 => [(16, 4, 4), (16, 8, 2), (8, 8, 4)],
+        }
+    }
+
+    fn run_mode(&self, task: &T1Task, m0: usize, n0: usize, k0: usize) -> T1Result {
+        let lanes = self.lanes();
+        let mut r = T1Result::new(lanes);
+        let n_total = task.n_cols.max(1);
+
+        // Per-row cycle schedules: each entry is the useful-product count
+        // of one row-cycle (a positional k0-window x n0-column-window
+        // quantum — the rigid T3 geometry of Table VI; scattered nonzeros
+        // across windows waste lanes, like the other fixed-shape designs).
+        let mut rows: Vec<Vec<usize>> = Vec::new();
+        let mut row_nnz: Vec<usize> = Vec::new();
+        for row in 0..16 {
+            let arow = task.a.row_mask(row);
+            if arow == 0 {
+                continue;
+            }
+            let mut sched = Vec::new();
+            for k0_lo in (0..16).step_by(k0) {
+                let kwin: Vec<usize> =
+                    (k0_lo..k0_lo + k0).filter(|&k| arow >> k & 1 == 1).collect();
+                if kwin.is_empty() {
+                    continue;
+                }
+                let union: u16 =
+                    kwin.iter().map(|&k| task.b.row_mask(k)).fold(0, |a, m| a | m);
+                if union == 0 {
+                    continue;
+                }
+                for n_lo in (0..n_total).step_by(n0) {
+                    let width = n0.min(n_total - n_lo);
+                    let gmask = (((1u32 << width) - 1) as u16) << n_lo;
+                    let useful: usize = kwin
+                        .iter()
+                        .map(|&k| (task.b.row_mask(k) & gmask).count_ones() as usize)
+                        .sum();
+                    if useful > 0 {
+                        sched.push(useful);
+                    }
+                }
+            }
+            if !sched.is_empty() {
+                rows.push(sched);
+                row_nnz.push(arow.count_ones() as usize);
+            }
+        }
+
+        for (group, nnzs) in rows.chunks(m0).zip(row_nnz.chunks(m0)) {
+            let group_cycles = group.iter().map(Vec::len).max().unwrap_or(0);
+            for t in 0..group_cycles {
+                let used: usize = group.iter().map(|s| s.get(t).copied().unwrap_or(0)).sum();
+                r.record_cycle(used.min(lanes));
+                r.useful += used as u64;
+            }
+            for (sched, &nnz) in group.iter().zip(nnzs) {
+                r.events.a_elems += nnz as u64;
+                r.events.b_elems += sched.iter().sum::<usize>() as u64;
+            }
+            r.events.sched_ops += 1;
+        }
+        // Dot products accumulate inside the PE rows: one partial per
+        // structurally nonzero output.
+        r.events.partial_updates = task.c_nnz() as u64;
+        r.events.c_writes = task.c_nnz() as u64;
+        r
+    }
+}
+
+impl Default for Trapezoid {
+    fn default() -> Self {
+        Trapezoid::new(Precision::Fp64)
+    }
+}
+
+impl TileEngine for Trapezoid {
+    fn name(&self) -> &str {
+        "Trapezoid"
+    }
+
+    fn lanes(&self) -> usize {
+        self.precision.lanes()
+    }
+
+    fn execute(&self, task: &T1Task) -> T1Result {
+        self.modes()
+            .iter()
+            .map(|&(m0, n0, k0)| self.run_mode(task, m0, n0, k0))
+            .min_by_key(|r| r.cycles)
+            .expect("at least one mode")
+    }
+
+    fn network_costs(&self) -> NetworkCosts {
+        NetworkCosts {
+            a: network::crossbar_energy_per_elem(16, 8),
+            b: network::crossbar_energy_per_elem(16, 16),
+            c_partial: network::crossbar_energy_per_elem(64, 64),
+            c_final: network::crossbar_energy_per_elem(64, 64),
+        }
+    }
+
+    fn area_mm2(&self) -> f64 {
+        simkit::area::GENERIC_STC_AREA_MM2
+    }
+
+    fn c_network_ports(&self) -> u64 {
+        64 * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Block16;
+
+    #[test]
+    fn dense_block_full_throughput() {
+        let e = Trapezoid::default();
+        let r = e.execute(&T1Task::mm(Block16::dense(), Block16::dense()));
+        // TrIP: 16 rows x (8 k-chunks x 8 col-chunks) balanced = 64 cycles.
+        assert_eq!(r.cycles, 64);
+        assert_eq!(r.useful, 4096);
+        assert!((r.util.mean_utilisation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mv_uses_k_pairs_per_cycle() {
+        // Dense A, dense x: each row has 16 k's in chunks of 2 (TrIP),
+        // one column: 8 row-cycles, 16 rows in one group -> 8 cycles.
+        let e = Trapezoid::default();
+        let r = e.execute(&T1Task::mv(Block16::dense(), u16::MAX));
+        assert_eq!(r.useful, 256);
+        assert_eq!(r.cycles, 8);
+        // 2 useful lanes of the 4 per PE row (N = 1 wastes n0): 50 %.
+        assert!((r.util.mean_utilisation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_imbalance_stalls_group() {
+        // One heavy row among light rows: the group waits for it.
+        let a = Block16::from_fn(|r, c| r == 0 || (r < 8 && c == 0));
+        let b = Block16::dense();
+        let e = Trapezoid::default();
+        let t = T1Task::mm(a, b);
+        let r = e.execute(&t);
+        assert_eq!(r.useful, t.products());
+        // Row 0: 16 k in chunks of 2, x 8 col chunks = 64 row-cycles in
+        // TrIP; the light rows idle after their first few.
+        assert!(r.cycles >= 32);
+        assert!(r.util.mean_utilisation() < 0.5);
+    }
+
+    #[test]
+    fn empty_rows_are_bypassed() {
+        // Unlike GAMMA, Trapezoid compacts nonempty rows into groups.
+        let a = Block16::from_fn(|r, c| r == 3 && c < 4);
+        let e = Trapezoid::default();
+        let r = e.execute(&T1Task::mm(a, Block16::dense()));
+        assert_eq!(r.useful, 64);
+        // Single row, 2 k-chunks x 8 col-chunks (TrIP) or 1x(4) (TrGS).
+        assert!(r.cycles <= 16);
+    }
+
+    #[test]
+    fn best_mode_is_selected() {
+        // A single-k task: TrGT (k0 = 1, n0 = 4) beats TrIP (k0 = 2).
+        let a = Block16::from_fn(|_, c| c == 0);
+        let b = Block16::from_fn(|r, _| r == 0);
+        let e = Trapezoid::default();
+        let t = T1Task::mm(a, b);
+        let r = e.execute(&t);
+        assert_eq!(r.useful, t.products());
+        // 16 rows x ceil(16 cols / 4) = 4 row-cycles each, one group.
+        assert_eq!(r.cycles, 4);
+    }
+
+    #[test]
+    fn useful_matches_products() {
+        let a = Block16::from_fn(|r, c| (r * 5 + c) % 3 == 0);
+        let b = Block16::from_fn(|r, c| (r + c) % 2 == 0);
+        let t = T1Task::mm(a, b);
+        let r = Trapezoid::default().execute(&t);
+        assert_eq!(r.useful, t.products());
+    }
+}

@@ -1,0 +1,35 @@
+//! Shared helpers for baseline dataflow models.
+
+/// Iterator over the chunk widths produced by gathering `count` nonzeros
+/// into compacted chunks of `width` (e.g. `chunks(19, 8)` yields 8, 8, 3).
+pub(crate) fn chunks(count: usize, width: usize) -> impl Iterator<Item = usize> {
+    debug_assert!(width > 0);
+    let full = count / width;
+    let rem = count % width;
+    std::iter::repeat_n(width, full).chain((rem > 0).then_some(rem))
+}
+
+/// Iterator over the set-bit indices of a 16-bit mask.
+pub(crate) fn bits(mask: u16) -> impl Iterator<Item = usize> {
+    (0..16).filter(move |&i| mask >> i & 1 == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_splits_with_remainder() {
+        assert_eq!(chunks(19, 8).collect::<Vec<_>>(), vec![8, 8, 3]);
+        assert_eq!(chunks(16, 8).collect::<Vec<_>>(), vec![8, 8]);
+        assert_eq!(chunks(0, 8).count(), 0);
+        assert_eq!(chunks(3, 8).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn bits_enumerates_set_positions() {
+        assert_eq!(bits(0b1001_0000_0000_0011).collect::<Vec<_>>(), vec![0, 1, 12, 15]);
+        assert_eq!(bits(0).count(), 0);
+        assert_eq!(bits(u16::MAX).count(), 16);
+    }
+}

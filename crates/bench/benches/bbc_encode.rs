@@ -1,0 +1,39 @@
+//! Criterion micro-bench: BBC encoding (the one-time software format
+//! conversion of Section IV-D) and BBC file I/O.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sparse::BbcMatrix;
+use workloads::gen;
+
+fn bench_encode(c: &mut Criterion) {
+    let poisson = gen::poisson_2d(64);
+    let random = gen::random_uniform(1024, 0.01, 7);
+    let banded = gen::banded(1024, 16, 0.8, 3);
+
+    let mut g = c.benchmark_group("bbc_encode");
+    g.bench_function("poisson2d-4096", |b| {
+        b.iter(|| BbcMatrix::from_csr(black_box(&poisson)))
+    });
+    g.bench_function("random-1024-d0.01", |b| {
+        b.iter(|| BbcMatrix::from_csr(black_box(&random)))
+    });
+    g.bench_function("banded-1024", |b| b.iter(|| BbcMatrix::from_csr(black_box(&banded))));
+    g.finish();
+
+    let bbc = BbcMatrix::from_csr(&banded);
+    let mut buf = Vec::new();
+    bbc.write_bbc(&mut buf).unwrap();
+    let mut g = c.benchmark_group("bbc_io");
+    g.bench_function("write", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            bbc.write_bbc(&mut out).unwrap();
+            out
+        })
+    });
+    g.bench_function("read", |b| b.iter(|| sparse::bbc::read_bbc(black_box(buf.as_slice()))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

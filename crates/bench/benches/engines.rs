@@ -1,0 +1,39 @@
+//! Criterion micro-bench: per-engine T1-task scheduling throughput of the
+//! simulator models (dense, diagonal and irregular block pairs).
+
+use bench::all_engines;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simkit::{Block16, Precision, T1Task};
+
+fn tasks() -> Vec<(&'static str, T1Task)> {
+    vec![
+        ("dense", T1Task::mm(Block16::dense(), Block16::dense())),
+        (
+            "diagonal",
+            T1Task::mm(Block16::from_fn(|r, c| r == c), Block16::from_fn(|r, c| r == c)),
+        ),
+        (
+            "irregular",
+            T1Task::mm(
+                Block16::from_fn(|r, c| (r * 7 + c * 3) % 5 < 2),
+                Block16::from_fn(|r, c| (r + c * 11) % 4 < 2),
+            ),
+        ),
+        ("mv", T1Task::mv(Block16::from_fn(|r, c| (r + c) % 3 == 0), u16::MAX)),
+    ]
+}
+
+fn bench_engines(c: &mut Criterion) {
+    for (task_name, task) in tasks() {
+        let mut g = c.benchmark_group(format!("t1_{task_name}"));
+        for engine in all_engines(Precision::Fp64) {
+            g.bench_function(engine.name().to_owned(), |b| {
+                b.iter(|| engine.execute(black_box(&task)))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

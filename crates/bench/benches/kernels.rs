@@ -1,0 +1,66 @@
+//! Criterion micro-bench: reference sparse kernels and end-to-end kernel
+//! simulation on a mid-size matrix.
+
+use bench::MatrixCtx;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simkit::driver::Kernel;
+use simkit::EnergyModel;
+use sparse::ops::{spgemm, spmv};
+use sparse::DenseMatrix;
+use uni_stc::UniStc;
+use workloads::gen;
+
+fn bench_reference_kernels(c: &mut Criterion) {
+    let a = gen::banded(1024, 12, 0.8, 3);
+    let x = vec![1.0; 1024];
+    let mut g = c.benchmark_group("reference");
+    g.bench_function("spmv-banded-1024", |b| {
+        b.iter(|| spmv(black_box(&a), black_box(&x)).unwrap())
+    });
+    let small = gen::poisson_2d(32);
+    g.bench_function("spgemm-poisson-1024", |b| {
+        b.iter(|| spgemm(black_box(&small), black_box(&small)).unwrap())
+    });
+    let bm = DenseMatrix::zeros(1024, 32);
+    g.bench_function("spmm-banded-1024x32", |b| {
+        b.iter(|| sparse::ops::spmm(black_box(&a), black_box(&bm)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_simulated_kernels(c: &mut Criterion) {
+    let em = EnergyModel::default();
+    let ctx = MatrixCtx::new("banded", gen::banded(512, 8, 0.7, 5), 1);
+    let uni = UniStc::default();
+    let mut g = c.benchmark_group("simulate_uni_stc");
+    g.sample_size(20);
+    for kernel in [Kernel::SpMV, Kernel::SpMSpV, Kernel::SpMM, Kernel::SpGEMM] {
+        g.bench_function(kernel.to_string(), |b| {
+            b.iter(|| ctx.run(black_box(&uni), &em, kernel))
+        });
+    }
+    g.finish();
+}
+
+fn bench_amg(c: &mut Criterion) {
+    use workloads::amg::{build_hierarchy, AmgOptions};
+    let a = gen::poisson_2d(32);
+    let mut g = c.benchmark_group("amg");
+    g.sample_size(10);
+    g.bench_function("setup-poisson-1024", |b| {
+        b.iter(|| build_hierarchy(black_box(&a), AmgOptions::default()))
+    });
+    let h = build_hierarchy(&a, AmgOptions::default());
+    let rhs = vec![1.0; a.nrows()];
+    g.bench_function("vcycle-poisson-1024", |b| {
+        b.iter(|| {
+            let mut x = vec![0.0; rhs.len()];
+            h.vcycle(black_box(&rhs), &mut x);
+            x
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reference_kernels, bench_simulated_kernels, bench_amg);
+criterion_main!(benches);

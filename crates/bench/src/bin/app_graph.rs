@@ -1,0 +1,100 @@
+//! Graph-application study (the paper's Table II motivation, measured):
+//! BFS (SpMV + SpMSpV mix) and a pooled GCN (SpMM + SpGEMM mix), replayed
+//! through DS-STC, RM-STC and Uni-STC.
+//!
+//! This extends the paper's AMG case study (Fig. 21) to the other two
+//! application rows of Table II with the same methodology: run the real
+//! algorithm, record the exact kernel invocations, replay them per engine.
+
+use bench::{full_mode, headline_engines, print_table};
+use simkit::driver::{run_spgemm, run_spmm, run_spmspv};
+use simkit::{EnergyModel, Precision};
+use sparse::BbcMatrix;
+use workloads::bfs::bfs;
+use workloads::gen;
+use workloads::gnn::GcnModel;
+
+fn main() {
+    let em = EnergyModel::default();
+    let n = if full_mode() { 4096 } else { 1024 };
+
+    // ---- BFS ----
+    let adj = gen::rmat(n, n * 8, 17);
+    let (res, steps) = bfs(&adj, 0);
+    println!(
+        "BFS on an R-MAT graph ({n} vertices, {} edges): reached {} in {} levels",
+        adj.nnz(),
+        res.reached,
+        res.iterations
+    );
+    let peak = steps.iter().map(|s| s.density).fold(0.0, f64::max);
+    println!("frontier density: start {:.4}, peak {:.3}\n", steps[0].density, peak);
+
+    let bbc = BbcMatrix::from_csr(&adj.transpose());
+    let mut rows = Vec::new();
+    let mut baseline = 0u64;
+    for e in headline_engines(Precision::Fp64) {
+        let cycles: u64 = steps
+            .iter()
+            .map(|s| run_spmspv(e.as_ref(), &em, &bbc, &s.frontier).cycles)
+            .sum();
+        if baseline == 0 {
+            baseline = cycles;
+        }
+        rows.push(vec![
+            e.name().to_owned(),
+            cycles.to_string(),
+            format!("{:.2}x", baseline as f64 / cycles as f64),
+        ]);
+    }
+    print_table(&["engine", "BFS cycles (SpMSpV mix)", "speedup vs DS-STC"], &rows);
+
+    // ---- GNN ----
+    let gnn_n = n / 2;
+    let gadj = gen::rmat(gnn_n, gnn_n * 6, 23);
+    let model = GcnModel::build(&gadj, 3, 4, 32);
+    println!(
+        "\nGCN on an R-MAT graph ({gnn_n} vertices): {} levels, feature width {}",
+        model.n_levels(),
+        model.features
+    );
+    let spmm_trace: Vec<(BbcMatrix, usize)> = model
+        .spmm_trace()
+        .into_iter()
+        .map(|(m, f)| (BbcMatrix::from_csr(m), f))
+        .collect();
+    let spgemm_pairs: Vec<(BbcMatrix, BbcMatrix)> = model
+        .spgemm_pairs()
+        .into_iter()
+        .map(|(a, b)| (BbcMatrix::from_csr(&a), BbcMatrix::from_csr(&b)))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut base = (0u64, 0u64);
+    for e in headline_engines(Precision::Fp64) {
+        let mm: u64 = spmm_trace
+            .iter()
+            .map(|(m, f)| run_spmm(e.as_ref(), &em, m, *f).cycles)
+            .sum();
+        let gg: u64 = spgemm_pairs
+            .iter()
+            .map(|(a, b)| run_spgemm(e.as_ref(), &em, a, b).cycles)
+            .sum();
+        if base == (0, 0) {
+            base = (mm, gg);
+        }
+        rows.push(vec![
+            e.name().to_owned(),
+            mm.to_string(),
+            format!("{:.2}x", base.0 as f64 / mm as f64),
+            gg.to_string(),
+            format!("{:.2}x", base.1 as f64 / gg as f64),
+        ]);
+    }
+    print_table(
+        &["engine", "SpMM cycles", "speedup", "SpGEMM cycles", "speedup"],
+        &rows,
+    );
+    println!("\nTable II: GNN uses SpMM + SpGEMM, BFS uses SpMV + SpMSpV — the kernel");
+    println!("coverage that motivates a unified STC.");
+}

@@ -1,0 +1,42 @@
+//! Corpus inventory: prints every matrix of the SuiteSparse-like synthetic
+//! corpus with its structural statistics (the reproduction's equivalent of
+//! the paper artifact's dataset manifest). Pass `--full` for all entries.
+
+use bench::{corpus_stride, print_table};
+use sparse::BbcMatrix;
+use workloads::corpus::corpus_sample;
+use workloads::representative::inter_products_per_block;
+
+fn main() {
+    let entries = corpus_sample(corpus_stride());
+    println!("corpus manifest ({} entries at the current stride)\n", entries.len());
+    let mut rows = Vec::new();
+    let mut family_counts: Vec<(String, usize)> = Vec::new();
+    for e in &entries {
+        let m = e.build();
+        let bbc = BbcMatrix::from_csr(&m);
+        rows.push(vec![
+            e.name.clone(),
+            e.family.to_string(),
+            m.nrows().to_string(),
+            m.nnz().to_string(),
+            format!("{:.4}%", 100.0 * (1.0 - m.sparsity())),
+            format!("{:.2}", bbc.nnz_per_block()),
+            bbc.block_count().to_string(),
+            format!("{:.1}", inter_products_per_block(&m)),
+        ]);
+        let fam = e.family.to_string();
+        match family_counts.iter_mut().find(|(f, _)| *f == fam) {
+            Some((_, c)) => *c += 1,
+            None => family_counts.push((fam, 1)),
+        }
+    }
+    print_table(
+        &["name", "family", "n", "nnz", "density", "nnz/blk", "#blocks", "ip/blk"],
+        &rows,
+    );
+    println!("\nfamily counts:");
+    for (f, c) in family_counts {
+        println!("  {f:12} {c}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Fig. 15 — storage-overhead reduction of BSR(4x4), BSR(16x16) and BBC
+//! over the CSR baseline, as a function of nonzeros per block (NnzPB).
+//!
+//! Accounting note (see EXPERIMENTS.md): every format stores one FP64 word
+//! per logical nonzero, so the figure compares *overhead* bytes — metadata
+//! plus any explicit zero padding (BSR stores dense blocks). The reduction
+//! of format F is `overhead(CSR) / overhead(F)`.
+//!
+//! Paper reference points: BBC's reduction grows with NnzPB, BBC is the
+//! most efficient format for matrices with NnzPB > 3.57 (2 585 of 3 195
+//! matrices), peaks at 15.26x over CSR, and BSR typically needs *more*
+//! storage than CSR.
+
+use bench::{corpus_stride, print_table};
+use sparse::{BbcMatrix, BsrMatrix, CsrMatrix, StorageSize};
+use workloads::corpus::corpus_sample;
+use workloads::dlmc::{layers, DnnModel, DLMC_SPARSITIES};
+
+/// Overhead bytes beyond the raw nonzero payload (`nnz x 8`).
+fn overhead(total: usize, meta: usize, nnz: usize) -> f64 {
+    (meta + (total - meta).saturating_sub(8 * nnz)) as f64
+}
+
+struct Point {
+    nnz_per_tile: f64,
+    red_bsr4: f64,
+    red_bsr16: f64,
+    red_bbc: f64,
+}
+
+fn measure(csr: &CsrMatrix) -> Option<Point> {
+    if csr.nnz() == 0 {
+        return None;
+    }
+    let bbc = BbcMatrix::from_csr(csr);
+    let bsr4 = BsrMatrix::from_csr(csr, 4).expect("block size 4 valid");
+    let bsr16 = BsrMatrix::from_csr(csr, 16).expect("block size 16 valid");
+    let csr_ov = overhead(csr.total_bytes(), csr.metadata_bytes(), csr.nnz());
+    let f = |t: usize, m: usize| overhead(t, m, csr.nnz()).max(1.0);
+    Some(Point {
+        nnz_per_tile: bbc.nnz_per_tile(),
+        red_bsr4: csr_ov / f(bsr4.total_bytes(), bsr4.metadata_bytes()),
+        red_bsr16: csr_ov / f(bsr16.total_bytes(), bsr16.metadata_bytes()),
+        red_bbc: csr_ov / f(bbc.total_bytes(), bbc.metadata_bytes()),
+    })
+}
+
+fn main() {
+    let mut points = Vec::new();
+    for entry in corpus_sample(corpus_stride()) {
+        if let Some(p) = measure(&entry.build()) {
+            points.push(p);
+        }
+    }
+    for model in [DnnModel::ResNet50, DnnModel::Transformer] {
+        for layer in layers(model) {
+            for &s in &DLMC_SPARSITIES {
+                if let Some(p) = measure(&layer.weight(s, 9)) {
+                    points.push(p);
+                }
+            }
+        }
+    }
+    println!("Fig. 15: storage-overhead reduction over CSR ({} matrices)\n", points.len());
+
+    // Bin by NnzPB (nonzeros per stored 4x4 tile, 0..=16).
+    let edges = [0.0, 1.0, 1.5, 2.0, 2.5, 3.0, 3.57, 5.0, 7.0, 10.0, 13.0, 16.01];
+    let mut rows = Vec::new();
+    for w in edges.windows(2) {
+        let bin: Vec<&Point> =
+            points.iter().filter(|p| p.nnz_per_tile >= w[0] && p.nnz_per_tile < w[1]).collect();
+        if bin.is_empty() {
+            continue;
+        }
+        let avg = |f: fn(&Point) -> f64| bin.iter().map(|p| f(p)).sum::<f64>() / bin.len() as f64;
+        rows.push(vec![
+            format!("[{:.2},{:.2})", w[0], w[1]),
+            bin.len().to_string(),
+            format!("{:.2}x", avg(|p| p.red_bsr4)),
+            format!("{:.2}x", avg(|p| p.red_bsr16)),
+            format!("{:.2}x", avg(|p| p.red_bbc)),
+        ]);
+    }
+    print_table(&["NnzPB bin", "#matrices", "BSR(4x4)", "BSR(16x16)", "BBC"], &rows);
+
+    let bbc_best =
+        points.iter().filter(|p| p.red_bbc > p.red_bsr4.max(p.red_bsr16).max(1.0)).count();
+    let above_357 = points.iter().filter(|p| p.nnz_per_tile > 3.57).count();
+    let bbc_best_above = points
+        .iter()
+        .filter(|p| p.nnz_per_tile > 3.57 && p.red_bbc > 1.0)
+        .count();
+    let max_red = points.iter().map(|p| p.red_bbc).fold(0.0, f64::max);
+    let bsr_worse =
+        points.iter().filter(|p| p.red_bsr4 < 1.0 && p.red_bsr16 < 1.0).count();
+
+    println!("\nsummary:");
+    println!("  BBC strictly best format:         {bbc_best}/{} matrices", points.len());
+    println!("  matrices with NnzPB > 3.57:        {above_357}");
+    println!("  of those, BBC beats CSR:          {bbc_best_above}");
+    println!("  max BBC reduction over CSR:       {max_red:.2}x (paper: up to 15.26x)");
+    println!("  BSR worse than CSR (both sizes):  {bsr_worse}/{}", points.len());
+}

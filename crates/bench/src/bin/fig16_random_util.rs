@@ -1,0 +1,82 @@
+//! Fig. 16 — MAC utilisation on uniform random matrices of varying
+//! sparsity (SpGEMM C = A^2, 128 MAC@FP32) for GAMMA, SIGMA, Trapezoid,
+//! NV-DTC, DS-STC, RM-STC and Uni-STC.
+//!
+//! Paper reference points: Uni-STC's average utilisation advantage is
+//! 1.67x / 1.73x / 1.13x over GAMMA / SIGMA / Trapezoid and 2.89x / 1.89x
+//! / 1.39x over NV-DTC / DS-STC / RM-STC.
+//!
+//! With `--dense`, also reports the dense-input energy of each STC
+//! normalised to NV-DTC (paper: Uni-STC 0.94x, DS-STC 0.67x, RM-STC
+//! 0.83x — i.e. NV-DTC cheapest, Uni-STC closest to it).
+
+use bench::{all_engines, full_mode, print_table, MatrixCtx};
+use simkit::driver::Kernel;
+use simkit::{EnergyModel, Precision};
+use workloads::gen::random_uniform;
+
+fn main() {
+    let em = EnergyModel::default();
+    let engines = all_engines(Precision::Fp32);
+    // Scaled-down stand-in for the paper's random 8192x8192 sweep.
+    let n = if full_mode() { 2048 } else { 512 };
+    let sparsities = [0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99, 0.995, 0.999];
+
+    println!("Fig. 16: MAC utilisation vs sparsity, random {n}x{n}, SpGEMM, 128 MAC@FP32\n");
+    let mut rows = Vec::new();
+    let mut sums: Vec<(String, f64, usize)> =
+        engines.iter().map(|e| (e.name().to_owned(), 0.0, 0)).collect();
+    for &s in &sparsities {
+        let a = random_uniform(n, 1.0 - s, 42);
+        let ctx = MatrixCtx::new(format!("rand-{s}"), a, 1);
+        let mut row = vec![format!("{:.1}%", s * 100.0)];
+        for (ei, e) in engines.iter().enumerate() {
+            let r = ctx.run(e.as_ref(), &em, Kernel::SpGEMM);
+            let u = r.mean_utilisation();
+            row.push(format!("{:.1}%", u * 100.0));
+            sums[ei].1 += u;
+            sums[ei].2 += 1;
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["sparsity"];
+    let names: Vec<String> = engines.iter().map(|e| e.name().to_owned()).collect();
+    headers.extend(names.iter().map(|s| s.as_str()));
+    print_table(&headers, &rows);
+
+    println!("\naverage utilisation and Uni-STC's advantage:");
+    let uni_avg = sums.iter().find(|(n, _, _)| n == "Uni-STC").unwrap().1
+        / sums.iter().find(|(n, _, _)| n == "Uni-STC").unwrap().2 as f64;
+    let mut arows = Vec::new();
+    for (name, sum, cnt) in &sums {
+        let avg = sum / *cnt as f64;
+        arows.push(vec![
+            name.clone(),
+            format!("{:.1}%", avg * 100.0),
+            format!("{:.2}x", uni_avg / avg),
+        ]);
+    }
+    print_table(&["engine", "avg util", "Uni-STC advantage"], &arows);
+    println!("\npaper advantages: GAMMA 1.67x, SIGMA 1.73x, Trapezoid 1.13x,");
+    println!("                  NV-DTC 2.89x, DS-STC 1.89x, RM-STC 1.39x");
+
+    if std::env::args().any(|a| a == "--dense") {
+        println!("\ndense-input energy normalised to NV-DTC (paper: Uni 1/0.94, RM 1/0.83, DS 1/0.67):");
+        let dense = random_uniform(128, 1.0, 3);
+        let ctx = MatrixCtx::new("dense", dense, 1);
+        let nv = ctx.run(
+            all_engines(Precision::Fp32)[0].as_ref(),
+            &em,
+            Kernel::SpMM,
+        );
+        let mut drows = Vec::new();
+        for e in all_engines(Precision::Fp32) {
+            let r = ctx.run(e.as_ref(), &em, Kernel::SpMM);
+            drows.push(vec![
+                e.name().to_owned(),
+                format!("{:.2}x", r.energy.total() / nv.energy.total()),
+            ]);
+        }
+        print_table(&["engine", "energy vs NV-DTC"], &drows);
+    }
+}

@@ -1,0 +1,143 @@
+//! Fig. 17 — speedup, energy reduction and energy efficiency of RM-STC
+//! and Uni-STC (normalised to DS-STC) on the eight representative
+//! matrices across the four sparse kernels (64 MAC@FP64), plus ResNet-50
+//! and Transformer inference layers (128 MAC@FP32).
+//!
+//! Paper reference points (geomean over the eight matrices): Uni-STC over
+//! DS-STC reaches 5.21x (SpMV) and 5.25x (SpMSpV) speedup; over RM-STC
+//! 2.74x / 5.50x; energy-efficiency gains over RM-STC of 1.74x (SpMV-ish
+//! tier) up to 2.21x (SpGEMM).
+
+use bench::{headline_engines, print_table, MatrixCtx, KERNELS};
+use simkit::driver::Kernel;
+use simkit::metrics::{geomean, Comparison};
+use simkit::{EnergyModel, Precision};
+use workloads::dlmc::{layers, DnnModel};
+use workloads::representative::representative_matrices;
+
+/// Rectangular random matrix at a target density (deterministic).
+fn rectangular_random(rows: usize, cols: usize, density: f64, seed: u64) -> sparse::CsrMatrix {
+    let mut coo = sparse::CooMatrix::new(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let h = ((r * cols + c) as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed.wrapping_mul(0xD134_2543_DE82_EF95));
+            let h = (h ^ (h >> 31)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            if ((h >> 32) as f64) < density * u32::MAX as f64 {
+                coo.push(r, c, 0.5);
+            }
+        }
+    }
+    sparse::CsrMatrix::try_from(coo).expect("coordinates in range")
+}
+
+fn main() {
+    let em = EnergyModel::default();
+    println!("Fig. 17 (kernels): representative matrices, normalised to DS-STC, 64 MAC@FP64\n");
+
+    let reps: Vec<MatrixCtx> = representative_matrices()
+        .into_iter()
+        .map(|r| MatrixCtx::new(r.name, r.matrix, 5))
+        .collect();
+
+    for kernel in KERNELS {
+        println!("--- {kernel} ---");
+        let mut rows = Vec::new();
+        let mut per_engine: Vec<(String, Vec<Comparison>)> = Vec::new();
+        for ctx in &reps {
+            let engines = headline_engines(Precision::Fp64);
+            let baseline = ctx.run(engines[0].as_ref(), &em, kernel);
+            let mut row = vec![ctx.name.clone()];
+            for e in &engines[1..] {
+                let r = ctx.run(e.as_ref(), &em, kernel);
+                let c = Comparison::of(&r, &baseline);
+                row.push(format!(
+                    "P={:.2} E={:.2} ExP={:.2}",
+                    c.speedup,
+                    c.energy_reduction,
+                    c.efficiency()
+                ));
+                match per_engine.iter_mut().find(|(n, _)| n == e.name()) {
+                    Some((_, v)) => v.push(c),
+                    None => per_engine.push((e.name().to_owned(), vec![c])),
+                }
+            }
+            rows.push(row);
+        }
+        print_table(&["matrix", "RM-STC vs DS", "Uni-STC vs DS"], &rows);
+        for (name, cs) in &per_engine {
+            println!(
+                "  geomean {name}: P={:.2} E={:.2} ExP={:.2}",
+                geomean(cs.iter().map(|c| c.speedup)).unwrap_or(0.0),
+                geomean(cs.iter().map(|c| c.energy_reduction)).unwrap_or(0.0),
+                geomean(cs.iter().map(|c| c.efficiency())).unwrap_or(0.0),
+            );
+        }
+        println!();
+    }
+
+    println!("Fig. 17 (DNN inference): DLMC-like layers, 128 MAC@FP32, normalised to DS-STC\n");
+    for model in [DnnModel::ResNet50, DnnModel::Transformer] {
+        let mut rows = Vec::new();
+        let mut uni_cs = Vec::new();
+        // ResNet-50 activations are "usually sparse after preprocessing";
+        // Transformer activations are dense-ish (Section VI-C.2).
+        let act_sparsity = match model {
+            DnnModel::ResNet50 => 0.5,
+            DnnModel::Transformer => 0.05,
+        };
+        for layer in layers(model) {
+            for (label, sparsity, kernel) in [
+                ("SpMM", 0.70, Kernel::SpMM),
+                ("SpGEMM", 0.98, Kernel::SpGEMM),
+            ] {
+                let w = layer.weight(sparsity, 11);
+                let w_bbc = sparse::BbcMatrix::from_csr(&w);
+                // Rectangular activation matrix (cols x batch) at the
+                // model's activation sparsity.
+                let act = rectangular_random(
+                    layer.cols,
+                    layer.batch_cols,
+                    1.0 - act_sparsity,
+                    layer.index as u64,
+                );
+                let act_bbc = sparse::BbcMatrix::from_csr(&act);
+                let engines = headline_engines(Precision::Fp32);
+                let run = |e: &dyn simkit::TileEngine| match kernel {
+                    // Weight x dense activation block (dense inference).
+                    Kernel::SpMM => {
+                        simkit::driver::run_spmm(e, &em, &w_bbc, layer.batch_cols)
+                    }
+                    // Conv treated as SpGEMM: sparse weight x sparse
+                    // activation matrix.
+                    _ => simkit::driver::run_spgemm(e, &em, &w_bbc, &act_bbc),
+                };
+                let baseline = run(engines[0].as_ref());
+                let mut row = vec![format!("{} {label} s={sparsity:.2}", layer.label())];
+                for e in &engines[1..] {
+                    let r = run(e.as_ref());
+                    let c = Comparison::of(&r, &baseline);
+                    row.push(format!(
+                        "P={:.2} E={:.2} ExP={:.2}",
+                        c.speedup,
+                        c.energy_reduction,
+                        c.efficiency()
+                    ));
+                    if e.name() == "Uni-STC" {
+                        uni_cs.push(c);
+                    }
+                }
+                rows.push(row);
+            }
+        }
+        println!("--- {model} ---");
+        print_table(&["layer", "RM-STC vs DS", "Uni-STC vs DS"], &rows);
+        println!(
+            "  geomean Uni-STC: P={:.2} E={:.2} ExP={:.2}\n",
+            geomean(uni_cs.iter().map(|c| c.speedup)).unwrap_or(0.0),
+            geomean(uni_cs.iter().map(|c| c.energy_reduction)).unwrap_or(0.0),
+            geomean(uni_cs.iter().map(|c| c.efficiency())).unwrap_or(0.0),
+        );
+    }
+}

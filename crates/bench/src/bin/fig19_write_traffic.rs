@@ -1,0 +1,51 @@
+//! Fig. 19 — data traffic and average enabled network scale when writing
+//! matrix C, for SpGEMM (C = A^2) on the eight representative matrices.
+//!
+//! Paper reference points: Uni-STC has the lowest write traffic — a 2.75x
+//! traffic contribution from SDPU pre-merging — and a dynamically gated
+//! output network averaging far below the flat 64x256 scale (the 2.36x
+//! network-scale contribution).
+
+use bench::{headline_engines, print_table, MatrixCtx};
+use simkit::driver::Kernel;
+use simkit::{EnergyModel, Precision};
+use workloads::representative::representative_matrices;
+
+fn main() {
+    let em = EnergyModel::default();
+    println!("Fig. 19: C-write traffic (elements) and average enabled output-network scale\n");
+
+    let mut rows = Vec::new();
+    let mut traffic_ratios = Vec::new();
+    let mut scale_ratios = Vec::new();
+    for rep in representative_matrices() {
+        let ctx = MatrixCtx::new(rep.name, rep.matrix, 3);
+        let mut ds_traffic = 0u64;
+        let mut ds_scale = 0.0f64;
+        for e in headline_engines(Precision::Fp64) {
+            let r = ctx.run(e.as_ref(), &em, Kernel::SpGEMM);
+            let traffic = r.events.partial_updates + r.events.c_writes;
+            let scale = r.avg_c_network_scale();
+            if e.name() == "DS-STC" {
+                ds_traffic = traffic;
+                ds_scale = scale;
+            }
+            if e.name() == "Uni-STC" {
+                traffic_ratios.push(ds_traffic as f64 / traffic as f64);
+                scale_ratios.push(ds_scale / scale);
+            }
+            rows.push(vec![
+                rep.name.to_owned(),
+                e.name().to_owned(),
+                traffic.to_string(),
+                format!("{:.0}", scale),
+            ]);
+        }
+    }
+    print_table(&["matrix", "engine", "C traffic (elems)", "avg net scale (ports)"], &rows);
+
+    let tg = simkit::metrics::geomean(traffic_ratios.iter().copied()).unwrap_or(0.0);
+    let sg = simkit::metrics::geomean(scale_ratios.iter().copied()).unwrap_or(0.0);
+    println!("\ngeomean Uni-STC vs DS-STC: traffic reduction {tg:.2}x (paper contribution: 2.75x),");
+    println!("                            network-scale reduction {sg:.2}x (paper contribution: 2.36x)");
+}

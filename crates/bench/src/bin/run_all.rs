@@ -1,0 +1,61 @@
+//! Runs the entire experiment suite — the reproduction's equivalent of the
+//! paper artifact's `qrun` workflow automation. Each table/figure binary is
+//! executed in sequence; pass `--full` to forward full-corpus mode.
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "table03_06_geometry",
+    "table04_t3_tradeoff",
+    "table07_matrices",
+    "table09_area",
+    "fig05_util_histogram",
+    "fig10_ordering",
+    "fig14_case_study",
+    "fig15_format_space",
+    "fig16_random_util",
+    "fig17_kernels",
+    "fig18_io_energy",
+    "fig19_write_traffic",
+    "fig20_distribution",
+    "fig21_amg",
+    "fig22_eed",
+    "table08_suitesparse",
+    "app_graph",
+    "ablation_uni_stc",
+    "ablation_reorder",
+    "roofline",
+    "amortization",
+    "validate_dataflow",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current executable path");
+    let dir = exe.parent().expect("target directory").to_path_buf();
+    let forward: Vec<String> = std::env::args().skip(1).collect();
+
+    let mut failures = Vec::new();
+    for bin in BINARIES {
+        println!("\n================ {bin} ================\n");
+        let path = dir.join(bin);
+        let status = Command::new(&path).args(&forward).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(*bin);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {} ({e}); build with `cargo build --release -p bench`", path.display());
+                failures.push(*bin);
+            }
+        }
+    }
+    println!("\n================ summary ================");
+    if failures.is_empty() {
+        println!("all {} experiments completed", BINARIES.len());
+    } else {
+        println!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

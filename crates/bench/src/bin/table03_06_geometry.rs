@@ -1,0 +1,39 @@
+//! Tables III and VI — the task-level hierarchy and per-design T3/T4
+//! geometries, printed from the data module the engines are checked
+//! against.
+
+use bench::print_table;
+use simkit::geometry::{table_iii, table_vi};
+use simkit::Precision;
+
+fn main() {
+    println!("Table III: task sizes at different levels (64 MACs)\n");
+    let mut rows = Vec::new();
+    for r in table_iii() {
+        let mut row = vec![r.level.to_owned(), r.task_name.to_owned()];
+        for (_, size) in &r.sizes {
+            row.push(size.map_or("None".to_owned(), |s| s.to_string()));
+        }
+        rows.push(row);
+    }
+    print_table(&["level", "task", "NV-DTC", "DS-STC", "RM-STC", "Uni-STC"], &rows);
+
+    println!("\nTable VI: T3/T4 task sizes (128 MAC@FP32 / 64 MAC@FP64)\n");
+    let mut rows = Vec::new();
+    for g in table_vi() {
+        rows.push(vec![
+            g.name.to_owned(),
+            g.t3(Precision::Fp32).to_string(),
+            g.t3(Precision::Fp64).to_string(),
+            g.t4.map_or("same as T3".to_owned(), |s| s.to_string()),
+            if g.modes_fp64.is_empty() {
+                "-".to_owned()
+            } else {
+                g.modes_fp64.iter().map(|m| m.to_string()).collect::<Vec<_>>().join(" / ")
+            },
+        ]);
+    }
+    print_table(&["design", "T3 @FP32", "T3 @FP64", "T4", "modes (FP64)"], &rows);
+    println!("\nUni-STC alone defines a T4 level (1x1x4 vector tasks) and bypasses T2");
+    println!("(design principles 2 and 3, Section III-D).");
+}

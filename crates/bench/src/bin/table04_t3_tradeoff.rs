@@ -1,0 +1,27 @@
+//! Table IV — trade-offs of candidate T3 task sizes (2^3, 4^3, 8^3) on
+//! cycle count, the DPG count needed to saturate the SDPU, and the
+//! network scale required to route tiles and nonzeros.
+
+use bench::print_table;
+use uni_stc::t3_tradeoff;
+
+fn main() {
+    println!("Table IV: T3 task-size trade-off (64 MACs)\n");
+    let rows: Vec<Vec<String>> = t3_tradeoff()
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{0}x{0}x{0}", r.t3_dim),
+                if r.cycles == 1 { "1".into() } else { format!(">= {}", r.cycles) },
+                format!("{}-{}", r.dpgs_to_saturate.0, r.dpgs_to_saturate.1),
+                format!("{} x #DPGs", r.tile_network_ports_per_dpg),
+                format!("{} x {}", r.nonzero_network.0, r.nonzero_network.1),
+            ]
+        })
+        .collect();
+    print_table(
+        &["task size", "#cycles", "#DPGs to saturate", "tile routing", "nonzero routing"],
+        &rows,
+    );
+    println!("\npaper: 4x4x4 chosen — single-cycle segments, 8-16 DPGs, moderate routing.");
+}

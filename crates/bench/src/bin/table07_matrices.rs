@@ -1,0 +1,39 @@
+//! Table VII — the eight representative matrices: size, nnz(A), nnz(C)
+//! for C = A^2, and the average intermediate products per T1 task, for
+//! both the paper's originals and our synthetic analogues.
+
+use bench::print_table;
+use sparse::ops::{spgemm_flops, spgemm_structure};
+use workloads::representative::{inter_products_per_block, representative_matrices};
+
+fn main() {
+    println!("Table VII: representative matrices (paper originals vs synthetic analogues)\n");
+    let mut rows = Vec::new();
+    for rep in representative_matrices() {
+        let a = &rep.matrix;
+        let c = spgemm_structure(a, a).expect("square matrix");
+        let flops = spgemm_flops(a, a).expect("square matrix");
+        rows.push(vec![
+            rep.name.to_owned(),
+            format!("{} / {}", rep.paper_n, a.nrows()),
+            format!("{} / {}", rep.paper_nnz, a.nnz()),
+            c.nnz().to_string(),
+            flops.to_string(),
+            format!("{:.1}", rep.paper_inter_prod_per_blk),
+            format!("{:.1}", inter_products_per_block(a)),
+        ]);
+    }
+    print_table(
+        &[
+            "matrix",
+            "n (paper/ours)",
+            "nnz(A) (paper/ours)",
+            "nnz(C)",
+            "#products",
+            "paper ip/blk",
+            "ours ip/blk",
+        ],
+        &rows,
+    );
+    println!("\nthe analogues are scaled down; the Table VII density *ordering* is preserved.");
+}

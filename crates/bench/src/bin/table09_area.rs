@@ -1,0 +1,43 @@
+//! Table IX — area breakdown of Uni-STC's dedicated modules and the total
+//! overhead of a 432-unit deployment relative to the A100 die.
+
+use bench::print_table;
+use simkit::area::{UniStcArea, A100_DIE_MM2, DEPLOYED_UNITS, RM_STC_AREA_MM2};
+
+fn main() {
+    println!("Table IX: Uni-STC area breakdown (8 DPGs, FreePDK45 -> 7 nm scaled model)\n");
+    let area = UniStcArea::with_dpgs(8);
+    let mut rows: Vec<Vec<String>> = area
+        .rows()
+        .iter()
+        .map(|(name, mm2)| {
+            vec![
+                (*name).to_owned(),
+                format!("{:.4}", mm2),
+                format!("{:.2}%", mm2 * DEPLOYED_UNITS as f64 / A100_DIE_MM2 * 100.0),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "Total Overhead".to_owned(),
+        format!("{:.4}", area.total_mm2()),
+        format!("{:.2}%", area.die_percentage()),
+    ]);
+    print_table(&["module", "area (mm^2)", "% of A100 die (432 units)"], &rows);
+
+    println!(
+        "\nvs RM-STC dedicated modules: {:.0}% overhead (paper: 18%)",
+        (area.total_mm2() / RM_STC_AREA_MM2 - 1.0) * 100.0
+    );
+    println!("\nDPG-count sensitivity:");
+    let mut srows = Vec::new();
+    for d in [4usize, 8, 16] {
+        let a = UniStcArea::with_dpgs(d);
+        srows.push(vec![
+            format!("{d} DPGs"),
+            format!("{:.4}", a.total_mm2()),
+            format!("{:.2}%", a.die_percentage()),
+        ]);
+    }
+    print_table(&["config", "area (mm^2)", "% of die"], &srows);
+}

@@ -1,0 +1,193 @@
+//! `unistc_sim` — the user-facing CLI of the simulator: run any kernel on
+//! any engine over a Matrix Market file or a built-in generator, and print
+//! a report (optionally as CSV or with an ASCII utilisation histogram).
+//!
+//! ```text
+//! unistc_sim --matrix path/to/matrix.mtx --kernel spgemm --engine uni-stc
+//! unistc_sim --gen rmat:1024:8192 --kernel spmv --engine all --histogram
+//! unistc_sim --gen poisson2d:64 --kernel spmm --engine uni-stc --dpgs 16 --csv
+//! ```
+
+use baselines::{DsStc, Gamma, NvDtc, RmStc, Sigma, Trapezoid};
+use bench::MatrixCtx;
+use simkit::driver::Kernel;
+use simkit::report::{ascii_histogram, csv_row, summary_line, CSV_HEADER};
+use simkit::{EnergyModel, Precision, TileEngine};
+use sparse::CsrMatrix;
+use uni_stc::{UniStc, UniStcConfig};
+use workloads::gen;
+
+struct Args {
+    matrix: Option<String>,
+    generator: Option<String>,
+    kernel: String,
+    engine: String,
+    dpgs: usize,
+    fp32: bool,
+    csv: bool,
+    histogram: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: unistc_sim (--matrix FILE.mtx | --gen SPEC) [--kernel spmv|spmspv|spmm|spgemm]\n\
+         \x20                [--engine uni-stc|ds-stc|rm-stc|nv-dtc|gamma|sigma|trapezoid|all]\n\
+         \x20                [--dpgs N] [--fp32] [--csv] [--histogram]\n\
+         \n\
+         generator SPECs: poisson2d:G | poisson3d:G | random:N:DENSITY | rmat:N:NNZ |\n\
+         \x20               banded:N:HB:FILL | laplacian:N:NNZ"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        matrix: None,
+        generator: None,
+        kernel: "spmv".into(),
+        engine: "uni-stc".into(),
+        dpgs: 8,
+        fp32: false,
+        csv: false,
+        histogram: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--matrix" => args.matrix = Some(it.next().unwrap_or_else(|| usage())),
+            "--gen" => args.generator = Some(it.next().unwrap_or_else(|| usage())),
+            "--kernel" => args.kernel = it.next().unwrap_or_else(|| usage()),
+            "--engine" => args.engine = it.next().unwrap_or_else(|| usage()),
+            "--dpgs" => {
+                args.dpgs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--fp32" => args.fp32 = true,
+            "--csv" => args.csv = true,
+            "--histogram" => args.histogram = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.matrix.is_none() && args.generator.is_none() {
+        usage();
+    }
+    args
+}
+
+fn build_matrix(args: &Args) -> (String, CsrMatrix) {
+    if let Some(path) = &args.matrix {
+        let file = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(1);
+        });
+        let m = sparse::mtx::read_matrix_market(std::io::BufReader::new(file))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(1);
+            });
+        (path.clone(), m)
+    } else {
+        let spec = args.generator.as_deref().expect("generator or matrix required");
+        let parts: Vec<&str> = spec.split(':').collect();
+        let p = |i: usize| -> usize {
+            parts.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+        };
+        let pf = |i: usize| -> f64 {
+            parts.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+        };
+        let m = match parts[0] {
+            "poisson2d" => gen::poisson_2d(p(1)),
+            "poisson3d" => gen::poisson_3d(p(1)),
+            "random" => gen::random_uniform(p(1), pf(2), 42),
+            "rmat" => gen::rmat(p(1), p(2), 42),
+            "banded" => gen::banded(p(1), p(2), pf(3), 42),
+            "laplacian" => gen::graph_laplacian(p(1), p(2), 42),
+            _ => usage(),
+        };
+        (spec.to_owned(), m)
+    }
+}
+
+fn engines(args: &Args) -> Vec<Box<dyn TileEngine>> {
+    let precision = if args.fp32 { Precision::Fp32 } else { Precision::Fp64 };
+    let uni = || -> Box<dyn TileEngine> {
+        let mut cfg = UniStcConfig::with_precision(precision);
+        cfg.n_dpg = args.dpgs;
+        Box::new(UniStc::new(cfg))
+    };
+    match args.engine.as_str() {
+        "uni-stc" => vec![uni()],
+        "ds-stc" => vec![Box::new(DsStc::new(precision))],
+        "rm-stc" => vec![Box::new(RmStc::new(precision))],
+        "nv-dtc" => vec![Box::new(NvDtc::new(precision))],
+        "gamma" => vec![Box::new(Gamma::new(precision))],
+        "sigma" => vec![Box::new(Sigma::new(precision))],
+        "trapezoid" => vec![Box::new(Trapezoid::new(precision))],
+        "all" => {
+            let mut v: Vec<Box<dyn TileEngine>> = vec![
+                Box::new(NvDtc::new(precision)),
+                Box::new(Gamma::new(precision)),
+                Box::new(Sigma::new(precision)),
+                Box::new(Trapezoid::new(precision)),
+                Box::new(DsStc::new(precision)),
+                Box::new(RmStc::new(precision)),
+            ];
+            v.push(uni());
+            v
+        }
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let kernel = match args.kernel.as_str() {
+        "spmv" => Kernel::SpMV,
+        "spmspv" => Kernel::SpMSpV,
+        "spmm" => Kernel::SpMM,
+        "spgemm" => Kernel::SpGEMM,
+        _ => usage(),
+    };
+    if kernel == Kernel::SpGEMM {
+        // C = A^2 needs a square matrix.
+        let (_, m) = build_matrix(&args);
+        if m.nrows() != m.ncols() {
+            eprintln!("SpGEMM (C = A^2) needs a square matrix");
+            std::process::exit(1);
+        }
+    }
+    let (name, m) = build_matrix(&args);
+    println!(
+        "matrix {name}: {}x{}, {} nonzeros ({:.4}% dense)",
+        m.nrows(),
+        m.ncols(),
+        m.nnz(),
+        100.0 * (1.0 - m.sparsity())
+    );
+    let ctx = MatrixCtx::new(name, m, 7);
+    println!(
+        "BBC: {} blocks, {} tiles, {:.2} nnz/block\n",
+        ctx.bbc.block_count(),
+        ctx.bbc.tile_count(),
+        ctx.bbc.nnz_per_block()
+    );
+
+    let em = EnergyModel::default();
+    if args.csv {
+        println!("{CSV_HEADER}");
+    }
+    for e in engines(&args) {
+        let r = ctx.run(e.as_ref(), &em, kernel);
+        if args.csv {
+            println!("{}", csv_row(&r));
+        } else {
+            println!("{}", summary_line(&r));
+            if args.histogram {
+                print!("{}", ascii_histogram(&r.util, 8, 40));
+            }
+        }
+    }
+}

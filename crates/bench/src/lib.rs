@@ -1,0 +1,207 @@
+//! Shared harness utilities for the per-figure experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md for the experiment index). This library provides the
+//! common plumbing: engine rosters, prepared matrix contexts, kernel
+//! dispatch and plain-text table printing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use baselines::{DsStc, Gamma, NvDtc, RmStc, Sigma, Trapezoid};
+use simkit::driver::{self, Kernel, KernelReport};
+use simkit::{EnergyModel, Precision, TileEngine};
+use sparse::{BbcMatrix, CsrMatrix, SparseVector};
+use uni_stc::{UniStc, UniStcConfig};
+
+/// Sparsity of the SpMSpV input vector (Section VI-A: 50 %).
+pub const SPMSPV_X_SPARSITY: f64 = 0.5;
+
+/// Number of B columns for SpMM (Section VI-A: 64).
+pub const SPMM_N_COLS: usize = 64;
+
+/// The three STCs of the paper's headline comparison (Figs. 17, 18, 20).
+pub fn headline_engines(precision: Precision) -> Vec<Box<dyn TileEngine>> {
+    vec![
+        Box::new(DsStc::new(precision)),
+        Box::new(RmStc::new(precision)),
+        Box::new(UniStc::new(UniStcConfig::with_precision(precision))),
+    ]
+}
+
+/// All seven engines (Fig. 16 and the AMG study add GAMMA, SIGMA,
+/// Trapezoid and NV-DTC).
+pub fn all_engines(precision: Precision) -> Vec<Box<dyn TileEngine>> {
+    vec![
+        Box::new(NvDtc::new(precision)),
+        Box::new(Gamma::new(precision)),
+        Box::new(Sigma::new(precision)),
+        Box::new(Trapezoid::new(precision)),
+        Box::new(DsStc::new(precision)),
+        Box::new(RmStc::new(precision)),
+        Box::new(UniStc::new(UniStcConfig::with_precision(precision))),
+    ]
+}
+
+/// A matrix prepared for all four kernels: CSR + BBC + a 50 %-sparse x.
+#[derive(Debug, Clone)]
+pub struct MatrixCtx {
+    /// Display name.
+    pub name: String,
+    /// The matrix in CSR form.
+    pub csr: CsrMatrix,
+    /// The matrix in BBC form (the simulator's operand format).
+    pub bbc: BbcMatrix,
+    /// A 50 %-sparse input vector for SpMSpV.
+    pub x_sparse: SparseVector,
+}
+
+impl MatrixCtx {
+    /// Prepares a matrix context (deterministic x from `seed`).
+    pub fn new(name: impl Into<String>, csr: CsrMatrix, seed: u64) -> Self {
+        let bbc = BbcMatrix::from_csr(&csr);
+        let x_sparse = sparse_vector(csr.ncols(), SPMSPV_X_SPARSITY, seed);
+        MatrixCtx { name: name.into(), csr, bbc, x_sparse }
+    }
+
+    /// Runs one kernel on one engine.
+    pub fn run(&self, engine: &dyn TileEngine, em: &EnergyModel, kernel: Kernel) -> KernelReport {
+        match kernel {
+            Kernel::SpMV => driver::run_spmv(engine, em, &self.bbc),
+            Kernel::SpMSpV => driver::run_spmspv(engine, em, &self.bbc, &self.x_sparse),
+            Kernel::SpMM => driver::run_spmm(engine, em, &self.bbc, SPMM_N_COLS),
+            Kernel::SpGEMM => driver::run_spgemm(engine, em, &self.bbc, &self.bbc),
+        }
+    }
+}
+
+/// Deterministic sparse vector with the given zero fraction.
+pub fn sparse_vector(dim: usize, sparsity: f64, seed: u64) -> SparseVector {
+    // Simple multiplicative hash keeps this dependency-free and stable.
+    let mut idx = Vec::new();
+    let mut values = Vec::new();
+    let threshold = ((1.0 - sparsity) * u32::MAX as f64) as u32;
+    for i in 0..dim {
+        let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed.wrapping_mul(0xD134_2543_DE82_EF95));
+        let h = (h ^ (h >> 29)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        if ((h >> 32) as u32) < threshold {
+            idx.push(i as u32);
+            values.push(((h & 0xFF) as f64 - 127.5) / 64.0);
+        }
+    }
+    SparseVector::try_new(dim, idx, values).expect("indices are sorted by construction")
+}
+
+/// The four kernels in paper order.
+pub const KERNELS: [Kernel; 4] = [Kernel::SpMV, Kernel::SpMSpV, Kernel::SpMM, Kernel::SpGEMM];
+
+/// Prints a plain-text table with aligned columns.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i.min(widths.len() - 1)]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Whether `--full` was passed (full corpus instead of the fast sample).
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Corpus stride for the current mode: 1 in `--full`, 5 otherwise.
+pub fn corpus_stride() -> usize {
+    if full_mode() {
+        1
+    } else {
+        5
+    }
+}
+
+/// Skip threshold for SpGEMM intermediate products in fast mode (keeps the
+/// default run laptop-fast; `--full` removes the cap).
+pub fn spgemm_flops_cap() -> u64 {
+    if full_mode() {
+        u64::MAX
+    } else {
+        20_000_000
+    }
+}
+
+/// Builds matrix contexts for the corpus at the current mode's stride.
+pub fn corpus_contexts() -> Vec<MatrixCtx> {
+    workloads::corpus::corpus_sample(corpus_stride())
+        .into_iter()
+        .enumerate()
+        .map(|(i, e)| MatrixCtx::new(e.name.clone(), e.build(), i as u64))
+        .collect()
+}
+
+/// Whether a context's SpGEMM is within the current mode's work cap.
+pub fn spgemm_within_cap(ctx: &MatrixCtx) -> bool {
+    sparse::ops::spgemm_flops(&ctx.csr, &ctx.csr).is_ok_and(|f| f <= spgemm_flops_cap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_vector_hits_target() {
+        let x = sparse_vector(4096, 0.5, 3);
+        let density = x.nnz() as f64 / 4096.0;
+        assert!((density - 0.5).abs() < 0.05, "density {density}");
+        assert_eq!(sparse_vector(4096, 0.5, 3), x);
+    }
+
+    #[test]
+    fn engine_rosters() {
+        assert_eq!(headline_engines(Precision::Fp64).len(), 3);
+        assert_eq!(all_engines(Precision::Fp64).len(), 7);
+        let names: Vec<String> =
+            all_engines(Precision::Fp64).iter().map(|e| e.name().to_owned()).collect();
+        assert!(names.contains(&"Uni-STC".to_owned()));
+        assert!(names.contains(&"NV-DTC".to_owned()));
+    }
+
+    #[test]
+    fn matrix_ctx_runs_all_kernels() {
+        let csr = workloads::gen::poisson_2d(8);
+        let ctx = MatrixCtx::new("p2d-8", csr, 1);
+        let em = EnergyModel::default();
+        for engine in headline_engines(Precision::Fp64) {
+            for kernel in KERNELS {
+                let rep = ctx.run(engine.as_ref(), &em, kernel);
+                assert!(rep.cycles > 0, "{} {}", engine.name(), kernel);
+                assert!(rep.energy.total() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_work_is_engine_invariant() {
+        let csr = workloads::gen::banded(64, 3, 1.0, 2);
+        let ctx = MatrixCtx::new("b", csr, 1);
+        let em = EnergyModel::default();
+        let useful: Vec<u64> = all_engines(Precision::Fp64)
+            .iter()
+            .map(|e| ctx.run(e.as_ref(), &em, Kernel::SpMV).useful)
+            .collect();
+        assert!(useful.windows(2).all(|w| w[0] == w[1]), "useful {useful:?}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Kernel compilation: BBC matrix -> per-warp UWMMA instruction streams.
+//!
+//! This is the software half of the paper's co-design (Section V-A): the
+//! compiler walks the BBC outer CSR under the static warp balancing of
+//! [`crate::schedule`] and emits, per warp, the Algorithm 1/2 instruction
+//! sequence for every T1 task — the streams a modified GPU compiler would
+//! produce for Uni-STC's UWMMA extension (Section IV-F: "Integrating the
+//! UWMMA instruction set ... necessitates compiler modifications").
+
+use simkit::Block16;
+use sparse::BbcMatrix;
+
+use crate::isa::{LifecycleError, Program, ProgramStats};
+use crate::schedule::balance_warps;
+use crate::tms::generate_t3_tasks;
+use crate::UniStcConfig;
+
+/// One warp's compiled instruction stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpProgram {
+    /// The warp id.
+    pub warp: usize,
+    /// The UWMMA stream (one Algorithm 1/2 iteration per T1 task).
+    pub program: Program,
+}
+
+/// A compiled kernel: one program per warp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledKernel {
+    /// Per-warp programs, in warp order.
+    pub warps: Vec<WarpProgram>,
+}
+
+impl CompiledKernel {
+    /// Executes every warp's program on its own lifecycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LifecycleError`] if any stream is illegal (compiler bug).
+    pub fn run(&self) -> Result<Vec<ProgramStats>, LifecycleError> {
+        self.warps.iter().map(|w| w.program.run()).collect()
+    }
+
+    /// Kernel makespan under warp-parallel execution: the slowest warp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LifecycleError`] if any stream is illegal.
+    pub fn makespan(&self) -> Result<u64, LifecycleError> {
+        Ok(self.run()?.iter().map(|s| s.cycles).max().unwrap_or(0))
+    }
+
+    /// Total instructions across all warps.
+    pub fn total_instructions(&self) -> usize {
+        self.warps.iter().map(|w| w.program.instructions().len()).sum()
+    }
+}
+
+fn t1_costs(cfg: &UniStcConfig, a: &Block16, b: &Block16) -> Option<(u64, u64)> {
+    let t3 = generate_t3_tasks(a, b, cfg.ordering);
+    if t3.is_empty() {
+        return None;
+    }
+    let products: u64 = t3.iter().map(|t| t.products as u64).sum();
+    Some((t3.len() as u64, products))
+}
+
+/// Compiles SpMV (dense `x`) into per-warp UWMMA streams.
+///
+/// # Panics
+///
+/// Panics if `n_warps == 0`.
+pub fn compile_spmv(cfg: &UniStcConfig, a: &BbcMatrix, n_warps: usize) -> CompiledKernel {
+    let ranges = balance_warps(a, n_warps);
+    let n = ranges.iter().map(|r| r.warp).max().map_or(0, |w| w + 1);
+    let mut programs: Vec<Program> = vec![Program::new(); n];
+    for range in &ranges {
+        for bi in range.start..range.end {
+            let bits = Block16::from_bbc(&a.block(bi));
+            let x = Block16::from_vector_mask(u16::MAX);
+            if let Some((t3, products)) = t1_costs(cfg, &bits, &x) {
+                for instr in Program::spmv_block(t3, products).instructions() {
+                    programs[range.warp].push(instr.op, instr.cost);
+                }
+            }
+        }
+    }
+    CompiledKernel {
+        warps: programs
+            .into_iter()
+            .enumerate()
+            .map(|(warp, program)| WarpProgram { warp, program })
+            .collect(),
+    }
+}
+
+/// Compiles SpGEMM (`C = A B`) into per-warp UWMMA streams (Algorithm 2's
+/// block-level outer product, with the line-13 bitmap check).
+///
+/// # Panics
+///
+/// Panics if `n_warps == 0` or the block grids do not conform.
+pub fn compile_spgemm(
+    cfg: &UniStcConfig,
+    a: &BbcMatrix,
+    b: &BbcMatrix,
+    n_warps: usize,
+) -> CompiledKernel {
+    assert_eq!(a.block_cols(), b.block_rows(), "block grids do not conform");
+    let ranges = balance_warps(a, n_warps);
+    let n = ranges.iter().map(|r| r.warp).max().map_or(0, |w| w + 1);
+    let mut programs: Vec<Program> = vec![Program::new(); n];
+    for range in &ranges {
+        for ai in range.start..range.end {
+            let a_blk = a.block(ai);
+            let a_bits = Block16::from_bbc(&a_blk);
+            for bj in b.blocks_in_row(a_blk.block_col) {
+                let b_bits = Block16::from_bbc(&b.block(bj));
+                if let Some((t3, products)) = t1_costs(cfg, &a_bits, &b_bits) {
+                    for instr in Program::spgemm_block(t3, products).instructions() {
+                        programs[range.warp].push(instr.op, instr.cost);
+                    }
+                }
+            }
+        }
+    }
+    CompiledKernel {
+        warps: programs
+            .into_iter()
+            .enumerate()
+            .map(|(warp, program)| WarpProgram { warp, program })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::{CooMatrix, CsrMatrix};
+
+    fn bbc(n: usize, entries: impl IntoIterator<Item = (usize, usize)>) -> BbcMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for (r, c) in entries {
+            coo.push(r, c, 1.0);
+        }
+        BbcMatrix::from_csr(&CsrMatrix::try_from(coo).unwrap())
+    }
+
+    #[test]
+    fn spmv_compiles_four_instructions_per_block() {
+        let a = bbc(64, (0..64).map(|i| (i, i)));
+        let cfg = UniStcConfig::default();
+        let k = compile_spmv(&cfg, &a, 2);
+        assert_eq!(k.warps.len(), 2);
+        assert_eq!(k.total_instructions(), 4 * a.block_count());
+        // Every stream executes legally.
+        let stats = k.run().unwrap();
+        assert!(stats.iter().all(|s| s.cycles > 0));
+    }
+
+    #[test]
+    fn makespan_below_serial_sum() {
+        let a = bbc(128, (0..128).flat_map(|i| [(i, i), (i, (i * 5) % 128)]));
+        let cfg = UniStcConfig::default();
+        let k1 = compile_spmv(&cfg, &a, 1);
+        let k4 = compile_spmv(&cfg, &a, 4);
+        let serial = k1.makespan().unwrap();
+        let parallel = k4.makespan().unwrap();
+        assert!(parallel < serial, "parallel {parallel} vs serial {serial}");
+        assert!(parallel * 4 >= serial);
+    }
+
+    #[test]
+    fn spgemm_streams_respect_bitmap_check() {
+        // A block uses k-column 0 only; B provides k-row 5 only: no
+        // instructions should be emitted for that pair.
+        let a = bbc(16, [(0, 0)]);
+        let b = bbc(16, [(5, 0)]);
+        let cfg = UniStcConfig::default();
+        let k = compile_spgemm(&cfg, &a, &b, 1);
+        assert_eq!(k.total_instructions(), 0);
+        assert_eq!(k.makespan().unwrap(), 0);
+    }
+
+    #[test]
+    fn spgemm_program_listing_shows_mm_opcodes() {
+        let a = bbc(32, (0..32).map(|i| (i, (i * 3) % 32)));
+        let cfg = UniStcConfig::default();
+        let k = compile_spgemm(&cfg, &a, &a, 1);
+        assert!(k.total_instructions() > 0);
+        let listing = k.warps[0].program.listing();
+        assert!(listing.contains("stc.task_gen.mm"));
+        assert!(listing.contains("stc.numeric.mm"));
+        assert!(!listing.contains(".mv"));
+        k.run().unwrap();
+    }
+
+    #[test]
+    fn cycles_scale_with_products() {
+        let sparse_m = bbc(32, (0..8).map(|i| (i, i)));
+        let dense_m = bbc(32, (0..32).flat_map(|r| (0..32).map(move |c| (r, c))));
+        let cfg = UniStcConfig::default();
+        let s = compile_spmv(&cfg, &sparse_m, 1).makespan().unwrap();
+        let d = compile_spmv(&cfg, &dense_m, 1).makespan().unwrap();
+        assert!(d > s, "dense {d} vs sparse {s}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Uni-STC configuration and the T3 task-size trade-off of Table IV.
+
+use simkit::Precision;
+
+use crate::dpg::FillOrder;
+use crate::tms::TaskOrdering;
+
+/// Configuration of a Uni-STC instance.
+///
+/// The defaults reproduce the paper's chosen design point: 8 DPGs (the EED
+/// sensitivity study of Fig. 22), outer-product task ordering with adaptive
+/// intra-layer order (Fig. 10), Z-shaped dot-product-queue fill (Section
+/// IV-A), FP64 lanes, and dynamic DPG power gating enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniStcConfig {
+    /// Arithmetic precision (sets the MAC lane count: 64 @FP64, 128 @FP32).
+    pub precision: Precision,
+    /// Number of dot-product generators (4, 8 or 16 in the paper's
+    /// sensitivity study; 8 by default).
+    pub n_dpg: usize,
+    /// T3 task ordering strategy in the TMS.
+    pub ordering: TaskOrdering,
+    /// Fill order of the dot-product queue (Z-shaped by default; the paper
+    /// tested N-shaped and found it inferior).
+    pub fill_order: FillOrder,
+    /// Dynamic DPG power gating (Section IV-C): when enabled, redundant
+    /// DPGs and their datapaths are gated off each cycle.
+    pub power_gating: bool,
+}
+
+impl Default for UniStcConfig {
+    fn default() -> Self {
+        UniStcConfig {
+            precision: Precision::Fp64,
+            n_dpg: 8,
+            ordering: TaskOrdering::OuterProduct,
+            fill_order: FillOrder::ZShape,
+            power_gating: true,
+        }
+    }
+}
+
+impl UniStcConfig {
+    /// The paper's default configuration at a given precision.
+    pub fn with_precision(precision: Precision) -> Self {
+        UniStcConfig { precision, ..Default::default() }
+    }
+
+    /// The paper's default configuration with a given DPG count (Fig. 22).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_dpg == 0`.
+    pub fn with_dpgs(n_dpg: usize) -> Self {
+        assert!(n_dpg > 0, "at least one DPG is required");
+        UniStcConfig { n_dpg, ..Default::default() }
+    }
+
+    /// MAC lane count of this configuration.
+    pub fn lanes(&self) -> usize {
+        self.precision.lanes()
+    }
+
+    /// Per-cycle emission bandwidth of one DPG in lanes.
+    ///
+    /// Calibrated so two DPGs saturate the SDPU on dense inputs (Section
+    /// VI-C.1: "Uni-STC activates only two DPGs" for dense workloads)
+    /// while typical sparse T3 tasks need 8–16 concurrent DPGs (Table IV).
+    pub fn dpg_emit_lanes(&self) -> usize {
+        self.lanes() / 2
+    }
+}
+
+/// One row of the Table IV trade-off between T3 task sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct T3TradeOffRow {
+    /// Candidate T3 edge length (2, 4 or 8).
+    pub t3_dim: usize,
+    /// Cycles one T3 task occupies in the SDPU's merge tree (a segment of
+    /// length > 4 needs a second merge level, breaking the 1.5 GHz target).
+    pub cycles: u32,
+    /// Range of concurrent DPGs required to saturate the SDPU, assuming a
+    /// DPG delivers one to two T4 segments per cycle out of a typical
+    /// sparse T3 task.
+    pub dpgs_to_saturate: (u32, u32),
+    /// Tile-routing network scale (`tiles x #DPGs` ports per operand).
+    pub tile_network_ports_per_dpg: u32,
+    /// Nonzero-routing network scale within a tile (`dim^2 x dim^2`).
+    pub nonzero_network: (u32, u32),
+}
+
+/// The Table IV trade-off rows for T3 edge lengths 2, 4 and 8 at 64 MACs.
+///
+/// The 4x4x4 point balances cycle count (single-cycle segments), DPG count
+/// (8–16 to saturate) and routing scale — the paper's chosen design.
+pub fn t3_tradeoff() -> Vec<T3TradeOffRow> {
+    [2usize, 4, 8]
+        .into_iter()
+        .map(|dim| {
+            let lanes = 64u32;
+            // Segment length is bounded by the tile's K edge; lengths above
+            // 4 need a second merge-forward level (>= 2 cycles).
+            let cycles = if dim <= 4 { 1 } else { 2 };
+            // A DPG sustains roughly dim^2/4 .. dim^2/2 lanes per cycle out
+            // of a typical sparse tile, so saturating `lanes` lanes needs
+            // 2*lanes/dim^2 .. 4*lanes/dim^2 concurrent DPGs (Table IV:
+            // 32-64 / 8-16 / 2-4 for dims 2 / 4 / 8).
+            let d2 = (dim * dim) as u32;
+            let dpgs_to_saturate = (2 * lanes / d2, 4 * lanes / d2);
+            let tiles = (16 / dim as u32).pow(2);
+            T3TradeOffRow {
+                t3_dim: dim,
+                cycles,
+                dpgs_to_saturate,
+                tile_network_ports_per_dpg: tiles,
+                nonzero_network: ((dim * dim) as u32, (dim * dim) as u32),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_design_point() {
+        let c = UniStcConfig::default();
+        assert_eq!(c.n_dpg, 8);
+        assert_eq!(c.lanes(), 64);
+        assert_eq!(c.ordering, TaskOrdering::OuterProduct);
+        assert_eq!(c.fill_order, FillOrder::ZShape);
+        assert!(c.power_gating);
+    }
+
+    #[test]
+    fn two_dpgs_saturate_dense() {
+        let c = UniStcConfig::default();
+        assert_eq!(2 * c.dpg_emit_lanes(), c.lanes());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one DPG")]
+    fn zero_dpgs_rejected() {
+        UniStcConfig::with_dpgs(0);
+    }
+
+    #[test]
+    fn tradeoff_prefers_4x4x4() {
+        let rows = t3_tradeoff();
+        assert_eq!(rows.len(), 3);
+        let r2 = &rows[0];
+        let r4 = &rows[1];
+        let r8 = &rows[2];
+        // 2x2x2: single cycle but excessive DPG demand and tile routing.
+        assert_eq!(r2.cycles, 1);
+        assert!(r2.dpgs_to_saturate.1 >= 32);
+        assert!(r2.tile_network_ports_per_dpg > r4.tile_network_ports_per_dpg);
+        // 8x8x8: misses timing and has a huge nonzero network.
+        assert_eq!(r8.cycles, 2);
+        assert_eq!(r8.nonzero_network, (64, 64));
+        // 4x4x4: single-cycle, 8-16 DPGs (the paper's choice).
+        assert_eq!(r4.cycles, 1);
+        assert_eq!(r4.dpgs_to_saturate, (8, 16));
+        assert_eq!(r4.nonzero_network, (16, 16));
+        assert_eq!(r2.dpgs_to_saturate, (32, 64));
+        assert_eq!(r8.dpgs_to_saturate, (2, 4));
+    }
+
+    #[test]
+    fn fp32_config_has_128_lanes() {
+        let c = UniStcConfig::with_precision(Precision::Fp32);
+        assert_eq!(c.lanes(), 128);
+        assert_eq!(c.dpg_emit_lanes(), 64);
+    }
+}

@@ -1,0 +1,233 @@
+//! The [`UniStc`] engine: `simkit::TileEngine` implementation.
+
+use simkit::{area::UniStcArea, NetworkCosts, T1Result, T1Task, TileEngine};
+
+use crate::{pipeline, UniStcConfig};
+
+/// A Uni-STC instance.
+///
+/// # Example
+///
+/// ```
+/// use uni_stc::{UniStc, UniStcConfig};
+/// use simkit::{Block16, T1Task, TileEngine};
+///
+/// let engine = UniStc::new(UniStcConfig::default());
+/// let task = T1Task::mm(Block16::dense(), Block16::dense());
+/// let result = engine.execute(&task);
+/// assert_eq!(result.cycles, 64); // 4096 products on 64 lanes
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UniStc {
+    config: UniStcConfig,
+}
+
+impl UniStc {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: UniStcConfig) -> Self {
+        UniStc { config }
+    }
+
+    /// Starts a builder at the paper's default design point.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use uni_stc::UniStc;
+    /// use simkit::{Precision, TileEngine};
+    ///
+    /// let engine = UniStc::builder().precision(Precision::Fp32).dpgs(16).build();
+    /// assert_eq!(engine.lanes(), 128);
+    /// ```
+    pub fn builder() -> UniStcBuilder {
+        UniStcBuilder { config: UniStcConfig::default() }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &UniStcConfig {
+        &self.config
+    }
+}
+
+/// Builder for [`UniStc`] configurations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniStcBuilder {
+    config: UniStcConfig,
+}
+
+impl UniStcBuilder {
+    /// Sets the arithmetic precision (64 / 128 / 256 MAC lanes).
+    pub fn precision(mut self, precision: simkit::Precision) -> Self {
+        self.config.precision = precision;
+        self
+    }
+
+    /// Sets the DPG count.
+    ///
+    /// # Panics
+    ///
+    /// Panics at [`UniStcBuilder::build`] time never; a zero count panics
+    /// here, matching [`UniStcConfig::with_dpgs`].
+    pub fn dpgs(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one DPG is required");
+        self.config.n_dpg = n;
+        self
+    }
+
+    /// Sets the T3 task-ordering strategy.
+    pub fn ordering(mut self, ordering: crate::TaskOrdering) -> Self {
+        self.config.ordering = ordering;
+        self
+    }
+
+    /// Sets the dot-product queue fill order.
+    pub fn fill_order(mut self, fill: crate::FillOrder) -> Self {
+        self.config.fill_order = fill;
+        self
+    }
+
+    /// Enables or disables dynamic DPG power gating.
+    pub fn power_gating(mut self, enabled: bool) -> Self {
+        self.config.power_gating = enabled;
+        self
+    }
+
+    /// Finalises the engine.
+    pub fn build(self) -> UniStc {
+        UniStc::new(self.config)
+    }
+}
+
+impl TileEngine for UniStc {
+    fn name(&self) -> &str {
+        "Uni-STC"
+    }
+
+    fn lanes(&self) -> usize {
+        self.config.lanes()
+    }
+
+    fn execute(&self, task: &T1Task) -> T1Result {
+        pipeline::execute_t1(&self.config, task)
+    }
+
+    fn network_costs(&self) -> NetworkCosts {
+        NetworkCosts::uni_stc()
+    }
+
+    fn area_mm2(&self) -> f64 {
+        UniStcArea::with_dpgs(self.config.n_dpg).total_mm2()
+    }
+
+    fn c_network_ports(&self) -> u64 {
+        // Static upper bound; the pipeline reports dynamic gated ports.
+        (self.config.n_dpg * 256) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::{DsStc, RmStc};
+    use simkit::{Block16, Precision};
+
+    #[test]
+    fn builder_round_trips_every_knob() {
+        let e = UniStc::builder()
+            .precision(Precision::Fp32)
+            .dpgs(4)
+            .ordering(uni_stc_ordering())
+            .fill_order(crate::FillOrder::NShape)
+            .power_gating(false)
+            .build();
+        assert_eq!(e.config().n_dpg, 4);
+        assert_eq!(e.lanes(), 128);
+        assert!(!e.config().power_gating);
+        assert_eq!(e.config().fill_order, crate::FillOrder::NShape);
+    }
+
+    fn uni_stc_ordering() -> crate::TaskOrdering {
+        crate::TaskOrdering::RowRow
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one DPG")]
+    fn builder_rejects_zero_dpgs() {
+        let _ = UniStc::builder().dpgs(0);
+    }
+
+    #[test]
+    fn area_follows_dpg_count() {
+        let a8 = UniStc::default().area_mm2();
+        let a4 = UniStc::new(UniStcConfig::with_dpgs(4)).area_mm2();
+        let a16 = UniStc::new(UniStcConfig::with_dpgs(16)).area_mm2();
+        assert!(a4 < a8 && a8 < a16);
+        assert!((a8 - 0.0425).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig14_case_study_utilisation_ordering() {
+        // Fig. 14's qualitative outcome on an irregular task: Uni-STC
+        // utilisation > RM-STC > DS-STC.
+        let a = Block16::from_fn(|r, c| (r * 7 + c * 3) % 6 < 2);
+        let b = Block16::from_fn(|r, c| (r * 5 + c) % 7 < 2);
+        let t = T1Task::mm(a, b);
+        let uni = UniStc::default().execute(&t);
+        let rm = RmStc::new(Precision::Fp64).execute(&t);
+        let ds = DsStc::new(Precision::Fp64).execute(&t);
+        assert!(uni.util.mean_utilisation() > rm.util.mean_utilisation());
+        assert!(uni.util.mean_utilisation() > ds.util.mean_utilisation());
+        assert_eq!(uni.useful, t.products());
+    }
+
+    #[test]
+    fn spmv_dominates_baselines() {
+        // Paper: SpMV utilisation caps — DS-STC 12.5 %, RM-STC 25 %,
+        // Uni-STC packs fine-grained tasks.
+        let a = Block16::dense();
+        let t = T1Task::mv(a, u16::MAX);
+        let uni = UniStc::default().execute(&t);
+        let rm = RmStc::new(Precision::Fp64).execute(&t);
+        let ds = DsStc::new(Precision::Fp64).execute(&t);
+        assert!(uni.cycles < rm.cycles);
+        assert!(rm.cycles < ds.cycles);
+        // 256 products / 64 lanes = 4 cycles: speedup 8x over DS-STC.
+        assert_eq!(ds.cycles / uni.cycles, 8);
+    }
+
+    #[test]
+    fn c_write_traffic_far_below_ds_stc() {
+        // Fig. 18/19: pre-merging plus the accumulation buffer cut write
+        // traffic massively vs. DS-STC's per-product scatter.
+        let a = Block16::from_fn(|r, c| (r + 2 * c) % 3 != 0);
+        let b = Block16::from_fn(|r, c| (2 * r + c) % 3 != 0);
+        let t = T1Task::mm(a, b);
+        let uni = UniStc::default().execute(&t);
+        let ds = DsStc::new(Precision::Fp64).execute(&t);
+        let uni_traffic = uni.events.partial_updates + uni.events.c_writes;
+        let ds_traffic = ds.events.partial_updates + ds.events.c_writes;
+        assert!(
+            (ds_traffic as f64) / (uni_traffic as f64) > 1.5,
+            "write-traffic reduction only {}x",
+            ds_traffic as f64 / uni_traffic as f64
+        );
+        // On denser tasks the pre-merge approaches its 4:1 bound.
+        let td = T1Task::mm(Block16::dense(), Block16::dense());
+        let unid = UniStc::default().execute(&td);
+        let dsd = DsStc::new(Precision::Fp64).execute(&td);
+        let ratio = (dsd.events.partial_updates + dsd.events.c_writes) as f64
+            / (unid.events.partial_updates + unid.events.c_writes) as f64;
+        assert!(ratio > 3.0, "dense write-traffic reduction only {ratio}x");
+    }
+
+    #[test]
+    fn dynamic_network_scale_below_static() {
+        let a = Block16::from_fn(|r, c| r == c || c == 0);
+        let t = T1Task::mm(a, a);
+        let uni = UniStc::default();
+        let r = uni.execute(&t);
+        let avg_ports = r.events.c_ports_cycles as f64 / r.cycles as f64;
+        assert!(avg_ports <= uni.c_network_ports() as f64);
+        assert!(avg_ports < 16384.0); // far below the flat 64x256
+    }
+}

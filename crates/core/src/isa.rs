@@ -1,0 +1,456 @@
+//! The UWMMA instruction set (Table V) and the execution lifecycle state
+//! machine (Section IV-G).
+//!
+//! Uni-STC executes sparse kernels through coordinated UWMMA sequences:
+//! synchronous operand collection (`stc.load.*`), asynchronous task
+//! generation (`stc.task_gen.*`, transitioning the state register from
+//! IDLE to BUSY), and synchronised computation (`stc.numeric.*`, which
+//! stalls while the queues are still filling and executes once READY).
+
+use std::error::Error;
+use std::fmt;
+
+/// A UWMMA instruction (Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Uwmma {
+    /// `stc.load.meta_mv` — load MV metadata (bitmaps + offsets), 1 cycle.
+    LoadMetaMv,
+    /// `stc.load.meta_mm` — load MM metadata, 1 cycle.
+    LoadMetaMm,
+    /// `stc.load.a` — load a 16x16 block of matrix A values, 2 cycles.
+    LoadA,
+    /// `stc.task_gen.mv` — asynchronous MV task generation, 1-4 cycles.
+    TaskGenMv,
+    /// `stc.task_gen.mm` — asynchronous MM task generation, 1-8 cycles.
+    TaskGenMm,
+    /// `stc.numeric.mv` — SDPU execution for MV, 1-8 cycles.
+    NumericMv,
+    /// `stc.numeric.mm` — SDPU execution for MM, 1-64 cycles.
+    NumericMm,
+}
+
+impl Uwmma {
+    /// The instruction's cycle range at FP64 (Table V).
+    pub fn cycle_range(self) -> (u32, u32) {
+        match self {
+            Uwmma::LoadMetaMv | Uwmma::LoadMetaMm => (1, 1),
+            Uwmma::LoadA => (2, 2),
+            Uwmma::TaskGenMv => (1, 4),
+            Uwmma::TaskGenMm => (1, 8),
+            Uwmma::NumericMv => (1, 8),
+            Uwmma::NumericMm => (1, 64),
+        }
+    }
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Uwmma::LoadMetaMv => "stc.load.meta_mv",
+            Uwmma::LoadMetaMm => "stc.load.meta_mm",
+            Uwmma::LoadA => "stc.load.a",
+            Uwmma::TaskGenMv => "stc.task_gen.mv",
+            Uwmma::TaskGenMm => "stc.task_gen.mm",
+            Uwmma::NumericMv => "stc.numeric.mv",
+            Uwmma::NumericMm => "stc.numeric.mm",
+        }
+    }
+}
+
+impl fmt::Display for Uwmma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The Uni-STC state register (Section IV-G).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StcState {
+    /// No task batch in flight.
+    #[default]
+    Idle,
+    /// Task queues are being populated by the TMS/DPGs.
+    Busy,
+    /// Queues populated; the SDPU may consume T4 tasks.
+    Ready,
+}
+
+/// Error returned when an instruction is issued in an illegal state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LifecycleError {
+    instr: Uwmma,
+    state: StcState,
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "instruction {} illegal in state {:?}", self.instr, self.state)
+    }
+}
+
+impl Error for LifecycleError {}
+
+/// The execution-lifecycle state machine driving one UWMMA batch.
+///
+/// # Example
+///
+/// ```
+/// use uni_stc::isa::{Lifecycle, StcState, Uwmma};
+///
+/// # fn main() -> Result<(), uni_stc::isa::LifecycleError> {
+/// let mut lc = Lifecycle::new();
+/// lc.issue(Uwmma::LoadMetaMm, 1)?;
+/// lc.issue(Uwmma::LoadA, 2)?;
+/// lc.issue(Uwmma::TaskGenMm, 4)?;   // asynchronous: state becomes Busy
+/// assert_eq!(lc.state(), StcState::Busy);
+/// lc.advance(4);                     // queues fill -> Ready
+/// assert_eq!(lc.state(), StcState::Ready);
+/// lc.issue(Uwmma::NumericMm, 16)?;   // consumes the batch -> Idle
+/// assert_eq!(lc.state(), StcState::Idle);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Lifecycle {
+    state: StcState,
+    /// Cycles until the task queues are sufficiently populated.
+    gen_remaining: u32,
+    /// Total cycles accounted (including numeric stalls).
+    cycles: u64,
+    /// Cycles the numeric stage spent stalled on a BUSY flag.
+    stall_cycles: u64,
+}
+
+impl Lifecycle {
+    /// A fresh lifecycle in the IDLE state.
+    pub fn new() -> Self {
+        Lifecycle::default()
+    }
+
+    /// Current state-register value.
+    pub fn state(&self) -> StcState {
+        self.state
+    }
+
+    /// Total cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Cycles the numeric stage spent stalled waiting for READY.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Advances background task generation by `cycles` (work the SM does
+    /// while the retired `stc.task_gen` runs asynchronously).
+    pub fn advance(&mut self, cycles: u32) {
+        if self.state == StcState::Busy {
+            self.gen_remaining = self.gen_remaining.saturating_sub(cycles);
+            if self.gen_remaining == 0 {
+                self.state = StcState::Ready;
+            }
+        }
+    }
+
+    /// Issues an instruction taking `cost` cycles.
+    ///
+    /// Loads are legal in any state (operand collection is synchronous and
+    /// independent). `task_gen` is legal only when IDLE; `numeric` stalls
+    /// through any remaining BUSY cycles, then executes and returns to
+    /// IDLE.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LifecycleError`] if `task_gen` is issued while a batch is
+    /// in flight, or `numeric` is issued with no batch generated.
+    pub fn issue(&mut self, instr: Uwmma, cost: u32) -> Result<(), LifecycleError> {
+        let (lo, hi) = instr.cycle_range();
+        let cost = cost.clamp(lo, hi);
+        match instr {
+            Uwmma::LoadMetaMv | Uwmma::LoadMetaMm | Uwmma::LoadA => {
+                self.cycles += cost as u64;
+                Ok(())
+            }
+            Uwmma::TaskGenMv | Uwmma::TaskGenMm => {
+                if self.state != StcState::Idle {
+                    return Err(LifecycleError { instr, state: self.state });
+                }
+                // Retires immediately (asynchronous); generation proceeds
+                // in the background for `cost` cycles.
+                self.state = StcState::Busy;
+                self.gen_remaining = cost;
+                self.cycles += 1;
+                Ok(())
+            }
+            Uwmma::NumericMv | Uwmma::NumericMm => match self.state {
+                StcState::Idle => Err(LifecycleError { instr, state: self.state }),
+                StcState::Busy => {
+                    // Stall until READY, then execute.
+                    let stall = self.gen_remaining as u64;
+                    self.stall_cycles += stall;
+                    self.cycles += stall + cost as u64;
+                    self.gen_remaining = 0;
+                    self.state = StcState::Idle;
+                    Ok(())
+                }
+                StcState::Ready => {
+                    self.cycles += cost as u64;
+                    self.state = StcState::Idle;
+                    Ok(())
+                }
+            },
+        }
+    }
+}
+
+/// One instruction of a UWMMA program: opcode plus its dynamic cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instruction {
+    /// The opcode.
+    pub op: Uwmma,
+    /// Dynamic cycle cost (clamped to Table V's range on execution).
+    pub cost: u32,
+}
+
+/// Summary of executing a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgramStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Numeric-stage stall cycles.
+    pub stall_cycles: u64,
+}
+
+/// A straight-line UWMMA instruction sequence — what the compiler emits
+/// for one kernel inner loop (Algorithms 1 and 2).
+///
+/// # Example
+///
+/// ```
+/// use uni_stc::isa::{Program, Uwmma};
+///
+/// # fn main() -> Result<(), uni_stc::isa::LifecycleError> {
+/// let mut p = Program::new();
+/// p.push(Uwmma::LoadMetaMm, 1);
+/// p.push(Uwmma::TaskGenMm, 4);
+/// p.push(Uwmma::LoadA, 2);
+/// p.push(Uwmma::NumericMm, 16);
+/// let stats = p.run()?;
+/// assert_eq!(stats.instructions, 4);
+/// assert!(p.listing().contains("stc.numeric.mm"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instruction>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, op: Uwmma, cost: u32) -> &mut Self {
+        self.instrs.push(Instruction { op, cost });
+        self
+    }
+
+    /// The instruction sequence.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Executes the program on a fresh lifecycle. Load instructions issued
+    /// while task generation is in flight also advance it (the operand
+    /// collector runs concurrently with the asynchronous TMS/DPGs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LifecycleError`] on an illegal sequence (e.g. `numeric`
+    /// before `task_gen`, or overlapping `task_gen`s).
+    pub fn run(&self) -> Result<ProgramStats, LifecycleError> {
+        let mut lc = Lifecycle::new();
+        for instr in &self.instrs {
+            match instr.op {
+                Uwmma::LoadMetaMv | Uwmma::LoadMetaMm | Uwmma::LoadA => {
+                    lc.advance(instr.cost.clamp(1, 2));
+                    lc.issue(instr.op, instr.cost)?;
+                }
+                _ => lc.issue(instr.op, instr.cost)?,
+            }
+        }
+        Ok(ProgramStats {
+            instructions: self.instrs.len() as u64,
+            cycles: lc.cycles(),
+            stall_cycles: lc.stall_cycles(),
+        })
+    }
+
+    /// PTX-style assembly listing.
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            out.push_str(&format!("{i:4}:  {:<20} // {} cycles\n", instr.op.mnemonic(), instr.cost));
+        }
+        out
+    }
+
+    /// The per-block MV sequence of Algorithm 1 (meta -> task_gen -> load
+    /// A values -> numeric).
+    pub fn spmv_block(t3_tasks: u64, products: u64) -> Self {
+        let mut p = Program::new();
+        p.push(Uwmma::LoadMetaMv, 1)
+            .push(Uwmma::TaskGenMv, t3_tasks.div_ceil(8) as u32)
+            .push(Uwmma::LoadA, 2)
+            .push(Uwmma::NumericMv, products.div_ceil(64) as u32);
+        p
+    }
+
+    /// The per-block-pair MM sequence of Algorithm 2.
+    pub fn spgemm_block(t3_tasks: u64, products: u64) -> Self {
+        let mut p = Program::new();
+        p.push(Uwmma::LoadA, 2)
+            .push(Uwmma::LoadMetaMm, 1)
+            .push(Uwmma::TaskGenMm, t3_tasks.div_ceil(8) as u32)
+            .push(Uwmma::NumericMm, products.div_ceil(64) as u32);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_cycle_ranges() {
+        assert_eq!(Uwmma::LoadMetaMv.cycle_range(), (1, 1));
+        assert_eq!(Uwmma::LoadA.cycle_range(), (2, 2));
+        assert_eq!(Uwmma::TaskGenMv.cycle_range(), (1, 4));
+        assert_eq!(Uwmma::TaskGenMm.cycle_range(), (1, 8));
+        assert_eq!(Uwmma::NumericMv.cycle_range(), (1, 8));
+        assert_eq!(Uwmma::NumericMm.cycle_range(), (1, 64));
+    }
+
+    #[test]
+    fn mnemonics_follow_ptx_style() {
+        assert_eq!(Uwmma::TaskGenMm.to_string(), "stc.task_gen.mm");
+        assert!(Uwmma::NumericMv.mnemonic().starts_with("stc."));
+    }
+
+    #[test]
+    fn happy_path_mv_sequence() {
+        let mut lc = Lifecycle::new();
+        lc.issue(Uwmma::LoadMetaMv, 1).unwrap();
+        lc.issue(Uwmma::TaskGenMv, 2).unwrap();
+        assert_eq!(lc.state(), StcState::Busy);
+        lc.issue(Uwmma::LoadA, 2).unwrap(); // loads legal while Busy
+        lc.advance(2);
+        assert_eq!(lc.state(), StcState::Ready);
+        lc.issue(Uwmma::NumericMv, 4).unwrap();
+        assert_eq!(lc.state(), StcState::Idle);
+        assert_eq!(lc.stall_cycles(), 0);
+    }
+
+    #[test]
+    fn numeric_stalls_on_busy() {
+        let mut lc = Lifecycle::new();
+        lc.issue(Uwmma::TaskGenMm, 8).unwrap();
+        let before = lc.cycles();
+        lc.issue(Uwmma::NumericMm, 10).unwrap();
+        // 8 stall cycles + 10 execute cycles.
+        assert_eq!(lc.cycles() - before, 18);
+        assert_eq!(lc.stall_cycles(), 8);
+        assert_eq!(lc.state(), StcState::Idle);
+    }
+
+    #[test]
+    fn async_generation_hides_latency() {
+        let mut lc = Lifecycle::new();
+        lc.issue(Uwmma::TaskGenMm, 8).unwrap();
+        lc.advance(8); // SM did other work meanwhile
+        let before = lc.cycles();
+        lc.issue(Uwmma::NumericMm, 10).unwrap();
+        assert_eq!(lc.cycles() - before, 10);
+        assert_eq!(lc.stall_cycles(), 0);
+    }
+
+    #[test]
+    fn double_task_gen_rejected() {
+        let mut lc = Lifecycle::new();
+        lc.issue(Uwmma::TaskGenMm, 4).unwrap();
+        let err = lc.issue(Uwmma::TaskGenMm, 4).unwrap_err();
+        assert!(err.to_string().contains("illegal"));
+    }
+
+    #[test]
+    fn numeric_without_task_gen_rejected() {
+        let mut lc = Lifecycle::new();
+        assert!(lc.issue(Uwmma::NumericMm, 4).is_err());
+    }
+
+    #[test]
+    fn costs_clamped_to_table_v() {
+        let mut lc = Lifecycle::new();
+        lc.issue(Uwmma::LoadMetaMm, 100).unwrap();
+        assert_eq!(lc.cycles(), 1); // clamped to the 1-cycle load
+    }
+
+    #[test]
+    fn program_runs_algorithm_sequences() {
+        let mv = Program::spmv_block(16, 256);
+        let s = mv.run().unwrap();
+        assert_eq!(s.instructions, 4);
+        assert!(s.cycles >= 4 + 2);
+        let mm = Program::spgemm_block(64, 4096);
+        let s = mm.run().unwrap();
+        assert!(s.cycles >= 64); // numeric dominates
+    }
+
+    #[test]
+    fn program_loads_hide_generation_latency() {
+        // LoadA after task_gen advances the background generation.
+        let mut hidden = Program::new();
+        hidden
+            .push(Uwmma::LoadMetaMm, 1)
+            .push(Uwmma::TaskGenMm, 2)
+            .push(Uwmma::LoadA, 2)
+            .push(Uwmma::NumericMm, 8);
+        let s = hidden.run().unwrap();
+        assert_eq!(s.stall_cycles, 0, "LoadA should hide the 2-cycle generation");
+        // Without the intervening load, numeric stalls.
+        let mut exposed = Program::new();
+        exposed.push(Uwmma::LoadMetaMm, 1).push(Uwmma::TaskGenMm, 2).push(Uwmma::NumericMm, 8);
+        let s = exposed.run().unwrap();
+        assert_eq!(s.stall_cycles, 2);
+    }
+
+    #[test]
+    fn program_rejects_illegal_sequences() {
+        let mut p = Program::new();
+        p.push(Uwmma::NumericMm, 4);
+        assert!(p.run().is_err());
+        let mut p = Program::new();
+        p.push(Uwmma::TaskGenMm, 2).push(Uwmma::TaskGenMv, 2);
+        assert!(p.run().is_err());
+    }
+
+    #[test]
+    fn listing_is_indexed_ptx_style() {
+        let p = Program::spmv_block(8, 64);
+        let l = p.listing();
+        assert!(l.contains("   0:  stc.load.meta_mv"));
+        assert!(l.contains("stc.task_gen.mv"));
+        assert_eq!(l.lines().count(), 4);
+    }
+
+    #[test]
+    fn empty_program_is_free() {
+        let s = Program::new().run().unwrap();
+        assert_eq!(s, ProgramStats::default());
+    }
+}

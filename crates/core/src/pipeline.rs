@@ -1,0 +1,361 @@
+//! The three-stage Uni-STC pipeline (Section IV-C, Fig. 12): TMS task
+//! generation -> DPG task concatenation -> SDPU execution & write C,
+//! decoupled by the Tile and Dot-product queues.
+//!
+//! This module is the cycle-level heart of the Uni-STC model. Per T1 task:
+//!
+//! 1. **Stage 1** (TMS): generate ordered T3 tasks from the top-level
+//!    bitmaps; count metadata traffic and reuse-aware operand fetches.
+//! 2. **Stage 2** (DPG): expand each T3 task into T4 segments (Z-shaped
+//!    fill). Up to `n_dpg` T3 tasks are held concurrently, one per DPG.
+//! 3. **Stage 3** (SDPU): each cycle, DPGs emit segments round-robin into
+//!    the lane array. A DPG stalls for the cycle when another DPG already
+//!    emitted toward the same output tile (write-conflict arbitration) and
+//!    emits at most `dpg_emit_lanes` lanes per cycle. Redundant DPGs and
+//!    their datapaths are power-gated (dynamic DPG activation).
+//!
+//! Task generation latency is hidden by the asynchronous `stc.task_gen`
+//! lifecycle (Section IV-G), so the model charges only execution cycles.
+
+use std::collections::VecDeque;
+
+use simkit::{T1Result, T1Task};
+
+use crate::dpg::expand_t3;
+use crate::tms::{generate_t3_tasks, T3Task};
+use crate::UniStcConfig;
+
+/// A T3 task in flight on a DPG: its output-tile id and remaining T4
+/// segment lengths in fill order.
+#[derive(Debug, Clone)]
+struct InFlight {
+    output_id: u8,
+    segments: VecDeque<u8>,
+}
+
+/// One cycle of the pipeline's execution, as recorded by
+/// [`execute_t1_traced`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleTrace {
+    /// Useful lanes this cycle.
+    pub used_lanes: usize,
+    /// DPGs that emitted at least one segment.
+    pub active_dpgs: usize,
+    /// DPGs stalled by write-conflict arbitration.
+    pub stalled_dpgs: usize,
+    /// T3 tasks resident in DPG slots at cycle start.
+    pub tasks_in_flight: usize,
+}
+
+/// Per-cycle trace sink; the no-op instance compiles away in the hot path.
+trait TraceSink {
+    fn record(&mut self, t: CycleTrace);
+}
+
+struct NoTrace;
+
+impl TraceSink for NoTrace {
+    #[inline(always)]
+    fn record(&mut self, _t: CycleTrace) {}
+}
+
+impl TraceSink for Vec<CycleTrace> {
+    fn record(&mut self, t: CycleTrace) {
+        self.push(t);
+    }
+}
+
+/// Executes one T1 task through the three-stage pipeline, returning the
+/// cycle-accurate result.
+pub fn execute_t1(cfg: &UniStcConfig, task: &T1Task) -> T1Result {
+    execute_impl(cfg, task, &mut NoTrace)
+}
+
+/// Like [`execute_t1`], but also returns a per-cycle trace — used by the
+/// `spgemm_pipeline` example and for debugging schedules.
+pub fn execute_t1_traced(cfg: &UniStcConfig, task: &T1Task) -> (T1Result, Vec<CycleTrace>) {
+    let mut trace = Vec::new();
+    let res = execute_impl(cfg, task, &mut trace);
+    (res, trace)
+}
+
+fn execute_impl(cfg: &UniStcConfig, task: &T1Task, sink: &mut impl TraceSink) -> T1Result {
+    let lanes = cfg.lanes();
+    let mut res = T1Result::new(lanes);
+
+    // ---- Stage 1: TMS ----
+    let t3_tasks: Vec<T3Task> = generate_t3_tasks(&task.a, &task.b, cfg.ordering);
+    if t3_tasks.is_empty() {
+        return res;
+    }
+    res.events.sched_ops += t3_tasks.len() as u64;
+    res.events.meta_words += 2 * t3_tasks.len() as u64; // two tile bitmaps each
+
+    // Reuse-aware operand fetch accounting: within one K layer the
+    // outer-product ordering executes same-tile tasks back to back, so each
+    // distinct A(i,k) / B(k,j) tile is fetched once per layer (Fig. 8 (2)).
+    let mut seen_a = [[false; 4]; 4]; // [k][i]
+    let mut seen_b = [[false; 4]; 4]; // [k][j]
+    for t in &t3_tasks {
+        if !seen_a[t.k as usize][t.i as usize] {
+            seen_a[t.k as usize][t.i as usize] = true;
+            res.events.a_elems += t.a_tile.count_ones() as u64;
+        }
+        if !seen_b[t.k as usize][t.j as usize] {
+            seen_b[t.k as usize][t.j as usize] = true;
+            res.events.b_elems += t.b_tile.count_ones() as u64;
+        }
+    }
+
+    // ---- Stage 2: DPG expansion ----
+    let mut queue: VecDeque<InFlight> = t3_tasks
+        .iter()
+        .map(|t| {
+            let codes = expand_t3(t.a_tile, t.b_tile, cfg.fill_order);
+            res.events.sched_ops += codes.len() as u64;
+            InFlight {
+                output_id: t.output_id(),
+                segments: codes.iter().map(|c| c.len()).collect(),
+            }
+        })
+        .collect();
+
+    // ---- Stage 3: SDPU execution with round-robin DPG arbitration ----
+    let n_dpg = cfg.n_dpg;
+    let emit_cap = cfg.dpg_emit_lanes();
+    let mut slots: Vec<Option<InFlight>> = vec![None; n_dpg];
+    let mut rr = 0usize;
+    // MV tasks accumulate into per-thread registers (`ry` in Algorithm 1)
+    // that a final `shfl_gather` merges, so same-output-tile T3 tasks do
+    // not contend for an accumulator bank; write-conflict arbitration only
+    // guards the accumulation-buffer path of MM tasks (Fig. 8 (3)).
+    let check_conflicts = task.n_cols > 1;
+
+    loop {
+        // Refill empty DPG slots from the tile queue.
+        for slot in slots.iter_mut() {
+            if slot.is_none() {
+                *slot = queue.pop_front();
+            }
+        }
+        if slots.iter().all(Option::is_none) {
+            break;
+        }
+
+        let tasks_in_flight = slots.iter().filter(|s| s.is_some()).count();
+        let mut used = 0usize;
+        let mut outputs_claimed: u16 = 0;
+        let mut active_dpgs = 0u64;
+        let mut stalled_dpgs = 0usize;
+        for off in 0..n_dpg {
+            if used >= lanes {
+                break;
+            }
+            let idx = (rr + off) % n_dpg;
+            let Some(infl) = slots[idx].as_mut() else { continue };
+            let bit = 1u16 << infl.output_id;
+            if check_conflicts && outputs_claimed & bit != 0 {
+                // Write conflict: the Tile queue's round-robin arbitration
+                // stalls this DPG for one cycle (Fig. 8 (3)).
+                stalled_dpgs += 1;
+                continue;
+            }
+            let mut emitted = 0usize;
+            while let Some(&len) = infl.segments.front() {
+                let len = len as usize;
+                if used + len > lanes || emitted + len > emit_cap {
+                    break;
+                }
+                infl.segments.pop_front();
+                used += len;
+                emitted += len;
+                // One pre-merged partial write per segment (SDPU merge).
+                res.events.partial_updates += 1;
+            }
+            if emitted > 0 {
+                active_dpgs += 1;
+                outputs_claimed |= bit;
+            }
+            if infl.segments.is_empty() {
+                slots[idx] = None;
+            }
+        }
+        debug_assert!(used > 0, "pipeline must make progress every cycle");
+        sink.record(CycleTrace {
+            used_lanes: used.min(lanes),
+            active_dpgs: active_dpgs as usize,
+            stalled_dpgs,
+            tasks_in_flight,
+        });
+        res.record_cycle(used.min(lanes));
+        res.useful += used as u64;
+        let powered = if cfg.power_gating { active_dpgs } else { n_dpg as u64 };
+        res.events.unit_cycles += powered;
+        res.events.c_ports_cycles += powered * 256; // 16x16 net per DPG
+        rr = (rr + 1) % n_dpg;
+    }
+
+    // Final write-back: the accumulation buffer holds tile C partials
+    // across the whole T1 task, so each structurally nonzero C element is
+    // written back exactly once.
+    res.events.c_writes = task.c_nnz() as u64;
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Block16;
+
+    fn cfg() -> UniStcConfig {
+        UniStcConfig::default()
+    }
+
+    #[test]
+    fn dense_mm_runs_at_full_throughput() {
+        let t = T1Task::mm(Block16::dense(), Block16::dense());
+        let r = execute_t1(&cfg(), &t);
+        assert_eq!(r.useful, 4096);
+        assert_eq!(r.cycles, 64);
+        assert!((r.util.mean_utilisation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_mm_gates_down_to_two_dpgs() {
+        // Section VI-C.1: on dense inputs Uni-STC activates only two DPGs.
+        let t = T1Task::mm(Block16::dense(), Block16::dense());
+        let r = execute_t1(&cfg(), &t);
+        let avg_active = r.events.unit_cycles as f64 / r.cycles as f64;
+        assert!((avg_active - 2.0).abs() < 0.5, "avg active DPGs {avg_active}");
+    }
+
+    #[test]
+    fn dense_mv_is_four_cycles() {
+        let t = T1Task::mv(Block16::dense(), u16::MAX);
+        let r = execute_t1(&cfg(), &t);
+        assert_eq!(r.useful, 256);
+        assert_eq!(r.cycles, 4);
+        assert!((r.util.mean_utilisation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_packs_via_task_concatenation() {
+        // One product per K position: DS-STC needs 16 cycles (Fig. 6);
+        // Uni-STC concatenates the 16 length-1 segments from up to 8
+        // concurrent T3 tasks.
+        let diag = Block16::from_fn(|r, c| r == c);
+        let t = T1Task::mm(diag, diag);
+        let r = execute_t1(&cfg(), &t);
+        assert_eq!(r.useful, 16);
+        // 16 T3 tasks (one per diagonal tile pair chain), 8 DPGs: the
+        // limit is conflict-free emission, not lanes.
+        assert!(r.cycles <= 4, "cycles {}", r.cycles);
+    }
+
+    #[test]
+    fn write_conflicts_stall_same_output_tasks() {
+        // A occupies tile column 0 fully dense; B occupies tile row 0..4
+        // at column 0 only: all T3 tasks share output tile (i, 0) per i.
+        // Tasks (i, 0, k) for k in 0..4 conflict pairwise.
+        let a = Block16::dense();
+        let b = Block16::from_fn(|_, c| c < 4); // B tiles only in column 0
+        let t = T1Task::mm(a, b);
+        let r = execute_t1(&cfg(), &t);
+        assert_eq!(r.useful, t.products());
+        // 4 output tiles, each receiving 4 K layers of 64-product tasks:
+        // products = 16 k x 16 rows x 4 cols = 1024; lanes bound = 16
+        // cycles; conflicts force serialisation across K layers per output
+        // tile but 4 outputs run in parallel.
+        assert!(r.cycles >= 16);
+    }
+
+    #[test]
+    fn empty_task_is_zero_cycles() {
+        let t = T1Task::mm(Block16::empty(), Block16::dense());
+        let r = execute_t1(&cfg(), &t);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.useful, 0);
+    }
+
+    #[test]
+    fn partials_are_premerged_per_segment() {
+        let t = T1Task::mm(Block16::dense(), Block16::dense());
+        let r = execute_t1(&cfg(), &t);
+        // Dense tiles: all segments have length 4 -> 4096 / 4 = 1024
+        // merged writes (the SDPU's 4:1 pre-merge).
+        assert_eq!(r.events.partial_updates, 1024);
+        assert_eq!(r.events.c_writes, 256);
+    }
+
+    #[test]
+    fn operand_fetches_reuse_within_layers() {
+        let t = T1Task::mm(Block16::dense(), Block16::dense());
+        let r = execute_t1(&cfg(), &t);
+        // 4 layers x 4 distinct A tiles x 16 elements = 256 per operand.
+        assert_eq!(r.events.a_elems, 256);
+        assert_eq!(r.events.b_elems, 256);
+    }
+
+    #[test]
+    fn gating_disabled_charges_all_dpgs() {
+        let mut c = cfg();
+        c.power_gating = false;
+        let t = T1Task::mm(Block16::dense(), Block16::dense());
+        let r = execute_t1(&c, &t);
+        assert_eq!(r.events.unit_cycles, r.cycles * 8);
+        assert_eq!(r.events.c_ports_cycles, r.cycles * 8 * 256);
+    }
+
+    #[test]
+    fn useful_matches_products_on_irregular_blocks() {
+        for seed in 0..8u32 {
+            let a = Block16::from_fn(|r, c| (r * 31 + c * 17 + seed as usize) % 7 < 2);
+            let b = Block16::from_fn(|r, c| (r * 13 + c * 5 + seed as usize) % 5 < 2);
+            let t = T1Task::mm(a, b);
+            let r = execute_t1(&cfg(), &t);
+            assert_eq!(r.useful, t.products(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let a = Block16::from_fn(|r, c| (r * 3 + c) % 4 < 2);
+        let b = Block16::from_fn(|r, c| (r + c * 7) % 5 < 3);
+        let t = T1Task::mm(a, b);
+        let plain = execute_t1(&cfg(), &t);
+        let (traced, trace) = execute_t1_traced(&cfg(), &t);
+        assert_eq!(plain, traced);
+        assert_eq!(trace.len() as u64, traced.cycles);
+        let lanes_sum: u64 = trace.iter().map(|c| c.used_lanes as u64).sum();
+        assert_eq!(lanes_sum, traced.useful);
+        let active_sum: u64 = trace.iter().map(|c| c.active_dpgs as u64).sum();
+        assert_eq!(active_sum, traced.events.unit_cycles);
+        for c in &trace {
+            assert!(c.active_dpgs + c.stalled_dpgs <= c.tasks_in_flight);
+        }
+    }
+
+    #[test]
+    fn trace_shows_conflict_stalls_on_mm() {
+        // Small tasks that all target output-tile column 0: tasks from
+        // different K layers share outputs, and lanes stay free, so the
+        // arbitration stalls are visible.
+        let a = Block16::from_fn(|r, c| r % 4 == c % 4); // diagonal tiles
+        let b = Block16::from_fn(|_, c| c == 0);
+        let (_, trace) = execute_t1_traced(&cfg(), &T1Task::mm(a, b));
+        assert!(trace.iter().any(|c| c.stalled_dpgs > 0));
+    }
+
+    #[test]
+    fn fewer_dpgs_never_run_faster() {
+        let a = Block16::from_fn(|r, c| (r + c) % 2 == 0);
+        let b = Block16::from_fn(|r, c| (r * c) % 3 != 1);
+        let t = T1Task::mm(a, b);
+        let c4 = execute_t1(&UniStcConfig::with_dpgs(4), &t);
+        let c8 = execute_t1(&UniStcConfig::with_dpgs(8), &t);
+        let c16 = execute_t1(&UniStcConfig::with_dpgs(16), &t);
+        assert!(c8.cycles <= c4.cycles);
+        assert!(c16.cycles <= c8.cycles);
+        assert_eq!(c4.useful, c16.useful);
+    }
+}

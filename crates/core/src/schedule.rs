@@ -1,0 +1,181 @@
+//! Warp-level static load balancing (Section V-A).
+//!
+//! The paper's kernels use "'warpRow', 'warpIndex' and 'warpRowId'
+//! variables ... to implement a static load-balancing scheme, which
+//! configures the data processing range of each warp". This module
+//! computes that assignment: the stored blocks of a BBC matrix (the unit
+//! of T1 work) are split into per-warp quotas, and a block row may span
+//! several warps — which is what tames pathological long rows.
+
+use sparse::BbcMatrix;
+
+/// One contiguous piece of a warp's processing range (a warp may own
+/// several pieces when its quota crosses block-row boundaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpRange {
+    /// Owning warp (`warpid`).
+    pub warp: usize,
+    /// The block row this piece belongs to (`warpRowId`).
+    pub block_row: usize,
+    /// First stored-block index (`warpIndex[w]`).
+    pub start: usize,
+    /// One past the last stored-block index (`warpIndex[w + 1]`).
+    pub end: usize,
+}
+
+impl WarpRange {
+    /// Number of stored blocks in this piece.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the piece is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Splits a BBC matrix's stored blocks into `n_warps` balanced quotas of
+/// at most `ceil(total / n_warps)` blocks, in row order.
+///
+/// # Panics
+///
+/// Panics if `n_warps == 0`.
+pub fn balance_warps(a: &BbcMatrix, n_warps: usize) -> Vec<WarpRange> {
+    assert!(n_warps > 0, "need at least one warp");
+    let total = a.block_count();
+    if total == 0 {
+        return Vec::new();
+    }
+    let per_warp = total.div_ceil(n_warps);
+    let mut ranges = Vec::new();
+    let mut warp = 0usize;
+    let mut remaining = per_warp;
+    for br in 0..a.block_rows() {
+        let row = a.blocks_in_row(br);
+        let mut start = row.start;
+        while start < row.end {
+            if remaining == 0 {
+                warp += 1;
+                remaining = per_warp;
+            }
+            let take = remaining.min(row.end - start);
+            ranges.push(WarpRange { warp, block_row: br, start, end: start + take });
+            start += take;
+            remaining -= take;
+        }
+    }
+    ranges
+}
+
+/// Per-warp block loads of an assignment.
+pub fn warp_loads(ranges: &[WarpRange]) -> Vec<usize> {
+    let n = ranges.iter().map(|r| r.warp).max().map_or(0, |w| w + 1);
+    let mut loads = vec![0usize; n];
+    for r in ranges {
+        loads[r.warp] += r.len();
+    }
+    loads
+}
+
+/// Maximum-to-mean load imbalance across warps (1.0 = perfect).
+///
+/// Returns 1.0 for an empty assignment.
+pub fn imbalance(ranges: &[WarpRange]) -> f64 {
+    let loads = warp_loads(ranges);
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let max = *loads.iter().max().expect("nonempty") as f64;
+    let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
+    max / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::{CooMatrix, CsrMatrix};
+
+    fn bbc(entries: &[(usize, usize)], n: usize) -> BbcMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for &(r, c) in entries {
+            coo.push(r, c, 1.0);
+        }
+        BbcMatrix::from_csr(&CsrMatrix::try_from(coo).unwrap())
+    }
+
+    #[test]
+    fn covers_every_block_exactly_once() {
+        let mut entries = Vec::new();
+        for bc in 0..10 {
+            entries.push((0, bc * 16));
+        }
+        entries.push((20, 0));
+        entries.push((40, 16));
+        let a = bbc(&entries, 192);
+        let ranges = balance_warps(&a, 4);
+        let covered: usize = ranges.iter().map(WarpRange::len).sum();
+        assert_eq!(covered, a.block_count());
+        // Pieces are disjoint, ordered, and nonempty.
+        for w in ranges.windows(2) {
+            assert!(w[0].end <= w[1].start);
+            assert!(w[0].warp <= w[1].warp);
+        }
+        assert!(ranges.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn long_rows_split_across_warps() {
+        let entries: Vec<(usize, usize)> = (0..12).map(|bc| (0, bc * 16)).collect();
+        let a = bbc(&entries, 16 * 12);
+        let ranges = balance_warps(&a, 4);
+        let loads = warp_loads(&ranges);
+        assert_eq!(loads.len(), 4);
+        assert!(loads.iter().all(|&l| l == 3), "loads {loads:?}");
+        assert!((imbalance(&ranges) - 1.0).abs() < 1e-12);
+        assert!(ranges.iter().all(|r| r.block_row == 0));
+    }
+
+    #[test]
+    fn quota_crosses_row_boundaries() {
+        // Three rows of two blocks each, two warps: each warp gets three
+        // blocks, the first warp's quota spans rows 0 and 1.
+        let entries = [(0, 0), (0, 16), (16, 0), (16, 16), (32, 0), (32, 16)];
+        let a = bbc(&entries, 48);
+        let ranges = balance_warps(&a, 2);
+        let loads = warp_loads(&ranges);
+        assert_eq!(loads, vec![3, 3]);
+        let warp0_rows: Vec<usize> =
+            ranges.iter().filter(|r| r.warp == 0).map(|r| r.block_row).collect();
+        assert_eq!(warp0_rows, vec![0, 1]);
+    }
+
+    #[test]
+    fn imbalance_bounded_by_quota() {
+        // Arbitrary structure: max load <= ceil(total / n_warps), so the
+        // imbalance is bounded by n_warps * ceil / total.
+        let entries: Vec<(usize, usize)> =
+            (0..37).map(|i| ((i * 16) % 160, ((i * 48) % 160))).collect();
+        let a = bbc(&entries, 160);
+        for n_warps in [1usize, 2, 3, 8] {
+            let ranges = balance_warps(&a, n_warps);
+            let loads = warp_loads(&ranges);
+            let quota = a.block_count().div_ceil(n_warps);
+            assert!(loads.iter().all(|&l| l <= quota), "{loads:?} quota {quota}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_has_no_ranges() {
+        let a = bbc(&[], 32);
+        assert!(balance_warps(&a, 4).is_empty());
+        assert_eq!(imbalance(&[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one warp")]
+    fn zero_warps_rejected() {
+        let a = bbc(&[(0, 0)], 16);
+        balance_warps(&a, 0);
+    }
+}

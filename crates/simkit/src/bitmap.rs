@@ -1,0 +1,387 @@
+//! 16x16 structural block bitmaps and 4x4 tile-mask helpers.
+
+use sparse::BbcBlock;
+
+/// The structural bitmap of one 16x16 operand block: sixteen row masks,
+/// bit `c` of `rows[r]` marking element `(r, c)` as nonzero.
+///
+/// This is the view an STC's scheduler has of a T1 operand — it drives
+/// every dataflow decision while values flow through a separate datapath.
+///
+/// # Example
+///
+/// ```
+/// use simkit::Block16;
+///
+/// let b = Block16::from_fn(|r, c| r == c);
+/// assert_eq!(b.nnz(), 16);
+/// assert_eq!(b.col_mask(3), 1 << 3);
+/// assert_eq!(b.tile(1, 1), 0b1000_0100_0010_0001);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Block16 {
+    rows: [u16; 16],
+}
+
+impl Block16 {
+    /// An all-zero block.
+    pub const fn empty() -> Self {
+        Block16 { rows: [0; 16] }
+    }
+
+    /// A fully dense block.
+    pub const fn dense() -> Self {
+        Block16 { rows: [u16::MAX; 16] }
+    }
+
+    /// Builds a block from sixteen row masks.
+    pub const fn from_rows(rows: [u16; 16]) -> Self {
+        Block16 { rows }
+    }
+
+    /// Builds a block from a predicate over `(row, col)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> bool>(mut f: F) -> Self {
+        let mut rows = [0u16; 16];
+        for (r, row) in rows.iter_mut().enumerate() {
+            for c in 0..16 {
+                if f(r, c) {
+                    *row |= 1 << c;
+                }
+            }
+        }
+        Block16 { rows }
+    }
+
+    /// Extracts the structural bitmap of a stored BBC block.
+    pub fn from_bbc(block: &BbcBlock<'_>) -> Self {
+        Block16 { rows: block.element_rows() }
+    }
+
+    /// Builds the 16x1 operand block of an MV task: `B[k][0] = bit k` of
+    /// `k_mask` (the dense-x mask is `0xFFFF`).
+    pub fn from_vector_mask(k_mask: u16) -> Self {
+        let mut rows = [0u16; 16];
+        for (k, row) in rows.iter_mut().enumerate() {
+            if k_mask >> k & 1 == 1 {
+                *row = 1;
+            }
+        }
+        Block16 { rows }
+    }
+
+    /// The mask of row `r` (bit `c` = element `(r, c)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 16`.
+    #[inline]
+    pub fn row_mask(&self, r: usize) -> u16 {
+        self.rows[r]
+    }
+
+    /// The mask of column `c` (bit `r` = element `(r, c)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= 16`.
+    #[inline]
+    pub fn col_mask(&self, c: usize) -> u16 {
+        assert!(c < 16, "column index out of bounds");
+        let mut m = 0u16;
+        for (r, &row) in self.rows.iter().enumerate() {
+            m |= ((row >> c) & 1) << r;
+        }
+        m
+    }
+
+    /// Whether element `(r, c)` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 16` or `c >= 16`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(c < 16, "column index out of bounds");
+        self.rows[r] >> c & 1 == 1
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 16` or `c >= 16`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize) {
+        assert!(c < 16, "column index out of bounds");
+        self.rows[r] |= 1 << c;
+    }
+
+    /// Number of set elements.
+    pub fn nnz(&self) -> u32 {
+        self.rows.iter().map(|r| r.count_ones()).sum()
+    }
+
+    /// Whether the block is entirely zero.
+    pub fn is_empty(&self) -> bool {
+        self.rows.iter().all(|&r| r == 0)
+    }
+
+    /// The 4x4 tile mask at tile coordinates `(tr, tc)`: bit `er * 4 + ec`
+    /// marks tile-local element `(er, ec)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tr >= 4` or `tc >= 4`.
+    pub fn tile(&self, tr: usize, tc: usize) -> u16 {
+        assert!(tr < 4 && tc < 4, "tile index out of bounds");
+        let mut m = 0u16;
+        for er in 0..4 {
+            let nibble = (self.rows[tr * 4 + er] >> (tc * 4)) & 0xF;
+            m |= nibble << (er * 4);
+        }
+        m
+    }
+
+    /// The level-1 tile bitmap: bit `tr * 4 + tc` set when tile `(tr, tc)`
+    /// holds at least one element.
+    pub fn tile_bitmap(&self) -> u16 {
+        let mut m = 0u16;
+        for tr in 0..4 {
+            for tc in 0..4 {
+                if self.tile(tr, tc) != 0 {
+                    m |= 1 << (tr * 4 + tc);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of intermediate products of `self x other` (16x16x16):
+    /// `sum over k of nnz(col k of self) * nnz(row k of other)`.
+    pub fn products_with(&self, other: &Block16) -> u64 {
+        let mut p = 0u64;
+        for k in 0..16 {
+            p += self.col_mask(k).count_ones() as u64 * other.row_mask(k).count_ones() as u64;
+        }
+        p
+    }
+
+    /// The structural product bitmap of `self x other`.
+    pub fn mul_structure(&self, other: &Block16) -> Block16 {
+        let mut out = [0u16; 16];
+        for (r, orow) in out.iter_mut().enumerate() {
+            let arow = self.rows[r];
+            for k in 0..16 {
+                if arow >> k & 1 == 1 {
+                    *orow |= other.rows[k];
+                }
+            }
+        }
+        Block16 { rows: out }
+    }
+
+    /// Transposed bitmap.
+    pub fn transpose(&self) -> Block16 {
+        let mut out = [0u16; 16];
+        for (c, orow) in out.iter_mut().enumerate() {
+            *orow = self.col_mask(c);
+        }
+        Block16 { rows: out }
+    }
+
+    /// Restricts the block to its first `n` columns (used to model MV and
+    /// narrow-N tasks).
+    pub fn keep_cols(&self, n: usize) -> Block16 {
+        let mask = if n >= 16 { u16::MAX } else { (1u16 << n) - 1 };
+        let mut rows = self.rows;
+        for r in rows.iter_mut() {
+            *r &= mask;
+        }
+        Block16 { rows }
+    }
+}
+
+/// Row `r` (0..4) of a 4x4 tile mask as a 4-bit nibble.
+///
+/// # Panics
+///
+/// Panics if `r >= 4`.
+#[inline]
+pub fn tile_row(mask: u16, r: usize) -> u16 {
+    assert!(r < 4, "tile row out of bounds");
+    (mask >> (r * 4)) & 0xF
+}
+
+/// Column `c` (0..4) of a 4x4 tile mask as a 4-bit nibble (bit `r` set when
+/// element `(r, c)` is set).
+///
+/// # Panics
+///
+/// Panics if `c >= 4`.
+#[inline]
+pub fn tile_col(mask: u16, c: usize) -> u16 {
+    assert!(c < 4, "tile column out of bounds");
+    let mut m = 0u16;
+    for r in 0..4 {
+        m |= ((mask >> (r * 4 + c)) & 1) << r;
+    }
+    m
+}
+
+/// Number of intermediate products of a 4x4x4 tile multiplication
+/// `A_tile x B_tile`: `sum over k of nnz(col k of a) * nnz(row k of b)`.
+pub fn tile_products(a: u16, b: u16) -> u32 {
+    let mut p = 0u32;
+    for k in 0..4 {
+        p += tile_col(a, k).count_ones() * tile_row(b, k).count_ones();
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::{BbcMatrix, CooMatrix, CsrMatrix};
+
+    #[test]
+    fn dense_block_counts() {
+        let d = Block16::dense();
+        assert_eq!(d.nnz(), 256);
+        assert!(!d.is_empty());
+        assert_eq!(d.tile_bitmap(), u16::MAX);
+        assert_eq!(d.tile(2, 3), u16::MAX);
+    }
+
+    #[test]
+    fn empty_block_counts() {
+        let e = Block16::empty();
+        assert_eq!(e.nnz(), 0);
+        assert!(e.is_empty());
+        assert_eq!(e.tile_bitmap(), 0);
+    }
+
+    #[test]
+    fn row_and_col_masks_agree_with_get() {
+        let b = Block16::from_fn(|r, c| (r * 31 + c * 7) % 5 == 0);
+        for r in 0..16 {
+            for c in 0..16 {
+                let bit = b.get(r, c);
+                assert_eq!(b.row_mask(r) >> c & 1 == 1, bit);
+                assert_eq!(b.col_mask(c) >> r & 1 == 1, bit);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_masks() {
+        let b = Block16::from_fn(|r, c| c == 2 * r % 16);
+        let t = b.transpose();
+        for i in 0..16 {
+            assert_eq!(b.row_mask(i), t.col_mask(i));
+        }
+        assert_eq!(t.transpose(), b);
+    }
+
+    #[test]
+    fn tile_extraction_matches_elements() {
+        let b = Block16::from_fn(|r, c| r == 5 && c == 9);
+        // (5, 9) -> tile (1, 2), tile-local (1, 1) -> bit 5
+        assert_eq!(b.tile(1, 2), 1 << 5);
+        assert_eq!(b.tile_bitmap(), 1 << (4 + 2));
+    }
+
+    #[test]
+    fn vector_mask_block_has_one_column() {
+        let b = Block16::from_vector_mask(0b1010);
+        assert_eq!(b.nnz(), 2);
+        assert!(b.get(1, 0));
+        assert!(b.get(3, 0));
+        assert_eq!(b.col_mask(0), 0b1010);
+        assert_eq!(b.col_mask(1), 0);
+    }
+
+    #[test]
+    fn products_diag_times_dense() {
+        let diag = Block16::from_fn(|r, c| r == c);
+        let dense = Block16::dense();
+        // Each k: 1 x 16 = 16 products, 16 k's.
+        assert_eq!(diag.products_with(&dense), 256);
+        assert_eq!(dense.products_with(&diag), 256);
+        assert_eq!(dense.products_with(&dense), 4096);
+    }
+
+    #[test]
+    fn mul_structure_matches_reference() {
+        let a = Block16::from_fn(|r, c| (r + c) % 3 == 0);
+        let b = Block16::from_fn(|r, c| (r * c) % 7 == 1);
+        let s = a.mul_structure(&b);
+        for r in 0..16 {
+            for c in 0..16 {
+                let expect = (0..16).any(|k| a.get(r, k) && b.get(k, c));
+                assert_eq!(s.get(r, c), expect, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn products_counts_match_structure_flops() {
+        let a = Block16::from_fn(|r, c| (r ^ c) & 3 == 0);
+        let b = Block16::from_fn(|r, c| (r + 2 * c) % 5 == 0);
+        let mut expect = 0u64;
+        for r in 0..16 {
+            for c in 0..16 {
+                for k in 0..16 {
+                    if a.get(r, k) && b.get(k, c) {
+                        expect += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(a.products_with(&b), expect);
+    }
+
+    #[test]
+    fn tile_helpers_roundtrip() {
+        let mask: u16 = 0b0110_1001_0011_1100;
+        for r in 0..4 {
+            for c in 0..4 {
+                let bit = mask >> (r * 4 + c) & 1 == 1;
+                assert_eq!(tile_row(mask, r) >> c & 1 == 1, bit);
+                assert_eq!(tile_col(mask, c) >> r & 1 == 1, bit);
+            }
+        }
+    }
+
+    #[test]
+    fn tile_products_dense() {
+        assert_eq!(tile_products(u16::MAX, u16::MAX), 64);
+        assert_eq!(tile_products(0, u16::MAX), 0);
+        // Diagonal tile x dense tile: 4 k's, 1 x 4 each.
+        let diag = 0b1000_0100_0010_0001;
+        assert_eq!(tile_products(diag, u16::MAX), 16);
+    }
+
+    #[test]
+    fn from_bbc_matches_matrix() {
+        let mut coo = CooMatrix::new(16, 16);
+        coo.push(0, 0, 1.0);
+        coo.push(7, 14, 2.0);
+        coo.push(15, 15, 3.0);
+        let bbc = BbcMatrix::from_csr(&CsrMatrix::try_from(coo).unwrap());
+        let blk = bbc.block(0);
+        let bm = Block16::from_bbc(&blk);
+        assert_eq!(bm.nnz(), 3);
+        assert!(bm.get(0, 0));
+        assert!(bm.get(7, 14));
+        assert!(bm.get(15, 15));
+    }
+
+    #[test]
+    fn keep_cols_restricts() {
+        let d = Block16::dense();
+        let narrow = d.keep_cols(4);
+        assert_eq!(narrow.nnz(), 64);
+        assert_eq!(narrow.row_mask(0), 0xF);
+        assert_eq!(d.keep_cols(16), d);
+    }
+}

@@ -1,0 +1,207 @@
+//! Sparseloop-style counted-event energy model.
+//!
+//! The paper extrapolates energy "from register activity following the
+//! Sparseloop methodology" (Section VI-A): every hardware event class is
+//! assigned a per-event cost and total energy is the weighted event count.
+//! All costs are in arbitrary *model energy units*; every reported figure
+//! is a ratio, so only the relative magnitudes matter.
+
+use crate::network;
+use crate::EventCounts;
+
+/// Per-element network transfer costs of one engine's datapath.
+///
+/// Each engine declares the effective per-element cost of moving an A
+/// operand, a B operand, a partial product toward accumulation, and a final
+/// C write through its own interconnect (Section IV-C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkCosts {
+    /// Cost per A element delivered to the MAC array.
+    pub a: f64,
+    /// Cost per B element delivered to the MAC array.
+    pub b: f64,
+    /// Cost per partial product transferred toward accumulation.
+    pub c_partial: f64,
+    /// Cost per final C element written back.
+    pub c_final: f64,
+}
+
+impl NetworkCosts {
+    /// The flat `64 x 256` monolithic datapath: every transfer pays the
+    /// full-scale crossbar cost.
+    pub fn flat() -> Self {
+        let f = network::flat_network_cost();
+        NetworkCosts { a: f, b: f, c_partial: f, c_final: f }
+    }
+
+    /// Uni-STC's hierarchical datapath (Section IV-C): calibrated A/B/C
+    /// path costs.
+    pub fn uni_stc() -> Self {
+        NetworkCosts {
+            a: network::uni_a_cost(),
+            b: network::uni_b_cost(),
+            c_partial: network::uni_c_cost(),
+            c_final: network::uni_c_cost(),
+        }
+    }
+}
+
+/// The three-way energy breakdown of the paper's Fig. 18: Fetch (operand
+/// reads), Schedule (task generation and queues), Compute (MACs and result
+/// movement).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Operand fetch energy (reading A and B, plus metadata).
+    pub fetch: f64,
+    /// Scheduling energy (task-code generation, queues, active units).
+    pub schedule: f64,
+    /// Compute energy (MAC array plus partial/final result movement).
+    pub compute: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy across the three components.
+    pub fn total(&self) -> f64 {
+        self.fetch + self.schedule + self.compute
+    }
+}
+
+impl std::ops::Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(self, o: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            fetch: self.fetch + o.fetch,
+            schedule: self.schedule + o.schedule,
+            compute: self.compute + o.compute,
+        }
+    }
+}
+
+impl std::ops::AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, o: EnergyBreakdown) {
+        *self = *self + o;
+    }
+}
+
+/// Per-event energy costs shared by all engines.
+///
+/// The defaults are calibrated so that the dense-input energy ordering of
+/// the paper's Section VI-C.1 holds (NV-DTC < Uni-STC < RM-STC < DS-STC).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per issued MAC lane-operation (an idle-but-clocked lane costs
+    /// the same as a useful one; power gating is captured by `mac_issued`
+    /// counting only enabled lanes).
+    pub e_mac: f64,
+    /// Energy per operand-buffer read.
+    pub e_buf_read: f64,
+    /// Energy per accumulator/result-buffer write.
+    pub e_buf_write: f64,
+    /// Energy per metadata word fetched.
+    pub e_meta: f64,
+    /// Energy per scheduling operation (task code generated).
+    pub e_sched: f64,
+    /// Energy per active scheduling-unit cycle (a DPG-cycle for Uni-STC);
+    /// power gating removes these for disabled units.
+    pub e_unit: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            e_mac: 4.0,
+            e_buf_read: 1.0,
+            e_buf_write: 1.0,
+            e_meta: 0.2,
+            e_sched: 0.4,
+            e_unit: 1.5,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Computes the Fig. 18-style energy breakdown of an event aggregate
+    /// under an engine's network costs.
+    pub fn energy(&self, ev: &EventCounts, net: &NetworkCosts) -> EnergyBreakdown {
+        let fetch = ev.a_elems as f64 * (self.e_buf_read + net.a)
+            + ev.b_elems as f64 * (self.e_buf_read + net.b)
+            + ev.meta_words as f64 * self.e_meta;
+        let schedule =
+            ev.sched_ops as f64 * self.e_sched + ev.unit_cycles as f64 * self.e_unit;
+        let compute = ev.mac_issued as f64 * self.e_mac
+            + ev.partial_updates as f64 * (self.e_buf_write + net.c_partial)
+            + ev.c_writes as f64 * (self.e_buf_write + net.c_final);
+        EnergyBreakdown { fetch, schedule, compute }
+    }
+
+    /// The I/O-only energy (read A + read B + write C) of Fig. 18.
+    pub fn io_energy(&self, ev: &EventCounts, net: &NetworkCosts) -> (f64, f64, f64) {
+        let read_a = ev.a_elems as f64 * (self.e_buf_read + net.a);
+        let read_b = ev.b_elems as f64 * (self.e_buf_read + net.b);
+        let write_c = ev.partial_updates as f64 * (self.e_buf_write + net.c_partial)
+            + ev.c_writes as f64 * (self.e_buf_write + net.c_final);
+        (read_a, read_b, write_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events() -> EventCounts {
+        EventCounts {
+            a_elems: 10,
+            b_elems: 20,
+            partial_updates: 5,
+            c_writes: 2,
+            meta_words: 4,
+            sched_ops: 8,
+            unit_cycles: 3,
+            mac_issued: 100,
+            c_ports_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn breakdown_components_sum() {
+        let em = EnergyModel::default();
+        let e = em.energy(&events(), &NetworkCosts::flat());
+        assert!(e.fetch > 0.0 && e.schedule > 0.0 && e.compute > 0.0);
+        assert!((e.total() - (e.fetch + e.schedule + e.compute)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchical_network_is_cheaper() {
+        let em = EnergyModel::default();
+        let flat = em.energy(&events(), &NetworkCosts::flat());
+        let uni = em.energy(&events(), &NetworkCosts::uni_stc());
+        assert!(uni.fetch < flat.fetch);
+        assert!(uni.compute < flat.compute);
+        // Schedule term is network-independent.
+        assert!((uni.schedule - flat.schedule).abs() < 1e-12);
+    }
+
+    #[test]
+    fn io_energy_components() {
+        let em = EnergyModel::default();
+        let (a, b, c) = em.io_energy(&events(), &NetworkCosts::flat());
+        assert!(a > 0.0 && b > a && c > 0.0);
+    }
+
+    #[test]
+    fn zero_events_zero_energy() {
+        let em = EnergyModel::default();
+        let e = em.energy(&EventCounts::default(), &NetworkCosts::uni_stc());
+        assert_eq!(e.total(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_addition() {
+        let a = EnergyBreakdown { fetch: 1.0, schedule: 2.0, compute: 3.0 };
+        let b = EnergyBreakdown { fetch: 0.5, schedule: 0.5, compute: 0.5 };
+        let mut c = a;
+        c += b;
+        assert!((c.total() - 7.5).abs() < 1e-12);
+    }
+}

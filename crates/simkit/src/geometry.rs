@@ -1,0 +1,215 @@
+//! The task-geometry tables of the paper: Table III (task levels of the
+//! STC hierarchy at 64 MACs) and Table VI (T3/T4 task sizes of every
+//! evaluated design at 128/64 MACs).
+//!
+//! These are the paper's published numbers as data, used by the geometry
+//! report binary and cross-checked against the engine implementations by
+//! tests (an engine whose dense schedule disagrees with its Table VI
+//! geometry would fail its own dense-cycle tests).
+
+use crate::{Precision, TaskSize};
+
+/// One row of Table VI: a design's T3 (and T4) task geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignGeometry {
+    /// Design name as printed in the paper.
+    pub name: &'static str,
+    /// T3 task size at 128 MACs (FP32).
+    pub t3_fp32: TaskSize,
+    /// T3 task size at 64 MACs (FP64).
+    pub t3_fp64: TaskSize,
+    /// T4 task size (equals T3 for every design except Uni-STC).
+    pub t4: Option<TaskSize>,
+    /// Alternative modes (Trapezoid's TrIP/TrGT/TrGS), FP64 geometry.
+    pub modes_fp64: Vec<TaskSize>,
+}
+
+impl DesignGeometry {
+    /// The design's T3 size at a precision (FP16 extrapolates FP32 by
+    /// doubling the dimension that grew from FP64 to FP32).
+    pub fn t3(&self, precision: Precision) -> TaskSize {
+        match precision {
+            Precision::Fp64 => self.t3_fp64,
+            Precision::Fp32 => self.t3_fp32,
+            Precision::Fp16 => {
+                let (l, s) = (self.t3_fp32, self.t3_fp64);
+                let grow = |lv: usize, sv: usize| lv * (lv / sv.max(1)).clamp(1, 2);
+                TaskSize::new(grow(l.m, s.m), grow(l.n, s.n), grow(l.k, s.k))
+            }
+        }
+    }
+}
+
+/// Table VI: the T3/T4 geometry of every evaluated design.
+pub fn table_vi() -> Vec<DesignGeometry> {
+    vec![
+        DesignGeometry {
+            name: "GAMMA",
+            t3_fp32: TaskSize::new(16, 8, 1),
+            t3_fp64: TaskSize::new(16, 4, 1),
+            t4: None,
+            modes_fp64: vec![],
+        },
+        DesignGeometry {
+            name: "SIGMA",
+            t3_fp32: TaskSize::new(1, 8, 16),
+            t3_fp64: TaskSize::new(1, 4, 16),
+            t4: None,
+            modes_fp64: vec![],
+        },
+        DesignGeometry {
+            name: "Trapezoid",
+            t3_fp32: TaskSize::new(16, 4, 2),
+            t3_fp64: TaskSize::new(16, 2, 2),
+            t4: None,
+            modes_fp64: vec![
+                TaskSize::new(16, 2, 2), // TrIP
+                TaskSize::new(16, 4, 1), // TrGT
+                TaskSize::new(8, 4, 2),  // TrGS
+            ],
+        },
+        DesignGeometry {
+            name: "NV-DTC",
+            t3_fp32: TaskSize::new(8, 4, 4),
+            t3_fp64: TaskSize::new(4, 4, 4),
+            t4: None,
+            modes_fp64: vec![],
+        },
+        DesignGeometry {
+            name: "DS-STC",
+            t3_fp32: TaskSize::new(8, 16, 1),
+            t3_fp64: TaskSize::new(8, 8, 1),
+            t4: None,
+            modes_fp64: vec![],
+        },
+        DesignGeometry {
+            name: "RM-STC",
+            t3_fp32: TaskSize::new(16, 4, 2),
+            t3_fp64: TaskSize::new(8, 4, 2),
+            t4: None,
+            modes_fp64: vec![],
+        },
+        DesignGeometry {
+            name: "Uni-STC",
+            t3_fp32: TaskSize::new(4, 4, 4),
+            t3_fp64: TaskSize::new(4, 4, 4),
+            t4: Some(TaskSize::new(1, 1, 4)),
+            modes_fp64: vec![],
+        },
+    ]
+}
+
+/// One row of Table III: a task level of the 64-MAC STC hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskLevelRow {
+    /// Task level name ("T1".."T4").
+    pub level: &'static str,
+    /// Task name as printed in the paper.
+    pub task_name: &'static str,
+    /// Per-design sizes: (design, size or None for "bypassed").
+    pub sizes: Vec<(&'static str, Option<TaskSize>)>,
+}
+
+/// Table III: task sizes at different levels (64 MACs).
+pub fn table_iii() -> Vec<TaskLevelRow> {
+    vec![
+        TaskLevelRow {
+            level: "T1",
+            task_name: "MMA instruction",
+            sizes: vec![
+                ("NV-DTC", Some(TaskSize::new(16, 16, 16))),
+                ("DS-STC", Some(TaskSize::new(16, 16, 16))),
+                ("RM-STC", Some(TaskSize::new(16, 16, 16))),
+                ("Uni-STC", Some(TaskSize::new(16, 16, 16))),
+            ],
+        },
+        TaskLevelRow {
+            level: "T2",
+            task_name: "Machine instruction",
+            sizes: vec![
+                ("NV-DTC", Some(TaskSize::new(8, 8, 4))),
+                ("DS-STC", Some(TaskSize::new(16, 16, 1))),
+                ("RM-STC", Some(TaskSize::new(8, 16, 2))),
+                ("Uni-STC", None), // bypassed (design principle 2)
+            ],
+        },
+        TaskLevelRow {
+            level: "T3",
+            task_name: "Tile",
+            sizes: vec![
+                ("NV-DTC", Some(TaskSize::new(4, 4, 4))),
+                ("DS-STC", Some(TaskSize::new(8, 8, 1))),
+                ("RM-STC", Some(TaskSize::new(8, 4, 2))),
+                ("Uni-STC", Some(TaskSize::new(4, 4, 4))),
+            ],
+        },
+        TaskLevelRow {
+            level: "T4",
+            task_name: "Vector",
+            sizes: vec![
+                ("NV-DTC", None),
+                ("DS-STC", None),
+                ("RM-STC", None),
+                ("Uni-STC", Some(TaskSize::new(1, 1, 4))),
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_vi_t3_sizes_fill_the_mac_array() {
+        for g in table_vi() {
+            assert_eq!(g.t3_fp64.macs(), 64, "{} FP64", g.name);
+            if g.name == "Uni-STC" {
+                // Uni-STC keeps the 4x4x4 T3 at every precision; extra
+                // lanes run more T3 tasks in parallel (Section IV-A).
+                assert_eq!(g.t3_fp32.macs(), 64);
+            } else {
+                assert_eq!(g.t3_fp32.macs(), 128, "{} FP32", g.name);
+            }
+            for m in &g.modes_fp64 {
+                assert_eq!(m.macs(), 64, "{} mode", g.name);
+            }
+        }
+    }
+
+    #[test]
+    fn only_uni_stc_has_a_t4_level() {
+        let v = table_vi();
+        for g in &v {
+            if g.name == "Uni-STC" {
+                assert_eq!(g.t4, Some(TaskSize::new(1, 1, 4)));
+            } else {
+                assert_eq!(g.t4, None, "{}", g.name);
+            }
+        }
+    }
+
+    #[test]
+    fn table_iii_uni_stc_bypasses_t2() {
+        let t = table_iii();
+        let t2 = t.iter().find(|r| r.level == "T2").unwrap();
+        let uni = t2.sizes.iter().find(|(n, _)| *n == "Uni-STC").unwrap();
+        assert_eq!(uni.1, None);
+        // Every T1 entry is the 16x16x16 WMMA.
+        let t1 = t.iter().find(|r| r.level == "T1").unwrap();
+        for (_, s) in &t1.sizes {
+            assert_eq!(*s, Some(TaskSize::new(16, 16, 16)));
+        }
+    }
+
+    #[test]
+    fn fp16_extrapolation_scales_one_dimension() {
+        let v = table_vi();
+        let uni = v.iter().find(|g| g.name == "Uni-STC").unwrap();
+        // Uni-STC keeps 4x4x4 at every precision (more parallel tasks).
+        assert_eq!(uni.t3(Precision::Fp16), TaskSize::new(4, 4, 4));
+        let ds = v.iter().find(|g| g.name == "DS-STC").unwrap();
+        assert_eq!(ds.t3(Precision::Fp64).macs(), 64);
+        assert!(ds.t3(Precision::Fp16).macs() >= 128);
+    }
+}

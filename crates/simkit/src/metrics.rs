@@ -1,0 +1,207 @@
+//! Summary metrics: geometric means, engine-vs-engine comparisons and the
+//! density binning of Fig. 20.
+
+use crate::driver::KernelReport;
+
+/// Geometric mean of a sequence of positive values; returns `None` when the
+/// sequence is empty or contains a non-positive value.
+pub fn geomean<I: IntoIterator<Item = f64>>(values: I) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v <= 0.0 || !v.is_finite() {
+            return None;
+        }
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((log_sum / n as f64).exp())
+    }
+}
+
+/// Pairwise comparison of an engine against a baseline on the same
+/// workload: the paper's `P` (speedup), `E` (energy reduction) and
+/// `E x P` (energy efficiency) columns of Table VIII.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// Cycle-count ratio `baseline / engine` (higher is better).
+    pub speedup: f64,
+    /// Energy ratio `baseline / engine` (higher is better).
+    pub energy_reduction: f64,
+}
+
+impl Comparison {
+    /// Builds a comparison from two kernel reports on the same workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's cycles or energy are zero while the
+    /// baseline's are not (a degenerate report).
+    pub fn of(engine: &KernelReport, baseline: &KernelReport) -> Self {
+        let speedup = if baseline.cycles == 0 && engine.cycles == 0 {
+            1.0
+        } else {
+            assert!(engine.cycles > 0, "engine report has zero cycles");
+            baseline.cycles as f64 / engine.cycles as f64
+        };
+        let (be, ee) = (baseline.energy.total(), engine.energy.total());
+        let energy_reduction = if be == 0.0 && ee == 0.0 {
+            1.0
+        } else {
+            assert!(ee > 0.0, "engine report has zero energy");
+            be / ee
+        };
+        Comparison { speedup, energy_reduction }
+    }
+
+    /// Energy efficiency `E x P`.
+    pub fn efficiency(&self) -> f64 {
+        self.speedup * self.energy_reduction
+    }
+}
+
+/// Aggregate of comparisons over a matrix corpus: geometric means and
+/// maxima of `P`, `E` and `E x P` (one cell group of Table VIII).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CorpusSummary {
+    /// Geometric-mean speedup.
+    pub geo_speedup: f64,
+    /// Maximum speedup.
+    pub max_speedup: f64,
+    /// Geometric-mean energy reduction.
+    pub geo_energy: f64,
+    /// Maximum energy reduction.
+    pub max_energy: f64,
+    /// Geometric-mean efficiency.
+    pub geo_efficiency: f64,
+    /// Maximum efficiency.
+    pub max_efficiency: f64,
+    /// Number of matrices aggregated.
+    pub count: usize,
+}
+
+impl CorpusSummary {
+    /// Aggregates a set of comparisons; returns `None` on an empty input.
+    pub fn from_comparisons(cs: &[Comparison]) -> Option<Self> {
+        if cs.is_empty() {
+            return None;
+        }
+        Some(CorpusSummary {
+            geo_speedup: geomean(cs.iter().map(|c| c.speedup))?,
+            max_speedup: cs.iter().map(|c| c.speedup).fold(f64::MIN, f64::max),
+            geo_energy: geomean(cs.iter().map(|c| c.energy_reduction))?,
+            max_energy: cs.iter().map(|c| c.energy_reduction).fold(f64::MIN, f64::max),
+            geo_efficiency: geomean(cs.iter().map(|c| c.efficiency()))?,
+            max_efficiency: cs.iter().map(|c| c.efficiency()).fold(f64::MIN, f64::max),
+            count: cs.len(),
+        })
+    }
+}
+
+/// Logarithmic density bins over "average intermediate products per T1
+/// task" — the x-axis of the paper's Fig. 20 (maximum 16x16x16 = 4096).
+#[derive(Debug, Clone)]
+pub struct DensityBins {
+    edges: Vec<f64>,
+}
+
+impl Default for DensityBins {
+    fn default() -> Self {
+        DensityBins::log2_bins()
+    }
+}
+
+impl DensityBins {
+    /// Power-of-two bin edges `1, 2, 4, ..., 4096`.
+    pub fn log2_bins() -> Self {
+        DensityBins { edges: (0..=12).map(|e| (1u64 << e) as f64).collect() }
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether there are no bins.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The bin index of a density value (clamped to the outer bins).
+    pub fn bin_of(&self, density: f64) -> usize {
+        let mut i = 0usize;
+        while i + 1 < self.edges.len() && density >= self.edges[i + 1] {
+            i += 1;
+        }
+        i
+    }
+
+    /// Human-readable label of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn label(&self, i: usize) -> String {
+        if i + 1 < self.edges.len() {
+            format!("[{:.0},{:.0})", self.edges[i], self.edges[i + 1])
+        } else {
+            format!(">={:.0}", self.edges[i])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean([1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geomean([3.0]).unwrap() - 3.0).abs() < 1e-12);
+        assert_eq!(geomean([]), None);
+        assert_eq!(geomean([1.0, 0.0]), None);
+        assert_eq!(geomean([1.0, -2.0]), None);
+    }
+
+    #[test]
+    fn density_bins_cover_range() {
+        let b = DensityBins::log2_bins();
+        assert_eq!(b.bin_of(0.5), 0);
+        assert_eq!(b.bin_of(1.0), 0);
+        assert_eq!(b.bin_of(2.0), 1);
+        assert_eq!(b.bin_of(3.9), 1);
+        assert_eq!(b.bin_of(4096.0), 12);
+        assert_eq!(b.bin_of(1e9), 12);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn density_bin_labels() {
+        let b = DensityBins::log2_bins();
+        assert_eq!(b.label(0), "[1,2)");
+        assert_eq!(b.label(12), ">=4096");
+    }
+
+    #[test]
+    fn comparison_efficiency_is_product() {
+        let c = Comparison { speedup: 2.0, energy_reduction: 3.0 };
+        assert!((c.efficiency() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corpus_summary_aggregates() {
+        let cs = vec![
+            Comparison { speedup: 1.0, energy_reduction: 1.0 },
+            Comparison { speedup: 4.0, energy_reduction: 2.0 },
+        ];
+        let s = CorpusSummary::from_comparisons(&cs).unwrap();
+        assert!((s.geo_speedup - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_speedup, 4.0);
+        assert_eq!(s.max_efficiency, 8.0);
+        assert_eq!(s.count, 2);
+        assert!(CorpusSummary::from_comparisons(&[]).is_none());
+    }
+}

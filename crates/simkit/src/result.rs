@@ -1,0 +1,262 @@
+//! Per-task and aggregated execution results: cycles, lane occupancy and
+//! hardware event counts.
+
+use std::ops::AddAssign;
+
+/// Histogram of MAC-lane occupancy: `counts[l]` is the number of cycles in
+/// which exactly `l` lanes carried useful products.
+///
+/// This is the raw data behind the paper's Fig. 5 (colour-coded utilisation
+/// bands) and Fig. 16 (average MAC utilisation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UtilHistogram {
+    lanes: usize,
+    counts: Vec<u64>,
+}
+
+impl UtilHistogram {
+    /// Creates an empty histogram for an engine with `lanes` MAC lanes.
+    pub fn new(lanes: usize) -> Self {
+        UtilHistogram { lanes, counts: vec![0; lanes + 1] }
+    }
+
+    /// Number of MAC lanes of the engine this histogram describes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Records one cycle with `used` useful lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `used > self.lanes()`.
+    pub fn record(&mut self, used: usize) {
+        assert!(used <= self.lanes, "lane occupancy {used} exceeds {} lanes", self.lanes);
+        self.counts[used] += 1;
+    }
+
+    /// Total recorded cycles.
+    pub fn cycles(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total useful lane-operations across all cycles.
+    pub fn useful_ops(&self) -> u64 {
+        self.counts.iter().enumerate().map(|(l, &c)| l as u64 * c).sum()
+    }
+
+    /// Mean utilisation in `[0, 1]` (useful lane-ops over issued capacity).
+    pub fn mean_utilisation(&self) -> f64 {
+        let cycles = self.cycles();
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.useful_ops() as f64 / (cycles * self.lanes as u64) as f64
+    }
+
+    /// Fraction of cycles whose utilisation falls in `[lo, hi)` (with the
+    /// top band closed at 1.0).
+    pub fn band_fraction(&self, lo: f64, hi: f64) -> f64 {
+        let cycles = self.cycles();
+        if cycles == 0 {
+            return 0.0;
+        }
+        let mut n = 0u64;
+        for (l, &c) in self.counts.iter().enumerate() {
+            let u = l as f64 / self.lanes as f64;
+            if u >= lo && (u < hi || (hi >= 1.0 && u <= 1.0)) {
+                n += c;
+            }
+        }
+        n as f64 / cycles as f64
+    }
+
+    /// The four quartile band fractions `[0,25), [25,50), [50,75), [75,100]`
+    /// used by the paper's Fig. 5.
+    pub fn quartile_bands(&self) -> [f64; 4] {
+        [
+            self.band_fraction(0.0, 0.25),
+            self.band_fraction(0.25, 0.50),
+            self.band_fraction(0.50, 0.75),
+            self.band_fraction(0.75, 1.01),
+        ]
+    }
+
+    /// Merges another histogram of the same lane count into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane counts differ.
+    pub fn merge(&mut self, other: &UtilHistogram) {
+        assert_eq!(self.lanes, other.lanes, "cannot merge histograms of different lane counts");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// Counted hardware events of one task (or an aggregate of tasks), in the
+/// style of the Sparseloop methodology the paper's energy model follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventCounts {
+    /// Operand-A elements fetched from buffers/registers.
+    pub a_elems: u64,
+    /// Operand-B elements fetched from buffers/registers.
+    pub b_elems: u64,
+    /// Intermediate partial products transferred toward accumulation.
+    pub partial_updates: u64,
+    /// Final C elements written back.
+    pub c_writes: u64,
+    /// Metadata words (bitmaps, pointers) fetched.
+    pub meta_words: u64,
+    /// Scheduling operations (task codes generated at any level).
+    pub sched_ops: u64,
+    /// Active scheduling-unit cycles (e.g. DPG-cycles for Uni-STC); drives
+    /// the power-gating term of the energy model.
+    pub unit_cycles: u64,
+    /// Issued MAC lane-operations, including lanes wasted on zeros.
+    pub mac_issued: u64,
+    /// Sum over cycles of the number of *enabled* output-network ports
+    /// (Fig. 19's "average network scale" = this / cycles).
+    pub c_ports_cycles: u64,
+}
+
+impl AddAssign for EventCounts {
+    fn add_assign(&mut self, o: EventCounts) {
+        self.a_elems += o.a_elems;
+        self.b_elems += o.b_elems;
+        self.partial_updates += o.partial_updates;
+        self.c_writes += o.c_writes;
+        self.meta_words += o.meta_words;
+        self.sched_ops += o.sched_ops;
+        self.unit_cycles += o.unit_cycles;
+        self.mac_issued += o.mac_issued;
+        self.c_ports_cycles += o.c_ports_cycles;
+    }
+}
+
+/// The result of executing one T1 task on a [`TileEngine`].
+///
+/// [`TileEngine`]: crate::TileEngine
+#[derive(Debug, Clone, PartialEq)]
+pub struct T1Result {
+    /// Cycles spent on the task.
+    pub cycles: u64,
+    /// Useful MAC operations performed (= the task's intermediate-product
+    /// count when the engine computes everything exactly once).
+    pub useful: u64,
+    /// Per-cycle lane occupancy.
+    pub util: UtilHistogram,
+    /// Counted hardware events.
+    pub events: EventCounts,
+}
+
+impl T1Result {
+    /// Creates an empty result for an engine with `lanes` MAC lanes.
+    pub fn new(lanes: usize) -> Self {
+        T1Result {
+            cycles: 0,
+            useful: 0,
+            util: UtilHistogram::new(lanes),
+            events: EventCounts::default(),
+        }
+    }
+
+    /// Records one execution cycle with `used` useful lanes, bumping the
+    /// cycle counter and the issued-lane event count.
+    pub fn record_cycle(&mut self, used: usize) {
+        self.cycles += 1;
+        self.util.record(used);
+        self.events.mac_issued += self.util.lanes() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_averages() {
+        let mut h = UtilHistogram::new(64);
+        h.record(64);
+        h.record(32);
+        h.record(0);
+        assert_eq!(h.cycles(), 3);
+        assert_eq!(h.useful_ops(), 96);
+        assert!((h.mean_utilisation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn histogram_rejects_overflow() {
+        let mut h = UtilHistogram::new(4);
+        h.record(5);
+    }
+
+    #[test]
+    fn quartile_bands_partition() {
+        let mut h = UtilHistogram::new(64);
+        h.record(10); // 15.6% -> band 0
+        h.record(20); // 31.2% -> band 1
+        h.record(40); // 62.5% -> band 2
+        h.record(64); // 100%  -> band 3
+        let b = h.quartile_bands();
+        for f in b {
+            assert!((f - 0.25).abs() < 1e-12);
+        }
+        assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_edges_are_half_open() {
+        let mut h = UtilHistogram::new(4);
+        h.record(1); // exactly 25%
+        assert_eq!(h.band_fraction(0.0, 0.25), 0.0);
+        assert_eq!(h.band_fraction(0.25, 0.5), 1.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = UtilHistogram::new(8);
+        a.record(8);
+        let mut b = UtilHistogram::new(8);
+        b.record(4);
+        a.merge(&b);
+        assert_eq!(a.cycles(), 2);
+        assert_eq!(a.useful_ops(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different lane counts")]
+    fn merge_rejects_mismatched_lanes() {
+        let mut a = UtilHistogram::new(8);
+        a.merge(&UtilHistogram::new(4));
+    }
+
+    #[test]
+    fn events_add_assign() {
+        let mut a = EventCounts { a_elems: 1, c_writes: 2, ..Default::default() };
+        let b = EventCounts { a_elems: 10, mac_issued: 5, ..Default::default() };
+        a += b;
+        assert_eq!(a.a_elems, 11);
+        assert_eq!(a.c_writes, 2);
+        assert_eq!(a.mac_issued, 5);
+    }
+
+    #[test]
+    fn record_cycle_tracks_issued_lanes() {
+        let mut r = T1Result::new(64);
+        r.record_cycle(10);
+        r.record_cycle(64);
+        assert_eq!(r.cycles, 2);
+        assert_eq!(r.events.mac_issued, 128);
+        assert_eq!(r.util.useful_ops(), 74);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero_util() {
+        let h = UtilHistogram::new(64);
+        assert_eq!(h.mean_utilisation(), 0.0);
+        assert_eq!(h.band_fraction(0.0, 1.01), 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! The T1–T4 task hierarchy (Table III of the paper).
+
+use crate::Block16;
+
+/// The four task levels of the paper's decomposition (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskLevel {
+    /// T1 — one MMA-instruction task (16x16x16 on an A100 WMMA).
+    T1,
+    /// T2 — one machine-instruction (PTX) task; Uni-STC bypasses this level.
+    T2,
+    /// T3 — one per-cycle tile task sized to the STC's throughput.
+    T3,
+    /// T4 — one fine-grained vector task (Uni-STC: a 1x1x<=4 dot product).
+    T4,
+}
+
+/// An `M x N x K` task size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskSize {
+    /// Output rows.
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Reduction depth.
+    pub k: usize,
+}
+
+impl TaskSize {
+    /// Creates an `m x n x k` task size.
+    pub const fn new(m: usize, n: usize, k: usize) -> Self {
+        TaskSize { m, n, k }
+    }
+
+    /// Number of multiply-accumulate slots in the task (`m * n * k`).
+    pub const fn macs(&self) -> usize {
+        self.m * self.n * self.k
+    }
+}
+
+impl std::fmt::Display for TaskSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.n, self.k)
+    }
+}
+
+/// One T1 task: a 16 x `n_cols` x 16 block multiplication described by the
+/// structural bitmaps of its operands.
+///
+/// * **MM tasks** (SpMM block column, SpGEMM block pair): `n_cols == 16`,
+///   `b` is a full 16x16 block bitmap.
+/// * **MV tasks** (SpMV / SpMSpV): `n_cols == 1`, `b` has the x-segment
+///   mask in its single column (see [`Block16::from_vector_mask`]).
+///
+/// # Example
+///
+/// ```
+/// use simkit::{Block16, T1Task};
+///
+/// let diag = Block16::from_fn(|r, c| r == c);
+/// let mv = T1Task::mv(diag, 0xFFFF);
+/// assert_eq!(mv.n_cols, 1);
+/// assert_eq!(mv.products(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct T1Task {
+    /// Structural bitmap of the A block.
+    pub a: Block16,
+    /// Structural bitmap of the B operand (block, or 16x1 vector segment).
+    pub b: Block16,
+    /// Logical N dimension: 16 for MM tasks, 1 for MV tasks.
+    pub n_cols: usize,
+}
+
+impl T1Task {
+    /// Creates an MM task from two 16x16 block bitmaps.
+    pub fn mm(a: Block16, b: Block16) -> Self {
+        T1Task { a, b, n_cols: 16 }
+    }
+
+    /// Creates an MV task: `x_mask` bit `k` marks `x[k]` nonzero within the
+    /// 16-element segment aligned to the A block's columns.
+    pub fn mv(a: Block16, x_mask: u16) -> Self {
+        T1Task { a, b: Block16::from_vector_mask(x_mask), n_cols: 1 }
+    }
+
+    /// Number of intermediate products (useful MAC operations) in the task.
+    pub fn products(&self) -> u64 {
+        self.a.products_with(&self.b)
+    }
+
+    /// Structural bitmap of the output block (MV outputs occupy column 0).
+    pub fn c_structure(&self) -> Block16 {
+        self.a.mul_structure(&self.b)
+    }
+
+    /// Number of structurally nonzero outputs.
+    pub fn c_nnz(&self) -> u32 {
+        self.c_structure().nnz()
+    }
+
+    /// Whether the task produces no products at all (software-level bitmap
+    /// check; such tasks are never issued — Algorithm 2 line 13).
+    pub fn is_trivial(&self) -> bool {
+        self.products() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_size_display_and_macs() {
+        let s = TaskSize::new(4, 4, 4);
+        assert_eq!(s.to_string(), "4x4x4");
+        assert_eq!(s.macs(), 64);
+    }
+
+    #[test]
+    fn mm_task_products_dense() {
+        let t = T1Task::mm(Block16::dense(), Block16::dense());
+        assert_eq!(t.products(), 4096);
+        assert_eq!(t.c_nnz(), 256);
+        assert!(!t.is_trivial());
+    }
+
+    #[test]
+    fn mv_task_masks_k() {
+        let a = Block16::dense();
+        let t = T1Task::mv(a, 0x00FF);
+        // Only 8 of 16 k positions active, each contributing 16 products.
+        assert_eq!(t.products(), 8 * 16);
+        assert_eq!(t.c_nnz(), 16);
+    }
+
+    #[test]
+    fn trivial_task_detection() {
+        let a = Block16::from_fn(|_, c| c == 0); // A only uses k = 0
+        let b = Block16::from_fn(|r, _| r == 5); // B only provides k = 5
+        let t = T1Task::mm(a, b);
+        assert!(t.is_trivial());
+    }
+
+    #[test]
+    fn mv_output_in_column_zero() {
+        let a = Block16::from_fn(|r, c| r == 3 && c == 7);
+        let t = T1Task::mv(a, 1 << 7);
+        let c = t.c_structure();
+        assert!(c.get(3, 0));
+        assert_eq!(c.nnz(), 1);
+    }
+}

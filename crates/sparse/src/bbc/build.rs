@@ -1,0 +1,98 @@
+//! One-time software encoding of a matrix into BBC form.
+//!
+//! The paper stresses that BBC indexing is "offloaded to a one-time software
+//! encoding" whose cost is amortised across kernel invocations (Section
+//! IV-D / VI-B). This module is that encoder.
+
+use super::{BbcMatrix, BLOCK_DIM, TILE_DIM};
+use crate::CsrMatrix;
+
+impl BbcMatrix {
+    /// Encodes a CSR matrix into BBC form.
+    ///
+    /// The encoding is a single pass per block row: entries are bucketed
+    /// into 16x16 blocks, each block's two-level bitmap is derived, and
+    /// values are re-ordered tile-by-tile.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let nrows = csr.nrows();
+        let ncols = csr.ncols();
+        let block_rows = nrows.div_ceil(BLOCK_DIM).max(1);
+        let block_cols = ncols.div_ceil(BLOCK_DIM).max(1);
+
+        let mut row_ptr = vec![0usize; block_rows + 1];
+        let mut col_idx: Vec<u32> = Vec::new();
+        let mut bitmap_lv1: Vec<u16> = Vec::new();
+        let mut tile_ptr: Vec<usize> = vec![0];
+        let mut bitmap_lv2: Vec<u16> = Vec::new();
+        let mut valptr_lv1: Vec<u32> = Vec::new();
+        let mut valptr_lv2: Vec<u16> = Vec::new();
+        let mut values: Vec<f64> = Vec::with_capacity(csr.nnz());
+
+        // Scratch: per block in this block-row, the block column plus its
+        // entries keyed by (tile_bit, elem_bit) for ordering.
+        type BlockEntries = (u32, Vec<(u8, u8, f64)>);
+        let mut scratch: Vec<BlockEntries> = Vec::new();
+
+        for br in 0..block_rows {
+            scratch.clear();
+            let r_lo = br * BLOCK_DIM;
+            let r_hi = ((br + 1) * BLOCK_DIM).min(nrows);
+            for r in r_lo..r_hi {
+                let (cols, vals) = csr.row(r);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let bc = c / BLOCK_DIM as u32;
+                    let pos = match scratch.binary_search_by_key(&bc, |e| e.0) {
+                        Ok(p) => p,
+                        Err(p) => {
+                            scratch.insert(p, (bc, Vec::new()));
+                            p
+                        }
+                    };
+                    let lr = r - r_lo;
+                    let lc = c as usize - bc as usize * BLOCK_DIM;
+                    let tile_bit = (lr / TILE_DIM) * TILE_DIM + lc / TILE_DIM;
+                    let elem_bit = (lr % TILE_DIM) * TILE_DIM + lc % TILE_DIM;
+                    scratch[pos].1.push((tile_bit as u8, elem_bit as u8, v));
+                }
+            }
+            for (bc, entries) in scratch.iter_mut() {
+                let mut entries = std::mem::take(entries);
+                entries.sort_unstable_by_key(|&(t, e, _)| (t, e));
+                col_idx.push(*bc);
+                valptr_lv1.push(values.len() as u32);
+                let mut lv1 = 0u16;
+                let block_base = values.len();
+                let mut cur_tile: Option<u8> = None;
+                for (t, e, v) in entries {
+                    debug_assert!(e < 16);
+                    if cur_tile != Some(t) {
+                        cur_tile = Some(t);
+                        lv1 |= 1 << t;
+                        bitmap_lv2.push(0);
+                        valptr_lv2.push((values.len() - block_base) as u16);
+                    }
+                    *bitmap_lv2.last_mut().expect("tile record pushed above") |= 1 << e;
+                    values.push(v);
+                }
+                bitmap_lv1.push(lv1);
+                tile_ptr.push(bitmap_lv2.len());
+            }
+            row_ptr[br + 1] = col_idx.len();
+        }
+
+        BbcMatrix {
+            nrows,
+            ncols,
+            block_rows,
+            block_cols,
+            row_ptr,
+            col_idx,
+            bitmap_lv1,
+            tile_ptr,
+            bitmap_lv2,
+            valptr_lv1,
+            valptr_lv2,
+            values,
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Unit tests for the BBC format.
+
+use super::*;
+use crate::CooMatrix;
+
+fn csr_from(entries: &[(usize, usize, f64)], nrows: usize, ncols: usize) -> CsrMatrix {
+    let mut coo = CooMatrix::new(nrows, ncols);
+    for &(r, c, v) in entries {
+        coo.push(r, c, v);
+    }
+    CsrMatrix::try_from(coo).unwrap()
+}
+
+/// The paper's Fig. 13 downscaled example, scaled to the real 16/4
+/// geometry: entries placed so that multiple tiles per block, multiple
+/// blocks per row, and an empty block row all occur.
+fn sample() -> CsrMatrix {
+    csr_from(
+        &[
+            (0, 0, 1.0),   // block (0,0), tile (0,0)
+            (0, 5, 2.0),   // block (0,0), tile (0,1)
+            (3, 3, 3.0),   // block (0,0), tile (0,0)
+            (7, 14, 4.0),  // block (0,0), tile (1,3)
+            (2, 17, 5.0),  // block (0,1), tile (0,0)
+            (15, 31, 6.0), // block (0,1), tile (3,3)
+            (40, 8, 7.0),  // block (2,0), tile (2,2)
+            (47, 0, 8.0),  // block (2,0), tile (3,0)
+        ],
+        48,
+        32,
+    )
+}
+
+#[test]
+fn block_grid_dimensions() {
+    let bbc = BbcMatrix::from_csr(&sample());
+    assert_eq!(bbc.block_rows(), 3);
+    assert_eq!(bbc.block_cols(), 2);
+    assert_eq!(bbc.block_count(), 3);
+    assert_eq!(bbc.nnz(), 8);
+}
+
+#[test]
+fn csr_roundtrip() {
+    let csr = sample();
+    assert_eq!(BbcMatrix::from_csr(&csr).to_csr(), csr);
+}
+
+#[test]
+fn empty_block_row_has_no_blocks() {
+    let bbc = BbcMatrix::from_csr(&sample());
+    assert!(bbc.blocks_in_row(1).is_empty());
+    assert_eq!(bbc.blocks_in_row(0).len(), 2);
+}
+
+#[test]
+fn find_block_hits_and_misses() {
+    let bbc = BbcMatrix::from_csr(&sample());
+    assert!(bbc.find_block(0, 0).is_some());
+    assert!(bbc.find_block(0, 1).is_some());
+    assert!(bbc.find_block(1, 0).is_none());
+    assert!(bbc.find_block(2, 1).is_none());
+}
+
+#[test]
+fn block_view_coordinates() {
+    let bbc = BbcMatrix::from_csr(&sample());
+    let i = bbc.find_block(2, 0).unwrap();
+    let b = bbc.block(i);
+    assert_eq!(b.block_row, 2);
+    assert_eq!(b.block_col, 0);
+    assert_eq!(b.nnz(), 2);
+    assert_eq!(b.tile_count(), 2);
+}
+
+#[test]
+fn tile_mask_and_get() {
+    let bbc = BbcMatrix::from_csr(&sample());
+    let b = bbc.block(bbc.find_block(0, 0).unwrap());
+    // (0,0) and (3,3) live in tile (0,0): bits 0 and 15.
+    assert_eq!(b.tile_mask(0, 0), (1 << 0) | (1 << 15));
+    // (0,5) lives in tile (0,1), element (0,1): bit 1.
+    assert_eq!(b.tile_mask(0, 1), 1 << 1);
+    // (7,14) lives in tile (1,3), element (3,2): bit 14.
+    assert_eq!(b.tile_mask(1, 3), 1 << 14);
+    assert_eq!(b.tile_mask(2, 2), 0);
+    assert_eq!(b.get(0, 0), Some(1.0));
+    assert_eq!(b.get(3, 3), Some(3.0));
+    assert_eq!(b.get(0, 5), Some(2.0));
+    assert_eq!(b.get(7, 14), Some(4.0));
+    assert_eq!(b.get(1, 1), None);
+    assert_eq!(b.get(8, 8), None);
+}
+
+#[test]
+fn matrix_get_matches_csr() {
+    let csr = sample();
+    let bbc = BbcMatrix::from_csr(&csr);
+    for r in 0..csr.nrows() {
+        for c in 0..csr.ncols() {
+            assert_eq!(bbc.get(r, c), csr.get(r, c), "({r},{c})");
+        }
+    }
+}
+
+#[test]
+fn element_rows_expand_two_level_bitmap() {
+    let bbc = BbcMatrix::from_csr(&sample());
+    let b = bbc.block(bbc.find_block(0, 1).unwrap());
+    let rows = b.element_rows();
+    // (2,17) -> local (2,1); (15,31) -> local (15,15)
+    assert_eq!(rows[2], 1 << 1);
+    assert_eq!(rows[15], 1 << 15);
+    for (r, &m) in rows.iter().enumerate() {
+        if r != 2 && r != 15 {
+            assert_eq!(m, 0, "row {r}");
+        }
+    }
+}
+
+#[test]
+fn values_ordered_tile_major() {
+    // Two entries in different tiles of one block: tile order must win over
+    // row order.
+    let csr = csr_from(&[(0, 5, 10.0), (1, 1, 20.0)], 16, 16);
+    let bbc = BbcMatrix::from_csr(&csr);
+    let b = bbc.block(0);
+    // tile (0,0) holds (1,1); tile (0,1) holds (0,5). Tile-major order puts
+    // 20.0 first.
+    assert_eq!(b.values, &[20.0, 10.0]);
+    assert_eq!(b.valptr_lv2, &[0, 1]);
+}
+
+#[test]
+fn empty_matrix_has_one_grid_cell() {
+    let csr = CsrMatrix::zeros(0, 0);
+    let bbc = BbcMatrix::from_csr(&csr);
+    assert_eq!(bbc.block_count(), 0);
+    assert_eq!(bbc.nnz(), 0);
+    assert_eq!(bbc.to_csr().nnz(), 0);
+}
+
+#[test]
+fn dense_block_stores_all_tiles() {
+    let mut coo = CooMatrix::new(16, 16);
+    for r in 0..16 {
+        for c in 0..16 {
+            coo.push(r, c, (r * 16 + c) as f64);
+        }
+    }
+    let bbc = BbcMatrix::from_csr(&CsrMatrix::try_from(coo).unwrap());
+    assert_eq!(bbc.block_count(), 1);
+    assert_eq!(bbc.tile_count(), 16);
+    let b = bbc.block(0);
+    assert_eq!(b.bitmap_lv1, u16::MAX);
+    assert!(b.bitmap_lv2.iter().all(|&m| m == u16::MAX));
+    assert_eq!(b.get(9, 9), Some((9 * 16 + 9) as f64));
+}
+
+#[test]
+fn nnz_per_block_and_tile() {
+    let bbc = BbcMatrix::from_csr(&sample());
+    assert!((bbc.nnz_per_block() - 8.0 / 3.0).abs() < 1e-12);
+    assert!((bbc.nnz_per_tile() - 8.0 / 7.0).abs() < 1e-12);
+}
+
+#[test]
+fn tile_values_follow_valptr_lv2() {
+    let bbc = BbcMatrix::from_csr(&sample());
+    let b = bbc.block(bbc.find_block(0, 0).unwrap());
+    // Tile (0,0) holds entries (0,0)=1.0 and (3,3)=3.0 in row-major order.
+    assert_eq!(b.tile_values(0, 0), &[1.0, 3.0]);
+    assert_eq!(b.tile_values(0, 1), &[2.0]);
+    assert_eq!(b.tile_values(1, 3), &[4.0]);
+    assert!(b.tile_values(2, 2).is_empty());
+}
+
+#[test]
+fn dense_tile_expands_with_zeros() {
+    let bbc = BbcMatrix::from_csr(&sample());
+    let b = bbc.block(bbc.find_block(0, 0).unwrap());
+    let t = b.dense_tile(0, 0);
+    assert_eq!(t[0], 1.0); // element (0,0)
+    assert_eq!(t[15], 3.0); // element (3,3)
+    assert_eq!(t.iter().filter(|v| **v != 0.0).count(), 2);
+    assert_eq!(b.dense_tile(2, 2), [0.0; 16]);
+}
+
+#[test]
+fn io_roundtrip() {
+    let bbc = BbcMatrix::from_csr(&sample());
+    let mut buf = Vec::new();
+    bbc.write_bbc(&mut buf).unwrap();
+    let back = read_bbc(buf.as_slice()).unwrap();
+    assert_eq!(back, bbc);
+}
+
+#[test]
+fn io_rejects_bad_magic() {
+    let err = read_bbc(&b"XXXX"[..]).unwrap_err();
+    assert!(matches!(err, crate::FormatError::CorruptStream { .. }));
+}
+
+#[test]
+fn io_rejects_truncation() {
+    let bbc = BbcMatrix::from_csr(&sample());
+    let mut buf = Vec::new();
+    bbc.write_bbc(&mut buf).unwrap();
+    for cut in [3, 20, buf.len() / 2, buf.len() - 1] {
+        let err = read_bbc(&buf[..cut]).unwrap_err();
+        assert!(matches!(err, crate::FormatError::CorruptStream { .. }), "cut {cut}");
+    }
+}
+
+#[test]
+fn io_rejects_inconsistent_bitmaps() {
+    let bbc = BbcMatrix::from_csr(&sample());
+    let mut buf = Vec::new();
+    bbc.write_bbc(&mut buf).unwrap();
+    // Flip a bit in the first bitmap_lv1 word: popcounts no longer match.
+    let lv1_off = 4 + 8 * 8 + 8 * (bbc.block_rows() + 1) + 4 * bbc.block_count();
+    buf[lv1_off] ^= 0x40;
+    let err = read_bbc(buf.as_slice()).unwrap_err();
+    assert!(matches!(err, crate::FormatError::CorruptStream { .. }));
+}
+
+#[test]
+fn metadata_bytes_formula() {
+    use crate::StorageSize;
+    let bbc = BbcMatrix::from_csr(&sample());
+    let expect = 4 * 4 + 4 * 3 + 2 * 3 + 4 * 3 + 2 * 7 + 2 * 7;
+    assert_eq!(bbc.metadata_bytes(), expect);
+    assert_eq!(bbc.value_bytes(), 64);
+}
+
+#[test]
+fn block_iteration_covers_all_entries() {
+    let csr = sample();
+    let bbc = BbcMatrix::from_csr(&csr);
+    let mut n = 0;
+    for b in bbc.blocks() {
+        for (r, c, v) in b.iter() {
+            assert_eq!(csr.get(r, c), Some(v));
+            n += 1;
+        }
+    }
+    assert_eq!(n, csr.nnz());
+}

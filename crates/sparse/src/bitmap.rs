@@ -1,0 +1,220 @@
+//! Flat bitmap sparse format (the paper's Fig. 1).
+
+use crate::{CsrMatrix, FormatError, StorageSize, VALUE_BYTES};
+
+/// A sparse matrix stored as one flat bitmask plus a packed value array
+/// (the bitmap format of the paper's Fig. 1).
+///
+/// Bit `r * ncols + c` of the mask is set when entry `(r, c)` is nonzero;
+/// values are stored in row-major order of their set bits. The format is
+/// compact for small, moderately dense matrices and is the conceptual
+/// ancestor of BBC's per-tile level-2 bitmaps.
+///
+/// # Example
+///
+/// ```
+/// use sparse::{BitmapMatrix, CsrMatrix};
+///
+/// # fn main() -> Result<(), sparse::FormatError> {
+/// let csr = CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0])?;
+/// let bm = BitmapMatrix::from_csr(&csr);
+/// assert_eq!(bm.get(0, 0), Some(1.0));
+/// assert_eq!(bm.to_csr(), csr);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BitmapMatrix {
+    nrows: usize,
+    ncols: usize,
+    mask: Vec<u64>,
+    values: Vec<f64>,
+}
+
+impl BitmapMatrix {
+    /// Converts a CSR matrix into bitmap form.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let nrows = csr.nrows();
+        let ncols = csr.ncols();
+        let bits = nrows * ncols;
+        let mut mask = vec![0u64; bits.div_ceil(64)];
+        let mut values = Vec::with_capacity(csr.nnz());
+        for (r, c, v) in csr.iter() {
+            let bit = r * ncols + c;
+            mask[bit / 64] |= 1u64 << (bit % 64);
+            values.push(v);
+        }
+        BitmapMatrix { nrows, ncols, mask, values }
+    }
+
+    /// Builds a bitmap matrix from raw parts.
+    ///
+    /// `mask` holds `nrows * ncols` bits (little-endian within each word);
+    /// `values` holds one value per set bit, in bit order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::LengthMismatch`] if `mask` has the wrong word
+    /// count or the popcount of `mask` disagrees with `values.len()`.
+    pub fn try_from_parts(
+        nrows: usize,
+        ncols: usize,
+        mask: Vec<u64>,
+        values: Vec<f64>,
+    ) -> Result<Self, FormatError> {
+        let bits = nrows * ncols;
+        if mask.len() != bits.div_ceil(64) {
+            return Err(FormatError::LengthMismatch { detail: "mask word count" });
+        }
+        // Bits beyond nrows*ncols must be clear.
+        if !bits.is_multiple_of(64) {
+            if let Some(&last) = mask.last() {
+                if last >> (bits % 64) != 0 {
+                    return Err(FormatError::LengthMismatch { detail: "mask has stray bits" });
+                }
+            }
+        }
+        let pop: u32 = mask.iter().map(|w| w.count_ones()).sum();
+        if pop as usize != values.len() {
+            return Err(FormatError::LengthMismatch { detail: "mask popcount != values.len()" });
+        }
+        Ok(BitmapMatrix { nrows, ncols, mask, values })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether entry `(row, col)` is structurally nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn is_set(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.nrows && col < self.ncols, "index out of bounds");
+        let bit = row * self.ncols + col;
+        self.mask[bit / 64] >> (bit % 64) & 1 == 1
+    }
+
+    /// The stored value at `(row, col)`, or `None` when structurally zero.
+    ///
+    /// Retrieval counts the set bits before the queried position (the rank
+    /// operation the paper's hardware performs with a popcount unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        if !self.is_set(row, col) {
+            return None;
+        }
+        let bit = row * self.ncols + col;
+        let mut rank = 0usize;
+        for w in 0..bit / 64 {
+            rank += self.mask[w].count_ones() as usize;
+        }
+        let partial = self.mask[bit / 64] & ((1u64 << (bit % 64)) - 1);
+        rank += partial.count_ones() as usize;
+        Some(self.values[rank])
+    }
+
+    /// Converts back to CSR form.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut coo = crate::CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
+        let mut vi = 0usize;
+        for r in 0..self.nrows {
+            for c in 0..self.ncols {
+                if self.is_set(r, c) {
+                    coo.push(r, c, self.values[vi]);
+                    vi += 1;
+                }
+            }
+        }
+        CsrMatrix::try_from(coo).expect("bitmap coordinates are always in range")
+    }
+}
+
+impl StorageSize for BitmapMatrix {
+    fn metadata_bytes(&self) -> usize {
+        (self.nrows * self.ncols).div_ceil(8)
+    }
+
+    fn value_bytes(&self) -> usize {
+        VALUE_BYTES * self.nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_matrix() -> CsrMatrix {
+        // The paper's Fig. 1 example:
+        // [ a 0 b 0 ]
+        // [ 0 c 0 0 ]
+        // [ 0 0 0 d ]
+        // [ e 0 0 f ]
+        CsrMatrix::try_new(
+            4,
+            4,
+            vec![0, 2, 3, 4, 6],
+            vec![0, 2, 1, 3, 0, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig1_mask_matches_paper() {
+        let bm = BitmapMatrix::from_csr(&fig1_matrix());
+        // Paper mask (row-major): 1010 0100 0001 1001
+        let expect = [1, 0, 1, 0, 0, 1, 0, 0, 0, 0, 0, 1, 1, 0, 0, 1];
+        for (bit, &e) in expect.iter().enumerate() {
+            assert_eq!(bm.is_set(bit / 4, bit % 4), e == 1, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_matrix() {
+        let csr = fig1_matrix();
+        assert_eq!(BitmapMatrix::from_csr(&csr).to_csr(), csr);
+    }
+
+    #[test]
+    fn get_uses_rank() {
+        let bm = BitmapMatrix::from_csr(&fig1_matrix());
+        assert_eq!(bm.get(0, 0), Some(1.0));
+        assert_eq!(bm.get(3, 3), Some(6.0));
+        assert_eq!(bm.get(2, 0), None);
+    }
+
+    #[test]
+    fn try_from_parts_validates_popcount() {
+        let err = BitmapMatrix::try_from_parts(2, 2, vec![0b11], vec![1.0]).unwrap_err();
+        assert!(matches!(err, FormatError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn try_from_parts_rejects_stray_bits() {
+        let err = BitmapMatrix::try_from_parts(2, 2, vec![1 << 10], vec![1.0]).unwrap_err();
+        assert!(matches!(err, FormatError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn storage_is_one_bit_per_cell() {
+        let bm = BitmapMatrix::from_csr(&fig1_matrix());
+        assert_eq!(bm.metadata_bytes(), 2); // 16 cells -> 2 bytes
+        assert_eq!(bm.value_bytes(), 48);
+    }
+}

@@ -1,0 +1,248 @@
+//! Block sparse row (BSR) format with a run-time block size.
+
+use crate::{CsrMatrix, FormatError, StorageSize, INDEX_BYTES, VALUE_BYTES};
+
+/// A sparse matrix in block sparse row form: CSR over dense `b x b` blocks.
+///
+/// BSR is a comparison point of the paper's storage study (Fig. 15, with
+/// `b = 4` and `b = 16`). Every structurally nonzero block stores all
+/// `b * b` values densely, which is exactly why BSR "typically requires more
+/// storage than CSR" on scattered matrices.
+///
+/// # Example
+///
+/// ```
+/// use sparse::{BsrMatrix, CsrMatrix};
+///
+/// # fn main() -> Result<(), sparse::FormatError> {
+/// let csr = CsrMatrix::try_new(4, 4, vec![0, 1, 1, 1, 2], vec![0, 3], vec![1.0, 2.0])?;
+/// let bsr = BsrMatrix::from_csr(&csr, 2)?;
+/// assert_eq!(bsr.block_count(), 2);
+/// assert_eq!(bsr.to_csr(), csr);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    block: usize,
+    block_row_ptr: Vec<usize>,
+    block_col_idx: Vec<u32>,
+    /// Dense block payloads, `block * block` values each, row-major inside
+    /// the block, concatenated in block order.
+    block_values: Vec<f64>,
+    nnz: usize,
+}
+
+impl BsrMatrix {
+    /// Converts a CSR matrix into BSR with `block x block` blocks.
+    ///
+    /// Rows and columns are conceptually zero-padded up to the next multiple
+    /// of `block`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidBlockSize`] if `block == 0`.
+    pub fn from_csr(csr: &CsrMatrix, block: usize) -> Result<Self, FormatError> {
+        if block == 0 {
+            return Err(FormatError::InvalidBlockSize { block });
+        }
+        let nrows = csr.nrows();
+        let ncols = csr.ncols();
+        let nbr = nrows.div_ceil(block);
+        let mut block_row_ptr = vec![0usize; nbr + 1];
+        let mut block_col_idx: Vec<u32> = Vec::new();
+        let mut block_values: Vec<f64> = Vec::new();
+
+        for br in 0..nbr {
+            // Collect the blocks touched by this block-row, in column order.
+            // Map block column -> position in this block-row's block list.
+            let mut cols_in_row: Vec<u32> = Vec::new();
+            for r in br * block..((br + 1) * block).min(nrows) {
+                let (cols, _) = csr.row(r);
+                for &c in cols {
+                    let bc = c / block as u32;
+                    if let Err(pos) = cols_in_row.binary_search(&bc) {
+                        cols_in_row.insert(pos, bc);
+                    }
+                }
+            }
+            let base_block = block_col_idx.len();
+            block_col_idx.extend_from_slice(&cols_in_row);
+            block_values.extend(std::iter::repeat_n(0.0, cols_in_row.len() * block * block));
+            for r in br * block..((br + 1) * block).min(nrows) {
+                let (cols, vals) = csr.row(r);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let bc = c / block as u32;
+                    let pos = cols_in_row
+                        .binary_search(&bc)
+                        .expect("block column was inserted above");
+                    let bi = base_block + pos;
+                    let lr = r - br * block;
+                    let lc = c as usize - bc as usize * block;
+                    block_values[bi * block * block + lr * block + lc] = v;
+                }
+            }
+            block_row_ptr[br + 1] = block_col_idx.len();
+        }
+
+        Ok(BsrMatrix {
+            nrows,
+            ncols,
+            block,
+            block_row_ptr,
+            block_col_idx,
+            block_values,
+            nnz: csr.nnz(),
+        })
+    }
+
+    /// Number of rows of the logical (unpadded) matrix.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns of the logical (unpadded) matrix.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// The block edge length `b`.
+    pub fn block_size(&self) -> usize {
+        self.block
+    }
+
+    /// Number of stored (structurally nonzero) blocks.
+    pub fn block_count(&self) -> usize {
+        self.block_col_idx.len()
+    }
+
+    /// Number of logical nonzeros (excluding the explicit zero padding
+    /// inside stored blocks).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Mean number of logical nonzeros per stored block ("NnzPB", the
+    /// x-axis of the paper's Fig. 15).
+    pub fn nnz_per_block(&self) -> f64 {
+        if self.block_count() == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / self.block_count() as f64
+        }
+    }
+
+    /// The dense payload of the `i`-th stored block (row-major, `b*b` long).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.block_count()`.
+    pub fn block_payload(&self, i: usize) -> &[f64] {
+        let bb = self.block * self.block;
+        &self.block_values[i * bb..(i + 1) * bb]
+    }
+
+    /// Converts back to CSR form, dropping the explicit block padding zeros.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut coo = crate::CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz);
+        for br in 0..self.block_row_ptr.len() - 1 {
+            for bi in self.block_row_ptr[br]..self.block_row_ptr[br + 1] {
+                let bc = self.block_col_idx[bi] as usize;
+                let payload = self.block_payload(bi);
+                for lr in 0..self.block {
+                    for lc in 0..self.block {
+                        let v = payload[lr * self.block + lc];
+                        let (r, c) = (br * self.block + lr, bc * self.block + lc);
+                        if v != 0.0 && r < self.nrows && c < self.ncols {
+                            coo.push(r, c, v);
+                        }
+                    }
+                }
+            }
+        }
+        CsrMatrix::try_from(coo).expect("BSR coordinates are always in range")
+    }
+}
+
+impl StorageSize for BsrMatrix {
+    fn metadata_bytes(&self) -> usize {
+        INDEX_BYTES * (self.block_row_ptr.len()) + INDEX_BYTES * self.block_count()
+    }
+
+    fn value_bytes(&self) -> usize {
+        VALUE_BYTES * self.block_values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // 6x6 with a dense 2x2 corner block and scattered singletons.
+        let mut coo = crate::CooMatrix::new(6, 6);
+        for (r, c, v) in [
+            (0, 0, 1.0),
+            (0, 1, 2.0),
+            (1, 0, 3.0),
+            (1, 1, 4.0),
+            (2, 5, 5.0),
+            (5, 3, 6.0),
+        ] {
+            coo.push(r, c, v);
+        }
+        CsrMatrix::try_from(coo).unwrap()
+    }
+
+    #[test]
+    fn from_csr_counts_blocks() {
+        let bsr = BsrMatrix::from_csr(&sample(), 2).unwrap();
+        assert_eq!(bsr.block_count(), 3);
+        assert_eq!(bsr.nnz(), 6);
+        assert!((bsr.nnz_per_block() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_preserves_matrix() {
+        let csr = sample();
+        for b in [1, 2, 3, 4, 16] {
+            let bsr = BsrMatrix::from_csr(&csr, b).unwrap();
+            assert_eq!(bsr.to_csr(), csr, "block size {b}");
+        }
+    }
+
+    #[test]
+    fn zero_block_size_rejected() {
+        let err = BsrMatrix::from_csr(&sample(), 0).unwrap_err();
+        assert!(matches!(err, FormatError::InvalidBlockSize { block: 0 }));
+    }
+
+    #[test]
+    fn dense_block_payload_layout() {
+        let bsr = BsrMatrix::from_csr(&sample(), 2).unwrap();
+        // First block row, first block: the dense corner.
+        assert_eq!(bsr.block_payload(0), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn storage_blows_up_for_scattered_matrices() {
+        use crate::StorageSize;
+        let csr = sample();
+        let bsr16 = BsrMatrix::from_csr(&csr, 16).unwrap();
+        // One 16x16 block per nonzero region stores 256 values for 6 nnz.
+        assert!(bsr16.total_bytes() > csr.total_bytes());
+    }
+
+    #[test]
+    fn non_divisible_dimensions_are_padded() {
+        // 5x5 matrix, block 2 -> 3x3 block grid.
+        let mut coo = crate::CooMatrix::new(5, 5);
+        coo.push(4, 4, 9.0);
+        let csr = CsrMatrix::try_from(coo).unwrap();
+        let bsr = BsrMatrix::from_csr(&csr, 2).unwrap();
+        assert_eq!(bsr.block_count(), 1);
+        assert_eq!(bsr.to_csr(), csr);
+    }
+}

@@ -1,0 +1,256 @@
+//! Coordinate (triplet) format — the universal construction format.
+
+use crate::{FormatError, StorageSize, INDEX_BYTES, VALUE_BYTES};
+
+/// A sparse matrix in coordinate (COO) form: unordered `(row, col, value)`
+/// triplets.
+///
+/// COO is the construction format: generators push entries in any order and
+/// the matrix is then [compressed](crate::CsrMatrix) for computation.
+/// Duplicate coordinates are *summed* on conversion, mirroring the usual
+/// assembly semantics of finite-element and graph workloads.
+///
+/// # Example
+///
+/// ```
+/// use sparse::{CooMatrix, CsrMatrix};
+///
+/// # fn main() -> Result<(), sparse::FormatError> {
+/// let mut m = CooMatrix::new(2, 2);
+/// m.push(0, 0, 1.0);
+/// m.push(0, 0, 2.0); // duplicate: summed on compression
+/// m.push(1, 1, 4.0);
+/// let csr = CsrMatrix::try_from(m)?;
+/// assert_eq!(csr.get(0, 0), Some(3.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `nrows x ncols` matrix.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let m = sparse::CooMatrix::new(8, 8);
+    /// assert_eq!(m.nnz(), 0);
+    /// ```
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates an empty matrix with capacity reserved for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries (duplicates counted individually).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Appends an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(row, col)` lies outside the matrix. Generators are trusted
+    /// code paths, so this is a programming error rather than a recoverable
+    /// condition; use [`CooMatrix::try_push`] for untrusted input.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "entry ({row}, {col}) outside {}x{} matrix",
+            self.nrows,
+            self.ncols
+        );
+        self.rows.push(row as u32);
+        self.cols.push(col as u32);
+        self.vals.push(val);
+    }
+
+    /// Appends an entry, returning an error on out-of-bounds coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::IndexOutOfBounds`] if `(row, col)` lies outside
+    /// the matrix.
+    pub fn try_push(&mut self, row: usize, col: usize, val: f64) -> Result<(), FormatError> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(FormatError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.push(row, col, val);
+        Ok(())
+    }
+
+    /// Iterates over the stored `(row, col, value)` triplets in push order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r as usize, c as usize, v))
+    }
+
+    /// Sorts the triplets into row-major order and sums duplicates in place.
+    ///
+    /// After this call the triplets are strictly ordered by `(row, col)` and
+    /// every coordinate appears at most once.
+    pub fn compress(&mut self) {
+        if self.vals.is_empty() {
+            return;
+        }
+        let mut order: Vec<usize> = (0..self.vals.len()).collect();
+        order.sort_unstable_by_key(|&i| (self.rows[i], self.cols[i]));
+        let mut rows = Vec::with_capacity(self.vals.len());
+        let mut cols = Vec::with_capacity(self.vals.len());
+        let mut vals = Vec::with_capacity(self.vals.len());
+        for &i in &order {
+            let (r, c, v) = (self.rows[i], self.cols[i], self.vals[i]);
+            if let (Some(&lr), Some(&lc)) = (rows.last(), cols.last()) {
+                if lr == r && lc == c {
+                    *vals.last_mut().expect("vals nonempty alongside rows") += v;
+                    continue;
+                }
+            }
+            rows.push(r);
+            cols.push(c);
+            vals.push(v);
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.vals = vals;
+    }
+
+    /// Returns the transpose (rows and columns exchanged).
+    pub fn transpose(&self) -> CooMatrix {
+        CooMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rows: self.cols.clone(),
+            cols: self.rows.clone(),
+            vals: self.vals.clone(),
+        }
+    }
+}
+
+impl Extend<(usize, usize, f64)> for CooMatrix {
+    fn extend<T: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: T) {
+        for (r, c, v) in iter {
+            self.push(r, c, v);
+        }
+    }
+}
+
+impl StorageSize for CooMatrix {
+    fn metadata_bytes(&self) -> usize {
+        2 * INDEX_BYTES * self.nnz()
+    }
+
+    fn value_bytes(&self) -> usize {
+        VALUE_BYTES * self.nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iter_roundtrip() {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(2, 1, 5.0);
+        m.push(0, 0, 1.0);
+        let got: Vec<_> = m.iter().collect();
+        assert_eq!(got, vec![(2, 1, 5.0), (0, 0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn push_out_of_bounds_panics() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn try_push_reports_bounds() {
+        let mut m = CooMatrix::new(2, 2);
+        assert!(m.try_push(1, 1, 1.0).is_ok());
+        let err = m.try_push(0, 9, 1.0).unwrap_err();
+        assert!(matches!(err, FormatError::IndexOutOfBounds { col: 9, .. }));
+    }
+
+    #[test]
+    fn compress_sorts_and_sums_duplicates() {
+        let mut m = CooMatrix::new(4, 4);
+        m.push(1, 2, 1.0);
+        m.push(0, 3, 4.0);
+        m.push(1, 2, 2.5);
+        m.push(1, 0, -1.0);
+        m.compress();
+        let got: Vec<_> = m.iter().collect();
+        assert_eq!(got, vec![(0, 3, 4.0), (1, 0, -1.0), (1, 2, 3.5)]);
+    }
+
+    #[test]
+    fn compress_empty_is_noop() {
+        let mut m = CooMatrix::new(4, 4);
+        m.compress();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let mut m = CooMatrix::new(2, 3);
+        m.push(0, 2, 7.0);
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.iter().next(), Some((2, 0, 7.0)));
+    }
+
+    #[test]
+    fn extend_appends_triplets() {
+        let mut m = CooMatrix::new(2, 2);
+        m.extend(vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn storage_size_counts_indices_and_values() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 0, 1.0);
+        m.push(1, 1, 2.0);
+        assert_eq!(m.metadata_bytes(), 16);
+        assert_eq!(m.value_bytes(), 16);
+        assert_eq!(m.total_bytes(), 32);
+    }
+}

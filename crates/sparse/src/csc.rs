@@ -1,0 +1,186 @@
+//! Compressed sparse column (CSC) format.
+
+use crate::{CsrMatrix, FormatError, StorageSize, INDEX_BYTES, VALUE_BYTES};
+
+/// A sparse matrix in compressed sparse column (CSC) form.
+///
+/// CSC gives O(1) access to matrix columns, which the outer-product
+/// baselines (DS-STC, OuterSPACE-style dataflows) stream. It mirrors
+/// [`CsrMatrix`] with rows and columns exchanged.
+///
+/// # Example
+///
+/// ```
+/// use sparse::{CsrMatrix, CscMatrix};
+///
+/// # fn main() -> Result<(), sparse::FormatError> {
+/// let csr = CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![1, 0], vec![5.0, 6.0])?;
+/// let csc = csr.to_csc();
+/// let (rows, vals) = csc.col(0);
+/// assert_eq!(rows, &[1]);
+/// assert_eq!(vals, &[6.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix after validating every invariant (mirror image of
+    /// [`CsrMatrix::try_new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] if pointers are malformed, lengths disagree,
+    /// row indices are out of range, or indices within a column are not
+    /// strictly increasing.
+    pub fn try_new(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self, FormatError> {
+        // Validate by viewing the arrays as a transposed CSR matrix.
+        let as_csr = CsrMatrix::try_new(ncols, nrows, col_ptr, row_idx, values)?;
+        Ok(Self::from_transposed_csr(as_csr))
+    }
+
+    /// Reinterprets a CSR matrix as the CSC form of its transpose.
+    ///
+    /// The arrays are moved, not copied: the CSR row pointer of `t` becomes
+    /// the column pointer of the result.
+    pub(crate) fn from_transposed_csr(t: CsrMatrix) -> Self {
+        let nrows = t.ncols();
+        let ncols = t.nrows();
+        let col_ptr = t.row_ptr().to_vec();
+        let row_idx = t.col_idx().to_vec();
+        let values = t.values().to_vec();
+        CscMatrix { nrows, ncols, col_ptr, row_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(row_idx, values)` slices of one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.ncols()`.
+    pub fn col(&self, col: usize) -> (&[u32], &[f64]) {
+        let lo = self.col_ptr[col];
+        let hi = self.col_ptr[col + 1];
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of nonzeros stored in `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.ncols()`.
+    pub fn col_nnz(&self, col: usize) -> usize {
+        self.col_ptr[col + 1] - self.col_ptr[col]
+    }
+
+    /// Converts back to CSR form.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let as_csr = CsrMatrix::try_new(
+            self.ncols,
+            self.nrows,
+            self.col_ptr.clone(),
+            self.row_idx.clone(),
+            self.values.clone(),
+        )
+        .expect("internal CSC arrays are always a valid transposed CSR");
+        as_csr.transpose()
+    }
+}
+
+impl From<&CsrMatrix> for CscMatrix {
+    fn from(csr: &CsrMatrix) -> Self {
+        csr.to_csc()
+    }
+}
+
+impl StorageSize for CscMatrix {
+    fn metadata_bytes(&self) -> usize {
+        INDEX_BYTES * (self.ncols + 1) + INDEX_BYTES * self.nnz()
+    }
+
+    fn value_bytes(&self) -> usize {
+        VALUE_BYTES * self.nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csr() -> CsrMatrix {
+        // [ 1 0 2 0 ]
+        // [ 0 0 0 3 ]
+        // [ 4 0 0 5 ]
+        CsrMatrix::try_new(
+            3,
+            4,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 3, 0, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_to_csc_columns() {
+        let csc = sample_csr().to_csc();
+        assert_eq!(csc.nrows(), 3);
+        assert_eq!(csc.ncols(), 4);
+        let (rows, vals) = csc.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 4.0]);
+        assert_eq!(csc.col_nnz(1), 0);
+        let (rows3, vals3) = csc.col(3);
+        assert_eq!(rows3, &[1, 2]);
+        assert_eq!(vals3, &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn csc_csr_roundtrip() {
+        let csr = sample_csr();
+        let back = csr.to_csc().to_csr();
+        assert_eq!(back, csr);
+    }
+
+    #[test]
+    fn try_new_validates() {
+        // Unsorted row indices in a column.
+        let err =
+            CscMatrix::try_new(3, 1, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, FormatError::UnsortedIndices { .. }));
+    }
+
+    #[test]
+    fn storage_matches_csr_mirror() {
+        let csc = sample_csr().to_csc();
+        assert_eq!(csc.metadata_bytes(), 4 * 5 + 4 * 5);
+        assert_eq!(csc.value_bytes(), 40);
+    }
+}

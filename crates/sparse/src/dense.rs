@@ -1,0 +1,184 @@
+//! Row-major dense matrix, used for SpMM operands and golden results.
+
+use std::ops::{Index, IndexMut};
+
+use crate::{CsrMatrix, StorageSize, VALUE_BYTES};
+
+/// A dense matrix stored row-major, used as the `B` operand of SpMM and as
+/// the golden result container of the reference kernels.
+///
+/// # Example
+///
+/// ```
+/// use sparse::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zeros(2, 3);
+/// m[(1, 2)] = 4.0;
+/// assert_eq!(m.row(1), &[0.0, 0.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an all-zero `nrows x ncols` matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_row_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "row-major data length mismatch");
+        DenseMatrix { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// One row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.nrows()`.
+    pub fn row(&self, row: usize) -> &[f64] {
+        &self.data[row * self.ncols..(row + 1) * self.ncols]
+    }
+
+    /// One row as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.nrows()`.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        &mut self.data[row * self.ncols..(row + 1) * self.ncols]
+    }
+
+    /// The backing row-major slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Number of entries whose absolute value exceeds `eps`.
+    pub fn count_nonzero(&self, eps: f64) -> usize {
+        self.data.iter().filter(|v| v.abs() > eps).count()
+    }
+
+    /// Converts to CSR, dropping entries with `|v| <= eps`.
+    pub fn to_csr(&self, eps: f64) -> CsrMatrix {
+        let mut coo = crate::CooMatrix::new(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            for c in 0..self.ncols {
+                let v = self[(r, c)];
+                if v.abs() > eps {
+                    coo.push(r, c, v);
+                }
+            }
+        }
+        CsrMatrix::try_from(coo).expect("dense entries are always in range")
+    }
+
+    /// Maximum absolute difference against another matrix of equal shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.nrows, other.nrows, "row count mismatch");
+        assert_eq!(self.ncols, other.ncols, "column count mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.nrows && c < self.ncols, "index ({r}, {c}) out of bounds");
+        &self.data[r * self.ncols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.nrows && c < self.ncols, "index ({r}, {c}) out of bounds");
+        &mut self.data[r * self.ncols + c]
+    }
+}
+
+impl StorageSize for DenseMatrix {
+    fn metadata_bytes(&self) -> usize {
+        0
+    }
+
+    fn value_bytes(&self) -> usize {
+        VALUE_BYTES * self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_index() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        assert_eq!(m[(0, 1)], 0.0);
+        m[(0, 1)] = 3.0;
+        assert_eq!(m[(0, 1)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = DenseMatrix::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn from_row_major_lays_out_rows() {
+        let m = DenseMatrix::from_row_major(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.row(0), &[1., 2., 3.]);
+        assert_eq!(m.row(1), &[4., 5., 6.]);
+        assert_eq!(m[(1, 0)], 4.0);
+    }
+
+    #[test]
+    fn to_csr_drops_small_entries() {
+        let m = DenseMatrix::from_row_major(2, 2, vec![1.0, 1e-15, 0.0, 2.0]);
+        let csr = m.to_csr(1e-12);
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(1, 1), Some(2.0));
+    }
+
+    #[test]
+    fn max_abs_diff_detects_difference() {
+        let a = DenseMatrix::from_row_major(1, 2, vec![1.0, 2.0]);
+        let b = DenseMatrix::from_row_major(1, 2, vec![1.5, 2.0]);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_nonzero_uses_eps() {
+        let m = DenseMatrix::from_row_major(1, 3, vec![0.0, 1e-9, 5.0]);
+        assert_eq!(m.count_nonzero(1e-6), 1);
+        assert_eq!(m.count_nonzero(1e-12), 2);
+    }
+}

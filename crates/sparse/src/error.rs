@@ -1,0 +1,109 @@
+//! Error types for sparse-format construction and conversion.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing or validating a sparse format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FormatError {
+    /// An entry's row or column index lies outside the matrix dimensions.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Number of rows in the matrix.
+        nrows: usize,
+        /// Number of columns in the matrix.
+        ncols: usize,
+    },
+    /// A row-pointer (or column-pointer) array is not monotonically
+    /// non-decreasing, does not start at zero, or has the wrong length.
+    MalformedPointers {
+        /// Human-readable description of the violated invariant.
+        detail: &'static str,
+    },
+    /// Column indices within a CSR row (or row indices within a CSC column)
+    /// are not strictly increasing.
+    UnsortedIndices {
+        /// The row (CSR) or column (CSC) in which the violation occurred.
+        outer: usize,
+    },
+    /// Array lengths disagree (e.g. `col_idx.len() != values.len()`).
+    LengthMismatch {
+        /// Human-readable description of the disagreeing arrays.
+        detail: &'static str,
+    },
+    /// Operand dimensions do not match for a kernel invocation.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A block size that is zero or does not evenly tile the structure the
+    /// caller required.
+    InvalidBlockSize {
+        /// The offending block size.
+        block: usize,
+    },
+    /// A serialized BBC stream is truncated or carries a bad magic number.
+    CorruptStream {
+        /// Human-readable description of the corruption.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "entry ({row}, {col}) outside {nrows}x{ncols} matrix"
+            ),
+            FormatError::MalformedPointers { detail } => {
+                write!(f, "malformed pointer array: {detail}")
+            }
+            FormatError::UnsortedIndices { outer } => {
+                write!(f, "indices not strictly increasing in row/column {outer}")
+            }
+            FormatError::LengthMismatch { detail } => {
+                write!(f, "array length mismatch: {detail}")
+            }
+            FormatError::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+            FormatError::InvalidBlockSize { block } => {
+                write!(f, "invalid block size {block}")
+            }
+            FormatError::CorruptStream { detail } => {
+                write!(f, "corrupt BBC stream: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs = [
+            FormatError::IndexOutOfBounds { row: 5, col: 6, nrows: 4, ncols: 4 },
+            FormatError::MalformedPointers { detail: "does not start at 0" },
+            FormatError::UnsortedIndices { outer: 3 },
+            FormatError::LengthMismatch { detail: "col_idx vs values" },
+            FormatError::DimensionMismatch { detail: "a.ncols != b.nrows".into() },
+            FormatError::InvalidBlockSize { block: 0 },
+            FormatError::CorruptStream { detail: "bad magic" },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+}

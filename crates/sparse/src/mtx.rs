@@ -1,0 +1,259 @@
+//! Matrix Market (`.mtx`) I/O.
+//!
+//! The paper evaluates on the SuiteSparse collection, which is distributed
+//! in Matrix Market format. This module reads and writes the `coordinate`
+//! variant (general / symmetric / skew-symmetric, real / integer /
+//! pattern), so users with the real collection can run every experiment on
+//! it directly.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::{CooMatrix, CsrMatrix, FormatError};
+
+/// Symmetry classes of the Matrix Market coordinate format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Value field classes (complex matrices are rejected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+fn corrupt(detail: &'static str) -> FormatError {
+    FormatError::CorruptStream { detail }
+}
+
+/// Reads a Matrix Market coordinate stream into CSR form.
+///
+/// Symmetric and skew-symmetric matrices are expanded to their full
+/// structure; `pattern` matrices get unit values. Pass `&mut reader` to
+/// keep using the reader afterwards.
+///
+/// # Errors
+///
+/// Returns [`FormatError::CorruptStream`] on malformed headers, counts or
+/// entries, and [`FormatError::IndexOutOfBounds`] on out-of-range
+/// coordinates.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, FormatError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let header = loop {
+        match lines.next() {
+            Some(Ok(l)) if !l.trim().is_empty() => break l,
+            Some(Ok(_)) => continue,
+            _ => return Err(corrupt("missing header")),
+        }
+    };
+    let h: Vec<String> = header.split_whitespace().map(|s| s.to_lowercase()).collect();
+    if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
+        return Err(corrupt("not a MatrixMarket matrix header"));
+    }
+    if h[2] != "coordinate" {
+        return Err(corrupt("only the coordinate format is supported"));
+    }
+    let field = match h[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        _ => return Err(corrupt("unsupported value field (complex?)")),
+    };
+    let symmetry = match h[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        _ => return Err(corrupt("unsupported symmetry (hermitian?)")),
+    };
+
+    // Size line: rows cols nnz (comments allowed before it).
+    let size = loop {
+        match lines.next() {
+            Some(Ok(l)) => {
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break l;
+            }
+            _ => return Err(corrupt("missing size line")),
+        }
+    };
+    let dims: Vec<usize> = size
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map_err(|_| corrupt("bad size line")))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(corrupt("size line needs rows cols nnz"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz * 2);
+    let mut parsed = 0usize;
+    for line in lines {
+        let line = line.map_err(|_| corrupt("read error"))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(corrupt("bad entry row"))?;
+        let c: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(corrupt("bad entry column"))?;
+        let v: f64 = match field {
+            Field::Pattern => 1.0,
+            Field::Real | Field::Integer => it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(corrupt("bad entry value"))?,
+        };
+        if r == 0 || c == 0 {
+            return Err(corrupt("matrix market indices are 1-based"));
+        }
+        let (r, c) = (r - 1, c - 1);
+        coo.try_push(r, c, v)?;
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric => {
+                if r != c {
+                    coo.try_push(c, r, v)?;
+                }
+            }
+            Symmetry::SkewSymmetric => {
+                if r != c {
+                    coo.try_push(c, r, -v)?;
+                }
+            }
+        }
+        parsed += 1;
+    }
+    if parsed != nnz {
+        return Err(corrupt("entry count disagrees with size line"));
+    }
+    CsrMatrix::try_from(coo)
+}
+
+/// Writes a matrix as a `general real coordinate` Matrix Market stream.
+/// Pass `&mut writer` to keep using the writer afterwards.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying writer.
+pub fn write_matrix_market<W: Write>(m: &CsrMatrix, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by the Uni-STC reproduction (sparse crate)")?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(w, "{} {} {:e}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GENERAL: &str = "%%MatrixMarket matrix coordinate real general\n\
+        % a comment\n\
+        3 3 4\n\
+        1 1 2.5\n\
+        2 3 -1.0\n\
+        3 1 4e-2\n\
+        3 3 1.0\n";
+
+    #[test]
+    fn reads_general_real() {
+        let m = read_matrix_market(GENERAL.as_bytes()).unwrap();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), Some(2.5));
+        assert_eq!(m.get(1, 2), Some(-1.0));
+        assert_eq!(m.get(2, 0), Some(0.04));
+    }
+
+    #[test]
+    fn expands_symmetric() {
+        let src = "%%MatrixMarket matrix coordinate real symmetric\n\
+            3 3 3\n1 1 1.0\n2 1 5.0\n3 2 7.0\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.get(0, 1), Some(5.0));
+        assert_eq!(m.get(1, 0), Some(5.0));
+        assert_eq!(m.get(1, 2), Some(7.0));
+    }
+
+    #[test]
+    fn expands_skew_symmetric_with_negation() {
+        let src = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+            2 2 1\n2 1 3.0\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.get(1, 0), Some(3.0));
+        assert_eq!(m.get(0, 1), Some(-3.0));
+    }
+
+    #[test]
+    fn pattern_matrices_get_unit_values() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n\
+            2 2 2\n1 2\n2 1\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), Some(1.0));
+        assert_eq!(m.get(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_counts() {
+        assert!(read_matrix_market(&b"garbage\n1 1 0\n"[..]).is_err());
+        assert!(read_matrix_market(
+            &b"%%MatrixMarket matrix array real general\n2 2\n"[..]
+        )
+        .is_err());
+        assert!(read_matrix_market(
+            &b"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"[..]
+        )
+        .is_err());
+        // Wrong entry count.
+        assert!(read_matrix_market(
+            &b"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"[..]
+        )
+        .is_err());
+        // Zero-based index.
+        assert!(read_matrix_market(
+            &b"%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n"[..]
+        )
+        .is_err());
+        // Out-of-range index.
+        assert!(read_matrix_market(
+            &b"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n"[..]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let m = read_matrix_market(GENERAL.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn duplicate_entries_are_summed() {
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+            2 2 2\n1 1 1.0\n1 1 2.0\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 0), Some(3.0));
+        assert_eq!(m.nnz(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Sparse matrix addition: `C = A + beta * B`.
+
+use crate::{CsrMatrix, FormatError};
+
+use super::dim_err;
+
+/// Computes `C = A + beta * B` for two CSR matrices of equal shape.
+///
+/// Entries that cancel to exactly zero are kept structurally (matching the
+/// semantics of hardware accumulators and keeping the operation cheap);
+/// call [`CsrMatrix::to_dense`] + [`crate::DenseMatrix::to_csr`] to prune.
+///
+/// # Errors
+///
+/// Returns [`FormatError::DimensionMismatch`] if the shapes differ.
+///
+/// # Example
+///
+/// ```
+/// use sparse::{CsrMatrix, ops::add_scaled};
+///
+/// # fn main() -> Result<(), sparse::FormatError> {
+/// let i = CsrMatrix::identity(2);
+/// let c = add_scaled(&i, &i, -0.5)?;
+/// assert_eq!(c.get(0, 0), Some(0.5));
+/// # Ok(())
+/// # }
+/// ```
+pub fn add_scaled(a: &CsrMatrix, b: &CsrMatrix, beta: f64) -> Result<CsrMatrix, FormatError> {
+    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
+        return Err(dim_err(format!(
+            "add: shapes {}x{} and {}x{} differ",
+            a.nrows(),
+            a.ncols(),
+            b.nrows(),
+            b.ncols()
+        )));
+    }
+    let mut row_ptr = vec![0usize; a.nrows() + 1];
+    let mut col_idx: Vec<u32> = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut values: Vec<f64> = Vec::with_capacity(a.nnz() + b.nnz());
+    for r in 0..a.nrows() {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ac.len() || j < bc.len() {
+            let ca = ac.get(i).copied().unwrap_or(u32::MAX);
+            let cb = bc.get(j).copied().unwrap_or(u32::MAX);
+            match ca.cmp(&cb) {
+                std::cmp::Ordering::Less => {
+                    col_idx.push(ca);
+                    values.push(av[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    col_idx.push(cb);
+                    values.push(beta * bv[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    col_idx.push(ca);
+                    values.push(av[i] + beta * bv[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        row_ptr[r + 1] = col_idx.len();
+    }
+    CsrMatrix::try_new(a.nrows(), a.ncols(), row_ptr, col_idx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn m(entries: &[(usize, usize, f64)]) -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 3);
+        for &(r, c, v) in entries {
+            coo.push(r, c, v);
+        }
+        CsrMatrix::try_from(coo).unwrap()
+    }
+
+    #[test]
+    fn disjoint_structures_merge() {
+        let a = m(&[(0, 0, 1.0), (1, 2, 2.0)]);
+        let b = m(&[(0, 1, 3.0), (2, 2, 4.0)]);
+        let c = add_scaled(&a, &b, 1.0).unwrap();
+        assert_eq!(c.nnz(), 4);
+        assert_eq!(c.get(0, 1), Some(3.0));
+        assert_eq!(c.get(2, 2), Some(4.0));
+    }
+
+    #[test]
+    fn overlapping_entries_sum_with_scale() {
+        let a = m(&[(1, 1, 5.0)]);
+        let b = m(&[(1, 1, 2.0)]);
+        let c = add_scaled(&a, &b, -1.5).unwrap();
+        assert_eq!(c.get(1, 1), Some(2.0));
+    }
+
+    #[test]
+    fn cancellation_is_kept_structurally() {
+        let a = m(&[(0, 0, 1.0)]);
+        let c = add_scaled(&a, &a, -1.0).unwrap();
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 0), Some(0.0));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = m(&[(0, 0, 1.0)]);
+        let b = CsrMatrix::zeros(2, 3);
+        assert!(add_scaled(&a, &b, 1.0).is_err());
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let a = m(&[(0, 0, 1.0), (0, 2, -2.0), (2, 1, 4.0)]);
+        let b = m(&[(0, 0, 0.5), (1, 1, 1.0), (2, 1, -1.0)]);
+        let c = add_scaled(&a, &b, 2.0).unwrap();
+        let (ad, bd, cd) = (a.to_dense(), b.to_dense(), c.to_dense());
+        for r in 0..3 {
+            for col in 0..3 {
+                let want = ad[(r, col)] + 2.0 * bd[(r, col)];
+                assert!((cd[(r, col)] - want).abs() < 1e-12);
+            }
+        }
+    }
+}

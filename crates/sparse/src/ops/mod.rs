@@ -1,0 +1,145 @@
+//! Golden reference implementations of the four sparse kernels
+//! (Fig. 2 of the paper): SpMV, SpMSpV, SpMM and SpGEMM.
+//!
+//! These are straightforward, well-tested CPU implementations. The
+//! simulator crates use them to (a) validate the numerical results produced
+//! along the simulated dataflows and (b) compute structural quantities such
+//! as `nnz(C)` and intermediate-product counts (Table VII).
+
+mod add;
+mod spgemm;
+mod spmm;
+mod spmspv;
+mod spmv;
+
+pub use add::add_scaled;
+pub use spgemm::{spgemm, spgemm_flops, spgemm_structure};
+pub use spmm::spmm;
+pub use spmspv::spmspv;
+pub use spmv::spmv;
+
+use crate::FormatError;
+
+pub(crate) fn dim_err(detail: String) -> FormatError {
+    FormatError::DimensionMismatch { detail }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{CooMatrix, CsrMatrix, DenseMatrix, SparseVector};
+    use proptest::prelude::*;
+
+    /// A random small CSR matrix with entries in [-2, 2].
+    fn arb_csr(max_dim: usize) -> impl Strategy<Value = CsrMatrix> {
+        (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
+            proptest::collection::vec(
+                ((0..m), (0..n), -2.0f64..2.0),
+                0..=(m * n).min(64),
+            )
+            .prop_map(move |entries| {
+                let mut coo = CooMatrix::new(m, n);
+                for (r, c, v) in entries {
+                    coo.push(r, c, v);
+                }
+                CsrMatrix::try_from(coo).unwrap()
+            })
+        })
+    }
+
+    /// A random small square CSR matrix with entries in [-2, 2].
+    fn arb_square_csr(max_dim: usize) -> impl Strategy<Value = CsrMatrix> {
+        (1..=max_dim).prop_flat_map(|n| {
+            proptest::collection::vec(((0..n), (0..n), -2.0f64..2.0), 0..=(n * n).min(64))
+                .prop_map(move |entries| {
+                    let mut coo = CooMatrix::new(n, n);
+                    for (r, c, v) in entries {
+                        coo.push(r, c, v);
+                    }
+                    CsrMatrix::try_from(coo).unwrap()
+                })
+        })
+    }
+
+    fn dense_mul(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
+        let mut c = DenseMatrix::zeros(a.nrows(), b.ncols());
+        for (r, k, v) in a.iter() {
+            for j in 0..b.ncols() {
+                c[(r, j)] += v * b[(k, j)];
+            }
+        }
+        c
+    }
+
+    proptest! {
+        #[test]
+        fn spmv_matches_dense(a in arb_csr(24), seed in 0u64..1000) {
+            let n = a.ncols();
+            let x: Vec<f64> = (0..n).map(|i| ((i as u64 * 2654435761 + seed) % 7) as f64 - 3.0).collect();
+            let y = spmv(&a, &x).unwrap();
+            let mut expect = vec![0.0; a.nrows()];
+            for (r, c, v) in a.iter() {
+                expect[r] += v * x[c];
+            }
+            for (got, want) in y.iter().zip(&expect) {
+                prop_assert!((got - want).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn spmspv_matches_spmv_on_densified(a in arb_csr(24), seed in 0u64..1000) {
+            let n = a.ncols();
+            let dense: Vec<f64> = (0..n)
+                .map(|i| if (i as u64 + seed).is_multiple_of(2) { (i % 5) as f64 - 2.0 } else { 0.0 })
+                .collect();
+            let x = SparseVector::from_dense(&dense, 0.0);
+            let ys = spmspv(&a, &x).unwrap().to_dense();
+            let yd = spmv(&a, &dense).unwrap();
+            for (got, want) in ys.iter().zip(&yd) {
+                prop_assert!((got - want).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn spmm_matches_dense(a in arb_csr(16), cols in 1usize..8, seed in 0u64..100) {
+            let k = a.ncols();
+            let mut b = DenseMatrix::zeros(k, cols);
+            for r in 0..k {
+                for c in 0..cols {
+                    b[(r, c)] = (((r * cols + c) as u64 + seed) % 5) as f64 - 2.0;
+                }
+            }
+            let got = spmm(&a, &b).unwrap();
+            let want = dense_mul(&a, &b);
+            prop_assert!(got.max_abs_diff(&want) < 1e-9);
+        }
+
+        #[test]
+        fn spgemm_matches_dense((a, b) in (1usize..=14).prop_flat_map(|n| {
+            let entries = || proptest::collection::vec(((0..n), (0..n), -2.0f64..2.0), 0..=(n * n).min(64));
+            (entries(), entries()).prop_map(move |(ea, eb)| {
+                let build = |es: Vec<(usize, usize, f64)>| {
+                    let mut coo = CooMatrix::new(n, n);
+                    for (r, c, v) in es { coo.push(r, c, v); }
+                    CsrMatrix::try_from(coo).unwrap()
+                };
+                (build(ea), build(eb))
+            })
+        })) {
+            let got = spgemm(&a, &b).unwrap().to_dense();
+            let want = dense_mul(&a, &b.to_dense());
+            prop_assert!(got.max_abs_diff(&want) < 1e-9);
+        }
+
+        #[test]
+        fn spgemm_structure_covers_numeric(a in arb_square_csr(12)) {
+            let c = spgemm(&a, &a).unwrap();
+            let s = spgemm_structure(&a, &a).unwrap();
+            // Structural nnz is an upper bound on numeric nnz (cancellation).
+            prop_assert!(s.nnz() >= c.nnz());
+            for (r, cc, _) in c.iter() {
+                prop_assert!(s.get(r, cc).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Matrix reordering: permutations, reverse Cuthill-McKee bandwidth
+//! reduction, and degree sorting.
+//!
+//! STC performance depends heavily on *where* nonzeros sit relative to the
+//! 16x16 block grid (Section III of the paper). Reordering rows/columns
+//! changes that placement without changing the mathematics, which makes it
+//! the natural ablation axis for the block-structure sensitivity study
+//! (`ablation_reorder` in the bench crate).
+
+use crate::{CooMatrix, CsrMatrix, FormatError};
+
+/// Validates that `perm` is a permutation of `0..n`.
+fn check_permutation(perm: &[usize], n: usize) -> Result<(), FormatError> {
+    if perm.len() != n {
+        return Err(FormatError::LengthMismatch { detail: "permutation length != dimension" });
+    }
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if p >= n || seen[p] {
+            return Err(FormatError::MalformedPointers {
+                detail: "not a permutation of 0..n",
+            });
+        }
+        seen[p] = true;
+    }
+    Ok(())
+}
+
+/// Symmetrically permutes a square matrix: `B[p[i], p[j]] = A[i, j]`.
+///
+/// # Errors
+///
+/// Returns [`FormatError`] if `a` is not square or `perm` is not a
+/// permutation of `0..a.nrows()`.
+pub fn permute_symmetric(a: &CsrMatrix, perm: &[usize]) -> Result<CsrMatrix, FormatError> {
+    if a.nrows() != a.ncols() {
+        return Err(FormatError::DimensionMismatch {
+            detail: "symmetric permutation needs a square matrix".into(),
+        });
+    }
+    check_permutation(perm, a.nrows())?;
+    let mut coo = CooMatrix::with_capacity(a.nrows(), a.ncols(), a.nnz());
+    for (r, c, v) in a.iter() {
+        coo.push(perm[r], perm[c], v);
+    }
+    CsrMatrix::try_from(coo)
+}
+
+/// Reverse Cuthill-McKee ordering of the symmetrised structure of `a`:
+/// a classic bandwidth-reducing permutation. Returns `perm` with
+/// `perm[old] = new`.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn reverse_cuthill_mckee(a: &CsrMatrix) -> Vec<usize> {
+    assert_eq!(a.nrows(), a.ncols(), "RCM needs a square matrix");
+    let n = a.nrows();
+    // Symmetrised adjacency lists.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (r, c, _) in a.iter() {
+        if r != c {
+            adj[r].push(c as u32);
+            adj[c].push(r as u32);
+        }
+    }
+    for l in adj.iter_mut() {
+        l.sort_unstable();
+        l.dedup();
+    }
+    let degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    // Process components from minimum-degree seeds.
+    let mut seeds: Vec<usize> = (0..n).collect();
+    seeds.sort_by_key(|&v| degree[v]);
+    for &seed in &seeds {
+        if visited[seed] {
+            continue;
+        }
+        visited[seed] = true;
+        let mut queue = std::collections::VecDeque::from([seed]);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            let mut nbrs: Vec<u32> =
+                adj[u].iter().copied().filter(|&v| !visited[v as usize]).collect();
+            nbrs.sort_by_key(|&v| degree[v as usize]);
+            for v in nbrs {
+                visited[v as usize] = true;
+                queue.push_back(v as usize);
+            }
+        }
+    }
+    // Reverse, then convert position list into old -> new mapping.
+    order.reverse();
+    let mut perm = vec![0usize; n];
+    for (new, &old) in order.iter().enumerate() {
+        perm[old] = new;
+    }
+    perm
+}
+
+/// Degree-descending row ordering (hubs first): `perm[old] = new`.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn degree_sort(a: &CsrMatrix) -> Vec<usize> {
+    assert_eq!(a.nrows(), a.ncols(), "degree sort needs a square matrix");
+    let mut idx: Vec<usize> = (0..a.nrows()).collect();
+    idx.sort_by_key(|&r| std::cmp::Reverse(a.row_nnz(r)));
+    let mut perm = vec![0usize; a.nrows()];
+    for (new, &old) in idx.iter().enumerate() {
+        perm[old] = new;
+    }
+    perm
+}
+
+/// Structural bandwidth: `max |i - j|` over nonzeros (0 for diagonal or
+/// empty matrices).
+pub fn bandwidth(a: &CsrMatrix) -> usize {
+    a.iter().map(|(r, c, _)| r.abs_diff(c)).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> CsrMatrix {
+        // A ring graph numbered to have terrible bandwidth: neighbours are
+        // i +- n/2 alternating.
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            let j = (i + n / 2) % n;
+            if i != j {
+                coo.push(i, j, -1.0);
+                coo.push(j, i, -1.0);
+            }
+        }
+        CsrMatrix::try_from(coo).unwrap()
+    }
+
+    #[test]
+    fn permutation_preserves_values() {
+        let a = ring(8);
+        let perm: Vec<usize> = (0..8).rev().collect();
+        let b = permute_symmetric(&a, &perm).unwrap();
+        assert_eq!(b.nnz(), a.nnz());
+        for (r, c, v) in a.iter() {
+            assert_eq!(b.get(perm[r], perm[c]), Some(v));
+        }
+    }
+
+    #[test]
+    fn identity_permutation_is_noop() {
+        let a = ring(8);
+        let perm: Vec<usize> = (0..8).collect();
+        assert_eq!(permute_symmetric(&a, &perm).unwrap(), a);
+    }
+
+    #[test]
+    fn invalid_permutations_rejected() {
+        let a = ring(4);
+        assert!(permute_symmetric(&a, &[0, 1, 2]).is_err()); // wrong length
+        assert!(permute_symmetric(&a, &[0, 1, 1, 2]).is_err()); // duplicate
+        assert!(permute_symmetric(&a, &[0, 1, 2, 9]).is_err()); // out of range
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth() {
+        let a = ring(64);
+        let before = bandwidth(&a);
+        let perm = reverse_cuthill_mckee(&a);
+        let b = permute_symmetric(&a, &perm).unwrap();
+        let after = bandwidth(&b);
+        assert!(after < before, "bandwidth {before} -> {after}");
+        assert!(after <= 4, "ring should become near-tridiagonal, got {after}");
+    }
+
+    #[test]
+    fn rcm_is_a_permutation_even_with_isolated_nodes() {
+        let mut coo = CooMatrix::new(6, 6);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        // Nodes 2..6 isolated.
+        let a = CsrMatrix::try_from(coo).unwrap();
+        let perm = reverse_cuthill_mckee(&a);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degree_sort_puts_hubs_first() {
+        let mut coo = CooMatrix::new(5, 5);
+        for c in 0..5 {
+            coo.push(3, c, 1.0); // row 3 is the hub
+        }
+        coo.push(0, 0, 1.0);
+        let a = CsrMatrix::try_from(coo).unwrap();
+        let perm = degree_sort(&a);
+        assert_eq!(perm[3], 0); // hub becomes row 0
+    }
+
+    #[test]
+    fn bandwidth_of_diagonal_is_zero() {
+        assert_eq!(bandwidth(&CsrMatrix::identity(5)), 0);
+        assert_eq!(bandwidth(&CsrMatrix::zeros(3, 3)), 0);
+    }
+}

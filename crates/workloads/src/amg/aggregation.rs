@@ -1,0 +1,164 @@
+//! Strength-of-connection filtering and greedy aggregation.
+
+use sparse::{CooMatrix, CsrMatrix};
+
+/// The result of aggregating a level: each fine node's aggregate index.
+#[derive(Debug, Clone)]
+pub struct Aggregation {
+    /// Aggregate index per fine node (`usize::MAX` never appears in the
+    /// output: isolated nodes get singleton aggregates).
+    pub assignment: Vec<usize>,
+    /// Number of aggregates (coarse unknowns).
+    pub n_aggregates: usize,
+}
+
+/// Builds the strength graph: entry `(i, j)` is strong when
+/// `|a_ij| >= theta * max_{k != i} |a_ik|`.
+///
+/// Returns per-row lists of strong neighbours (excluding the diagonal).
+#[allow(clippy::needless_range_loop)] // i indexes both the matrix and `strong`
+pub fn strength_graph(a: &CsrMatrix, theta: f64) -> Vec<Vec<usize>> {
+    let mut strong = vec![Vec::new(); a.nrows()];
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let max_off = cols
+            .iter()
+            .zip(vals)
+            .filter(|(&c, _)| c as usize != i)
+            .map(|(_, v)| v.abs())
+            .fold(0.0f64, f64::max);
+        if max_off == 0.0 {
+            continue;
+        }
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c as usize != i && v.abs() >= theta * max_off {
+                strong[i].push(c as usize);
+            }
+        }
+    }
+    strong
+}
+
+/// Greedy aggregation (the standard two-pass scheme): pass 1 forms an
+/// aggregate from each fully-unaggregated strong neighbourhood; pass 2
+/// attaches leftover nodes to a neighbouring aggregate; remaining isolated
+/// nodes become singletons.
+pub fn aggregate(a: &CsrMatrix, theta: f64) -> Aggregation {
+    let n = a.nrows();
+    let strong = strength_graph(a, theta);
+    const UNASSIGNED: usize = usize::MAX;
+    let mut assignment = vec![UNASSIGNED; n];
+    let mut n_aggregates = 0usize;
+
+    // Pass 1: root nodes whose entire strong neighbourhood is free.
+    for i in 0..n {
+        if assignment[i] != UNASSIGNED {
+            continue;
+        }
+        if strong[i].iter().any(|&j| assignment[j] != UNASSIGNED) {
+            continue;
+        }
+        let agg = n_aggregates;
+        n_aggregates += 1;
+        assignment[i] = agg;
+        for &j in &strong[i] {
+            assignment[j] = agg;
+        }
+    }
+
+    // Pass 2: attach leftovers to a strongly-connected aggregate.
+    for i in 0..n {
+        if assignment[i] != UNASSIGNED {
+            continue;
+        }
+        if let Some(&j) = strong[i].iter().find(|&&j| assignment[j] != UNASSIGNED) {
+            assignment[i] = assignment[j];
+        }
+    }
+
+    // Pass 3: singletons for anything still isolated.
+    for slot in assignment.iter_mut() {
+        if *slot == UNASSIGNED {
+            *slot = n_aggregates;
+            n_aggregates += 1;
+        }
+    }
+
+    Aggregation { assignment, n_aggregates }
+}
+
+/// Piecewise-constant prolongation: `P[i, agg(i)] = 1`.
+pub fn prolongation(agg: &Aggregation) -> CsrMatrix {
+    let n = agg.assignment.len();
+    let mut coo = CooMatrix::with_capacity(n, agg.n_aggregates, n);
+    for (i, &a) in agg.assignment.iter().enumerate() {
+        coo.push(i, a, 1.0);
+    }
+    CsrMatrix::try_from(coo).expect("assignments are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn strength_graph_filters_weak_entries() {
+        // Row 0: strong 5.0 and weak 0.1 off-diagonals.
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 10.0);
+        coo.push(0, 1, 5.0);
+        coo.push(0, 2, 0.1);
+        coo.push(1, 1, 1.0);
+        coo.push(2, 2, 1.0);
+        let a = CsrMatrix::try_from(coo).unwrap();
+        let s = strength_graph(&a, 0.25);
+        assert_eq!(s[0], vec![1]);
+        assert!(s[1].is_empty());
+    }
+
+    #[test]
+    fn aggregate_covers_every_node() {
+        let a = gen::poisson_2d(16);
+        let agg = aggregate(&a, 0.25);
+        assert_eq!(agg.assignment.len(), 256);
+        assert!(agg.n_aggregates > 0 && agg.n_aggregates < 256);
+        for &x in &agg.assignment {
+            assert!(x < agg.n_aggregates);
+        }
+        // Every aggregate is nonempty.
+        let mut seen = vec![false; agg.n_aggregates];
+        for &x in &agg.assignment {
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn poisson_coarsening_ratio_is_sane() {
+        // 5-point stencil aggregates have 3-5 nodes typically.
+        let a = gen::poisson_2d(32);
+        let agg = aggregate(&a, 0.25);
+        let ratio = 1024.0 / agg.n_aggregates as f64;
+        assert!((2.0..8.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn isolated_nodes_become_singletons() {
+        let a = CsrMatrix::identity(4); // no off-diagonals at all
+        let agg = aggregate(&a, 0.25);
+        assert_eq!(agg.n_aggregates, 4);
+    }
+
+    #[test]
+    fn prolongation_has_unit_row_sums() {
+        let a = gen::poisson_2d(8);
+        let agg = aggregate(&a, 0.25);
+        let p = prolongation(&agg);
+        assert_eq!(p.nrows(), 64);
+        assert_eq!(p.ncols(), agg.n_aggregates);
+        for r in 0..p.nrows() {
+            assert_eq!(p.row_nnz(r), 1);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Algebraic multigrid (AMG) solver — the application case study of the
+//! paper's Fig. 21.
+//!
+//! The paper adapts an AMG solver (AmgT-style) and measures the speedup of
+//! its SpMV and SpGEMM kernels under each STC. This module implements a
+//! real aggregation-based AMG:
+//!
+//! * **Setup**: strength-of-connection filtering, greedy aggregation
+//!   ([`aggregation`]), piecewise-constant prolongation `P`, restriction
+//!   `R = P^T`, and the Galerkin triple product `A_c = R (A P)` computed
+//!   with the reference SpGEMM — the SpGEMM workload of Fig. 21.
+//! * **Solve**: damped-Jacobi V-cycles ([`vcycle`]) — the SpMV workload.
+//!
+//! [`AmgHierarchy::spgemm_pairs`] and [`AmgHierarchy::spmv_trace`] expose
+//! the exact kernel mix so the Fig. 21 harness can replay it through every
+//! simulated engine.
+
+pub mod aggregation;
+pub mod vcycle;
+
+use sparse::ops::spgemm;
+use sparse::CsrMatrix;
+
+/// AMG construction options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmgOptions {
+    /// Strength-of-connection threshold in `[0, 1]`.
+    pub theta: f64,
+    /// Maximum number of levels (including the finest).
+    pub max_levels: usize,
+    /// Stop coarsening when a level has at most this many rows.
+    pub coarse_size: usize,
+    /// Damped-Jacobi weight (2/3 is the classic choice).
+    pub jacobi_weight: f64,
+    /// Pre-smoothing sweeps per level per cycle.
+    pub pre_smooth: usize,
+    /// Post-smoothing sweeps per level per cycle.
+    pub post_smooth: usize,
+    /// Smoothed aggregation: damp the tentative prolongation with one
+    /// weighted-Jacobi sweep, `P = (I - omega D^-1 A) T`. This is what
+    /// makes aggregation AMG mesh-independent (and adds one more SpGEMM
+    /// per level to the Fig. 21 setup workload).
+    pub smoothed_aggregation: bool,
+    /// Prolongation-smoothing weight (omega / lambda_max(D^-1 A)).
+    pub prolongation_weight: f64,
+}
+
+impl Default for AmgOptions {
+    fn default() -> Self {
+        AmgOptions {
+            theta: 0.25,
+            max_levels: 10,
+            coarse_size: 64,
+            jacobi_weight: 2.0 / 3.0,
+            pre_smooth: 2,
+            post_smooth: 2,
+            smoothed_aggregation: true,
+            prolongation_weight: 2.0 / 3.0,
+        }
+    }
+}
+
+/// One AMG level: its operator and (except on the coarsest level) the
+/// transfer operators to the next level.
+#[derive(Debug, Clone)]
+pub struct Level {
+    /// The level operator `A_l`.
+    pub a: CsrMatrix,
+    /// Prolongation `P_l` (absent on the coarsest level).
+    pub p: Option<CsrMatrix>,
+    /// Restriction `R_l = P_l^T` (absent on the coarsest level).
+    pub r: Option<CsrMatrix>,
+}
+
+/// A constructed AMG hierarchy.
+#[derive(Debug, Clone)]
+pub struct AmgHierarchy {
+    /// Levels from finest (index 0) to coarsest.
+    pub levels: Vec<Level>,
+    /// Options used at construction.
+    pub options: AmgOptions,
+}
+
+/// Smooths a tentative prolongation: `P = T - omega D^-1 (A T)`.
+///
+/// The `A T` product is one more SpGEMM in the setup's kernel mix; the
+/// diagonal scaling and subtraction are cheap vector passes.
+fn smooth_prolongation(a: &CsrMatrix, t: &CsrMatrix, omega: f64) -> CsrMatrix {
+    let at = spgemm(a, t).expect("A and T conform by construction");
+    // Scale rows of AT by omega / a_ii. lambda_max(D^-1 A) <= 2 for the
+    // diagonally dominant operators we coarsen, so omega ~ 2/3 damps the
+    // high-frequency range.
+    let mut scaled = at;
+    for r in 0..a.nrows() {
+        let d = a.get(r, r).unwrap_or(1.0);
+        if d.abs() < 1e-300 {
+            continue;
+        }
+        let (lo, hi) = (scaled.row_ptr()[r], scaled.row_ptr()[r + 1]);
+        for v in &mut scaled.values_mut()[lo..hi] {
+            *v *= omega / d;
+        }
+    }
+    sparse::ops::add_scaled(t, &scaled, -1.0).expect("T and scaled AT share a shape")
+}
+
+/// Builds an AMG hierarchy for a square matrix.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or is empty.
+pub fn build_hierarchy(a: &CsrMatrix, options: AmgOptions) -> AmgHierarchy {
+    assert_eq!(a.nrows(), a.ncols(), "AMG needs a square operator");
+    assert!(a.nrows() > 0, "AMG needs a nonempty operator");
+    let mut levels: Vec<Level> = Vec::new();
+    let mut current = a.clone();
+    while levels.len() + 1 < options.max_levels && current.nrows() > options.coarse_size {
+        let agg = aggregation::aggregate(&current, options.theta);
+        if agg.n_aggregates == 0 || agg.n_aggregates >= current.nrows() {
+            break; // coarsening stalled
+        }
+        let t = aggregation::prolongation(&agg);
+        let p = if options.smoothed_aggregation {
+            smooth_prolongation(&current, &t, options.prolongation_weight)
+        } else {
+            t
+        };
+        let r = p.transpose();
+        // Galerkin triple product: A_c = R * (A * P) — two SpGEMMs, the
+        // kernel mix Fig. 21 measures.
+        let ap = spgemm(&current, &p).expect("A and P conform by construction");
+        let coarse = spgemm(&r, &ap).expect("R and AP conform by construction");
+        levels.push(Level { a: current, p: Some(p), r: Some(r) });
+        current = coarse;
+    }
+    levels.push(Level { a: current, p: None, r: None });
+    AmgHierarchy { levels, options }
+}
+
+impl AmgHierarchy {
+    /// Number of levels.
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total grid complexity: sum of level rows over fine rows.
+    pub fn grid_complexity(&self) -> f64 {
+        let fine = self.levels[0].a.nrows() as f64;
+        self.levels.iter().map(|l| l.a.nrows() as f64).sum::<f64>() / fine
+    }
+
+    /// Total operator complexity: sum of level nnz over fine nnz.
+    pub fn operator_complexity(&self) -> f64 {
+        let fine = self.levels[0].a.nnz() as f64;
+        self.levels.iter().map(|l| l.a.nnz() as f64).sum::<f64>() / fine
+    }
+
+    /// The SpGEMM pairs of the setup phase, in execution order:
+    /// `(A_l, P_l)` then `(R_l, A_l P_l)` per coarsened level.
+    pub fn spgemm_pairs(&self) -> Vec<(CsrMatrix, CsrMatrix)> {
+        let mut out = Vec::new();
+        for l in &self.levels {
+            if let (Some(p), Some(r)) = (&l.p, &l.r) {
+                let ap = spgemm(&l.a, p).expect("pairs conform");
+                out.push((l.a.clone(), p.clone()));
+                out.push((r.clone(), ap));
+            }
+        }
+        out
+    }
+
+    /// The SpMV invocation mix of `n_cycles` V-cycles: for each level,
+    /// `(operator, invocations)`. Each smoothing sweep and each residual
+    /// evaluation is one SpMV on that level's operator.
+    pub fn spmv_trace(&self, n_cycles: usize) -> Vec<(&CsrMatrix, usize)> {
+        let o = &self.options;
+        let mut out = Vec::new();
+        for (li, l) in self.levels.iter().enumerate() {
+            let per_cycle = if li + 1 == self.levels.len() {
+                // Coarsest: direct solve, no SpMV.
+                0
+            } else {
+                // pre-smooths + residual + post-smooths (each Jacobi sweep
+                // contains one SpMV; the residual restriction adds one).
+                o.pre_smooth + 1 + o.post_smooth
+            };
+            if per_cycle > 0 {
+                out.push((&l.a, per_cycle * n_cycles));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn hierarchy_coarsens_poisson() {
+        let a = gen::poisson_2d(32); // 1024 unknowns
+        let h = build_hierarchy(&a, AmgOptions::default());
+        assert!(h.n_levels() >= 2, "only {} levels", h.n_levels());
+        // Aggregation coarsens by roughly 3x per level on a 2-D stencil.
+        for w in h.levels.windows(2) {
+            assert!(w[1].a.nrows() < w[0].a.nrows());
+        }
+        assert!(h.levels.last().unwrap().a.nrows() <= 64 + 512);
+        assert!(h.grid_complexity() < 2.0);
+        assert!(h.operator_complexity() < 3.0);
+    }
+
+    #[test]
+    fn galerkin_operators_stay_symmetric() {
+        let a = gen::poisson_2d(16);
+        let h = build_hierarchy(&a, AmgOptions::default());
+        for l in &h.levels {
+            let t = l.a.transpose();
+            for (r, c, v) in l.a.iter() {
+                let tv = t.get(r, c).unwrap_or(0.0);
+                assert!((v - tv).abs() < 1e-9, "asymmetry at ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn spgemm_pairs_conform() {
+        let a = gen::poisson_2d(16);
+        let h = build_hierarchy(&a, AmgOptions::default());
+        let pairs = h.spgemm_pairs();
+        assert_eq!(pairs.len(), 2 * (h.n_levels() - 1));
+        for (x, y) in &pairs {
+            assert_eq!(x.ncols(), y.nrows());
+        }
+    }
+
+    #[test]
+    fn spmv_trace_counts_sweeps() {
+        let a = gen::poisson_2d(16);
+        let h = build_hierarchy(&a, AmgOptions::default());
+        let trace = h.spmv_trace(3);
+        // 2 + 1 + 2 = 5 SpMVs per level per cycle, x3 cycles.
+        assert!(trace.iter().all(|&(_, n)| n == 15));
+        assert_eq!(trace.len(), h.n_levels() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        let a = CsrMatrix::zeros(4, 5);
+        build_hierarchy(&a, AmgOptions::default());
+    }
+}

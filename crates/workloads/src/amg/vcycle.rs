@@ -1,0 +1,234 @@
+//! Damped-Jacobi V-cycle and the AMG solve loop.
+
+use sparse::ops::spmv;
+use sparse::CsrMatrix;
+
+use super::AmgHierarchy;
+
+/// Result of an AMG solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveResult {
+    /// V-cycles performed.
+    pub iterations: usize,
+    /// Final relative residual `||b - Ax|| / ||b||`.
+    pub relative_residual: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// One damped-Jacobi sweep: `x += w * D^-1 (b - A x)`.
+fn jacobi_sweep(a: &CsrMatrix, b: &[f64], x: &mut [f64], weight: f64) {
+    let ax = spmv(a, x).expect("dimensions fixed by hierarchy");
+    for i in 0..a.nrows() {
+        let d = a.get(i, i).unwrap_or(1.0);
+        if d.abs() > 1e-300 {
+            x[i] += weight * (b[i] - ax[i]) / d;
+        }
+    }
+}
+
+/// Residual `r = b - A x`.
+fn residual(a: &CsrMatrix, b: &[f64], x: &[f64]) -> Vec<f64> {
+    let ax = spmv(a, x).expect("dimensions fixed by hierarchy");
+    b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect()
+}
+
+fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dense LU solve with partial pivoting for the coarsest level.
+///
+/// # Panics
+///
+/// Panics if the matrix is singular to working precision.
+pub fn dense_solve(a: &CsrMatrix, b: &[f64]) -> Vec<f64> {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "dense solve needs a square matrix");
+    assert_eq!(n, b.len(), "right-hand side length mismatch");
+    let mut m = a.to_dense();
+    let mut x: Vec<f64> = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let piv = (col..n)
+            .max_by(|&i, &j| {
+                m[(i, col)].abs().partial_cmp(&m[(j, col)].abs()).expect("finite")
+            })
+            .expect("nonempty range");
+        assert!(m[(piv, col)].abs() > 1e-12, "coarse operator is singular");
+        if piv != col {
+            for k in 0..n {
+                let tmp = m[(col, k)];
+                m[(col, k)] = m[(piv, k)];
+                m[(piv, k)] = tmp;
+            }
+            x.swap(col, piv);
+        }
+        for row in col + 1..n {
+            let f = m[(row, col)] / m[(col, col)];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                let v = m[(col, k)];
+                m[(row, k)] -= f * v;
+            }
+            x[row] -= f * x[col];
+        }
+    }
+    for col in (0..n).rev() {
+        x[col] /= m[(col, col)];
+        for row in 0..col {
+            let f = m[(row, col)];
+            x[row] -= f * x[col];
+        }
+    }
+    x
+}
+
+impl AmgHierarchy {
+    /// Performs one V-cycle on level `lvl`, improving `x` for `A_lvl x = b`.
+    fn vcycle_level(&self, lvl: usize, b: &[f64], x: &mut Vec<f64>) {
+        let level = &self.levels[lvl];
+        if lvl + 1 == self.levels.len() {
+            *x = dense_solve(&level.a, b);
+            return;
+        }
+        let o = &self.options;
+        for _ in 0..o.pre_smooth {
+            jacobi_sweep(&level.a, b, x, o.jacobi_weight);
+        }
+        let r = residual(&level.a, b, x);
+        let rt = level.r.as_ref().expect("non-coarsest level has R");
+        let rc = spmv(rt, &r).expect("restriction conforms");
+        let mut ec = vec![0.0; rc.len()];
+        self.vcycle_level(lvl + 1, &rc, &mut ec);
+        let p = level.p.as_ref().expect("non-coarsest level has P");
+        let e = spmv(p, &ec).expect("prolongation conforms");
+        for (xi, ei) in x.iter_mut().zip(&e) {
+            *xi += ei;
+        }
+        for _ in 0..o.post_smooth {
+            jacobi_sweep(&level.a, b, x, o.jacobi_weight);
+        }
+    }
+
+    /// Performs one V-cycle on the finest level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `x.len()` do not match the fine operator.
+    pub fn vcycle(&self, b: &[f64], x: &mut Vec<f64>) {
+        assert_eq!(b.len(), self.levels[0].a.nrows(), "rhs length mismatch");
+        assert_eq!(x.len(), b.len(), "solution length mismatch");
+        self.vcycle_level(0, b, x);
+    }
+
+    /// Solves `A x = b` by repeated V-cycles from a zero initial guess.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the fine operator.
+    pub fn solve(&self, b: &[f64], tol: f64, max_cycles: usize) -> (Vec<f64>, SolveResult) {
+        let a = &self.levels[0].a;
+        assert_eq!(b.len(), a.nrows(), "rhs length mismatch");
+        let bnorm = norm2(b).max(1e-300);
+        let mut x = vec![0.0; b.len()];
+        let mut iterations = 0;
+        let mut rel = 1.0;
+        while iterations < max_cycles {
+            self.vcycle(b, &mut x);
+            iterations += 1;
+            rel = norm2(&residual(a, b, &x)) / bnorm;
+            if rel < tol {
+                break;
+            }
+        }
+        (x, SolveResult { iterations, relative_residual: rel, converged: rel < tol })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amg::{build_hierarchy, AmgOptions};
+    use crate::gen;
+
+    #[test]
+    fn dense_solve_inverts_small_system() {
+        let mut coo = sparse::CooMatrix::new(3, 3);
+        for (r, c, v) in [
+            (0, 0, 4.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 3.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (2, 2, 2.0),
+        ] {
+            coo.push(r, c, v);
+        }
+        let a = CsrMatrix::try_from(coo).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = dense_solve(&a, &b);
+        let r = residual(&a, &b, &x);
+        assert!(norm2(&r) < 1e-10);
+    }
+
+    #[test]
+    fn dense_solve_handles_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let mut coo = sparse::CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let a = CsrMatrix::try_from(coo).unwrap();
+        let x = dense_solve(&a, &[5.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vcycle_reduces_residual() {
+        let a = gen::poisson_2d(16);
+        let h = build_hierarchy(&a, AmgOptions::default());
+        let b = vec![1.0; 256];
+        let mut x = vec![0.0; 256];
+        let r0 = norm2(&residual(&a, &b, &x));
+        h.vcycle(&b, &mut x);
+        let r1 = norm2(&residual(&a, &b, &x));
+        assert!(r1 < 0.8 * r0, "cycle reduced {r0} only to {r1}");
+    }
+
+    #[test]
+    fn solve_converges_on_poisson() {
+        let a = gen::poisson_2d(24);
+        let h = build_hierarchy(&a, AmgOptions::default());
+        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let (x, res) = h.solve(&b, 1e-8, 200);
+        assert!(res.converged, "residual {}", res.relative_residual);
+        assert!(res.iterations < 200);
+        // Check the solution truly solves the system.
+        let r = residual(&a, &b, &x);
+        assert!(norm2(&r) / norm2(&b) < 1e-8);
+    }
+
+    #[test]
+    fn jacobi_alone_converges_slower_than_vcycle() {
+        let a = gen::poisson_2d(16);
+        let h = build_hierarchy(&a, AmgOptions::default());
+        let b = vec![1.0; 256];
+        // One V-cycle.
+        let mut xv = vec![0.0; 256];
+        h.vcycle(&b, &mut xv);
+        let rv = norm2(&residual(&a, &b, &xv));
+        // The same number of fine-level Jacobi sweeps without coarse
+        // correction.
+        let sweeps = h.options.pre_smooth + h.options.post_smooth;
+        let mut xj = vec![0.0; 256];
+        for _ in 0..sweeps {
+            jacobi_sweep(&a, &b, &mut xj, h.options.jacobi_weight);
+        }
+        let rj = norm2(&residual(&a, &b, &xj));
+        assert!(rv < rj, "V-cycle {rv} vs Jacobi {rj}");
+    }
+}

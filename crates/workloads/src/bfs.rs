@@ -1,0 +1,167 @@
+//! Breadth-first search on a sparse adjacency matrix — the SpMV / SpMSpV
+//! application of the paper's Table II.
+//!
+//! Linear-algebraic BFS: the frontier is a sparse vector `f`; one step is
+//! `f' = (A^T f) masked by unvisited`, i.e. one SpMSpV per level (the
+//! boolean semiring is emulated on floats). Early levels have very sparse
+//! frontiers (SpMSpV territory); mid-traversal frontiers of power-law
+//! graphs approach dense vectors (SpMV territory) — exactly the kernel mix
+//! Table II attributes to BFS.
+
+use sparse::ops::spmspv;
+use sparse::{CsrMatrix, SparseVector};
+
+/// Result of a BFS traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsResult {
+    /// BFS level per vertex (`-1` when unreachable).
+    pub levels: Vec<i32>,
+    /// Number of traversal iterations (levels expanded).
+    pub iterations: usize,
+    /// Number of reached vertices (including the source).
+    pub reached: usize,
+}
+
+/// One recorded traversal step, for replaying the kernel mix through a
+/// simulated engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BfsStep {
+    /// The frontier fed to this step's SpMSpV.
+    pub frontier: SparseVector,
+    /// Frontier density at this step (`nnz / n`).
+    pub density: f64,
+}
+
+/// Runs BFS from `source` over the out-edges of `adj`, recording the
+/// frontier of every step.
+///
+/// # Panics
+///
+/// Panics if `adj` is not square or `source` is out of range.
+pub fn bfs(adj: &CsrMatrix, source: usize) -> (BfsResult, Vec<BfsStep>) {
+    assert_eq!(adj.nrows(), adj.ncols(), "BFS needs a square adjacency matrix");
+    assert!(source < adj.nrows(), "source vertex out of range");
+    let n = adj.nrows();
+    // Pulling along columns of A = pushing along rows of A^T.
+    let at = adj.transpose();
+    let mut levels = vec![-1i32; n];
+    levels[source] = 0;
+    let mut frontier =
+        SparseVector::try_new(n, vec![source as u32], vec![1.0]).expect("source in range");
+    let mut steps = Vec::new();
+    let mut reached = 1usize;
+    let mut level = 0i32;
+    while frontier.nnz() > 0 {
+        steps.push(BfsStep {
+            frontier: frontier.clone(),
+            density: frontier.nnz() as f64 / n as f64,
+        });
+        let next = spmspv(&at, &frontier).expect("dimensions fixed above");
+        level += 1;
+        let mut idx = Vec::new();
+        let mut vals = Vec::new();
+        for (v, _) in next.iter() {
+            if levels[v] < 0 {
+                levels[v] = level;
+                idx.push(v as u32);
+                vals.push(1.0);
+                reached += 1;
+            }
+        }
+        frontier = SparseVector::try_new(n, idx, vals).expect("indices sorted");
+    }
+    (BfsResult { levels, iterations: steps.len(), reached }, steps)
+}
+
+/// Replays a recorded traversal through a simulated engine: one SpMSpV per
+/// step with the *actual* frontier of that step. Returns total cycles.
+pub fn replay_cycles(
+    engine: &dyn simkit::TileEngine,
+    energy_model: &simkit::EnergyModel,
+    adj: &sparse::BbcMatrix,
+    steps: &[BfsStep],
+) -> u64 {
+    steps
+        .iter()
+        .map(|s| simkit::driver::run_spmspv(engine, energy_model, adj, &s.frontier).cycles)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use sparse::CooMatrix;
+
+    /// A path graph 0 -> 1 -> ... -> n-1.
+    fn path(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n - 1 {
+            coo.push(i, i + 1, 1.0);
+        }
+        CsrMatrix::try_from(coo).unwrap()
+    }
+
+    #[test]
+    fn path_graph_levels_are_distances() {
+        let (res, steps) = bfs(&path(6), 0);
+        assert_eq!(res.levels, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(res.reached, 6);
+        assert_eq!(res.iterations, 6); // five expansions + final empty check
+        assert_eq!(steps.len(), 6);
+        assert!(steps[0].density < steps[5].density + 1e-12);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_minus_one() {
+        // Two components: 0 -> 1, 2 -> 3.
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(0, 1, 1.0);
+        coo.push(2, 3, 1.0);
+        let adj = CsrMatrix::try_from(coo).unwrap();
+        let (res, _) = bfs(&adj, 0);
+        assert_eq!(res.levels, vec![0, 1, -1, -1]);
+        assert_eq!(res.reached, 2);
+    }
+
+    #[test]
+    fn bfs_matches_reference_traversal_on_rmat() {
+        let adj = gen::rmat(256, 1500, 9);
+        let (res, _) = bfs(&adj, 0);
+        // Reference: classic queue BFS over the same out-edges.
+        let n = adj.nrows();
+        let mut want = vec![-1i32; n];
+        want[0] = 0;
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(u) = queue.pop_front() {
+            let (cols, _) = adj.row(u);
+            for &v in cols {
+                if want[v as usize] < 0 {
+                    want[v as usize] = want[u] + 1;
+                    queue.push_back(v as usize);
+                }
+            }
+        }
+        assert_eq!(res.levels, want);
+    }
+
+    #[test]
+    fn frontier_density_peaks_mid_traversal_on_power_law() {
+        let adj = gen::rmat(512, 6000, 4);
+        let (_, steps) = bfs(&adj, 0);
+        assert!(steps.len() >= 2);
+        let peak = steps.iter().map(|s| s.density).fold(0.0, f64::max);
+        assert!(peak > steps[0].density, "peak {peak}");
+    }
+
+    #[test]
+    fn replay_counts_cycles() {
+        use baselines::DsStc;
+        let adj = gen::rmat(128, 900, 2);
+        let (_, steps) = bfs(&adj, 0);
+        let bbc = sparse::BbcMatrix::from_csr(&adj);
+        let em = simkit::EnergyModel::default();
+        let cycles = replay_cycles(&DsStc::default(), &em, &bbc, &steps);
+        assert!(cycles > 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Conjugate-gradient solver — the classic SpMV-dominated iterative
+//! workload (the "linear solvers" the paper's Section VI-B amortisation
+//! argument appeals to: one BBC encoding, thousands of SpMV invocations).
+
+use sparse::ops::spmv;
+use sparse::CsrMatrix;
+
+/// Result of a CG solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgResult {
+    /// Iterations performed (= SpMV invocations).
+    pub iterations: usize,
+    /// Final relative residual.
+    pub relative_residual: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Solves `A x = b` for a symmetric positive-definite `A` by conjugate
+/// gradients from a zero initial guess.
+///
+/// Returns the solution and the solve statistics. Every iteration performs
+/// exactly one SpMV on `a` — the quantity [`spmv_invocations`] exposes for
+/// engine replay.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b.len() != a.nrows()`.
+pub fn solve(a: &CsrMatrix, b: &[f64], tol: f64, max_iters: usize) -> (Vec<f64>, CgResult) {
+    assert_eq!(a.nrows(), a.ncols(), "CG needs a square operator");
+    assert_eq!(b.len(), a.nrows(), "rhs length mismatch");
+    let n = b.len();
+    let bnorm = dot(b, b).sqrt().max(1e-300);
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut rsold = dot(&r, &r);
+    let mut iterations = 0usize;
+    while iterations < max_iters {
+        if rsold.sqrt() / bnorm < tol {
+            break;
+        }
+        let ap = spmv(a, &p).expect("dimensions checked above");
+        let denom = dot(&p, &ap);
+        if denom.abs() < 1e-300 {
+            break; // breakdown (A not SPD)
+        }
+        let alpha = rsold / denom;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rsnew = dot(&r, &r);
+        let beta = rsnew / rsold;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rsold = rsnew;
+        iterations += 1;
+    }
+    let rel = rsold.sqrt() / bnorm;
+    (x, CgResult { iterations, relative_residual: rel, converged: rel < tol })
+}
+
+/// Number of SpMV invocations a CG solve of `res` performed (one per
+/// iteration) — the replay count for per-engine cycle accounting.
+pub fn spmv_invocations(res: &CgResult) -> usize {
+    res.iterations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn solves_poisson_to_tolerance() {
+        let a = gen::poisson_2d(16);
+        let b: Vec<f64> = (0..256).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let (x, res) = solve(&a, &b, 1e-10, 1000);
+        assert!(res.converged, "residual {}", res.relative_residual);
+        // Verify from scratch.
+        let ax = spmv(&a, &x).unwrap();
+        let err: f64 =
+            ax.iter().zip(&b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err / bn < 1e-9);
+    }
+
+    #[test]
+    fn cg_converges_within_n_iterations_in_exact_arithmetic() {
+        // CG's n-step guarantee (loosely, with floating point slack).
+        let a = gen::poisson_2d(8);
+        let b = vec![1.0; 64];
+        let (_, res) = solve(&a, &b, 1e-12, 200);
+        assert!(res.converged);
+        assert!(res.iterations <= 80, "{} iterations", res.iterations);
+    }
+
+    #[test]
+    fn solves_graph_laplacian() {
+        let a = gen::graph_laplacian(256, 1200, 3);
+        let b: Vec<f64> = (0..256).map(|i| (i % 3) as f64).collect();
+        let (_, res) = solve(&a, &b, 1e-9, 2000);
+        assert!(res.converged, "residual {}", res.relative_residual);
+        assert_eq!(spmv_invocations(&res), res.iterations);
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let a = gen::poisson_2d(8);
+        let (x, res) = solve(&a, &vec![0.0; 64], 1e-10, 10);
+        assert_eq!(res.iterations, 0);
+        assert!(x.iter().all(|v| *v == 0.0));
+    }
+}

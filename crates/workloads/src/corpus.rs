@@ -1,0 +1,280 @@
+//! The SuiteSparse-like synthetic corpus.
+//!
+//! The paper evaluates over all 2 893 SuiteSparse matrices; this corpus is
+//! the reproduction's substitute: ~300 deterministic matrices spanning the
+//! structure families that drive STC behaviour, sweeping the
+//! intermediate-products-per-T1 density axis of Fig. 20 end to end.
+
+use sparse::CsrMatrix;
+
+use crate::gen;
+
+/// The structure family of a corpus matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Uniform random.
+    Random,
+    /// 2-D / 3-D FEM stencils.
+    Stencil,
+    /// Banded / wavefront.
+    Banded,
+    /// Power-law graph (R-MAT).
+    PowerLaw,
+    /// Scattered dense blocks.
+    BlockDense,
+    /// Arrow (banded + dense rows/columns).
+    Arrow,
+    /// Kronecker self-similar.
+    Kronecker,
+    /// Dense diagonal plus noise.
+    Diagonal,
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Family::Random => "random",
+            Family::Stencil => "stencil",
+            Family::Banded => "banded",
+            Family::PowerLaw => "power-law",
+            Family::BlockDense => "block-dense",
+            Family::Arrow => "arrow",
+            Family::Kronecker => "kronecker",
+            Family::Diagonal => "diagonal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named corpus entry: the spec is cheap, the matrix is built on demand.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Unique name, e.g. `random-512-d0.0100-s3`.
+    pub name: String,
+    /// Structure family.
+    pub family: Family,
+    builder: BuilderSpec,
+}
+
+#[derive(Debug, Clone)]
+enum BuilderSpec {
+    Random { n: usize, density: f64, seed: u64 },
+    Poisson2d { g: usize },
+    Poisson3d { g: usize },
+    Banded { n: usize, hb: usize, fill: f64, seed: u64 },
+    Rmat { n: usize, nnz: usize, seed: u64 },
+    BlockDense { n: usize, block: usize, blocks: usize, seed: u64 },
+    Arrow { n: usize, hb: usize, dense: usize, seed: u64 },
+    Kronecker { order: u32, seed: u64 },
+    Diagonal { n: usize, off: f64, seed: u64 },
+}
+
+impl CorpusEntry {
+    /// Builds the matrix (deterministic per entry).
+    pub fn build(&self) -> CsrMatrix {
+        match self.builder {
+            BuilderSpec::Random { n, density, seed } => gen::random_uniform(n, density, seed),
+            BuilderSpec::Poisson2d { g } => gen::poisson_2d(g),
+            BuilderSpec::Poisson3d { g } => gen::poisson_3d(g),
+            BuilderSpec::Banded { n, hb, fill, seed } => gen::banded(n, hb, fill, seed),
+            BuilderSpec::Rmat { n, nnz, seed } => gen::rmat(n, nnz, seed),
+            BuilderSpec::BlockDense { n, block, blocks, seed } => {
+                gen::block_dense(n, block, blocks, seed)
+            }
+            BuilderSpec::Arrow { n, hb, dense, seed } => gen::arrow(n, hb, dense, seed),
+            BuilderSpec::Kronecker { order, seed } => {
+                gen::kronecker(&[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (2, 0)], 3, order, seed)
+            }
+            BuilderSpec::Diagonal { n, off, seed } => gen::diagonal_noise(n, off, seed),
+        }
+    }
+}
+
+/// Builds the full corpus specification (~300 entries).
+///
+/// Sizes are scaled to keep a full four-kernel sweep tractable on a
+/// laptop-class machine while preserving the paper's density-axis
+/// coverage; see EXPERIMENTS.md for the deviation note.
+pub fn corpus() -> Vec<CorpusEntry> {
+    let mut out = Vec::new();
+    let mut push = |name: String, family: Family, builder: BuilderSpec| {
+        out.push(CorpusEntry { name, family, builder });
+    };
+
+    // Random: 3 sizes x 10 densities x 2 seeds = 60.
+    for &n in &[256usize, 512, 1024] {
+        for &d in &[0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4] {
+            for seed in 0..2u64 {
+                push(
+                    format!("random-{n}-d{d:.4}-s{seed}"),
+                    Family::Random,
+                    BuilderSpec::Random { n, density: d, seed },
+                );
+            }
+        }
+    }
+    // Stencils: 2-D and 3-D at several grids = 16.
+    for &g in &[16usize, 24, 32, 40, 48, 56, 64, 80] {
+        push(format!("poisson2d-{g}"), Family::Stencil, BuilderSpec::Poisson2d { g });
+    }
+    for &g in &[6usize, 8, 10, 12, 14, 16, 18, 20] {
+        push(format!("poisson3d-{g}"), Family::Stencil, BuilderSpec::Poisson3d { g });
+    }
+    // Banded: 3 sizes x 4 bandwidths x 3 fills = 36.
+    for &n in &[256usize, 512, 1024] {
+        for &hb in &[2usize, 8, 24, 48] {
+            for &fill in &[0.3, 0.7, 1.0] {
+                push(
+                    format!("banded-{n}-b{hb}-f{fill:.1}"),
+                    Family::Banded,
+                    BuilderSpec::Banded { n, hb, fill, seed: n as u64 + hb as u64 },
+                );
+            }
+        }
+    }
+    // Power law: 3 sizes x 5 fill levels x 3 seeds = 45.
+    for &n in &[256usize, 512, 1024] {
+        for &mult in &[2usize, 4, 8, 16, 32] {
+            for seed in 0..3u64 {
+                push(
+                    format!("rmat-{n}-m{mult}-s{seed}"),
+                    Family::PowerLaw,
+                    BuilderSpec::Rmat { n, nnz: n * mult, seed: seed * 97 + mult as u64 },
+                );
+            }
+        }
+    }
+    // Block dense: 3 sizes x 3 block sizes x 3 counts = 27.
+    for &n in &[256usize, 512, 1024] {
+        for &block in &[4usize, 8, 16] {
+            for &frac in &[8usize, 16, 32] {
+                push(
+                    format!("blocks-{n}-b{block}-c{frac}"),
+                    Family::BlockDense,
+                    BuilderSpec::BlockDense {
+                        n,
+                        block,
+                        blocks: n / frac,
+                        seed: (n + block * frac) as u64,
+                    },
+                );
+            }
+        }
+    }
+    // Arrow: 3 sizes x 3 bandwidths x 3 dense-row counts = 27.
+    for &n in &[256usize, 512, 1024] {
+        for &hb in &[2usize, 6, 12] {
+            for &dense in &[2usize, 8, 16] {
+                push(
+                    format!("arrow-{n}-b{hb}-d{dense}"),
+                    Family::Arrow,
+                    BuilderSpec::Arrow { n, hb, dense, seed: (n * hb + dense) as u64 },
+                );
+            }
+        }
+    }
+    // Kronecker: orders 4..=6, 4 seeds = 12.
+    for order in 4..=6u32 {
+        for seed in 0..4u64 {
+            push(
+                format!("kron-o{order}-s{seed}"),
+                Family::Kronecker,
+                BuilderSpec::Kronecker { order, seed },
+            );
+        }
+    }
+    // Diagonal noise: 3 sizes x 5 noise levels x 2 seeds = 30.
+    for &n in &[256usize, 512, 1024] {
+        for &off in &[0.0, 0.0005, 0.002, 0.008, 0.02] {
+            for seed in 0..2u64 {
+                push(
+                    format!("diag-{n}-o{off:.4}-s{seed}"),
+                    Family::Diagonal,
+                    BuilderSpec::Diagonal { n, off, seed: seed + n as u64 },
+                );
+            }
+        }
+    }
+    out
+}
+
+/// A reduced corpus (every `stride`-th entry) for quick runs and tests.
+///
+/// # Panics
+///
+/// Panics if `stride == 0`.
+pub fn corpus_sample(stride: usize) -> Vec<CorpusEntry> {
+    assert!(stride > 0, "stride must be positive");
+    corpus().into_iter().step_by(stride).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_about_300_entries() {
+        let c = corpus();
+        assert!(
+            (250..=350).contains(&c.len()),
+            "corpus has {} entries",
+            c.len()
+        );
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let c = corpus();
+        let mut names: Vec<&str> = c.iter().map(|e| e.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn every_family_is_represented() {
+        let c = corpus();
+        for f in [
+            Family::Random,
+            Family::Stencil,
+            Family::Banded,
+            Family::PowerLaw,
+            Family::BlockDense,
+            Family::Arrow,
+            Family::Kronecker,
+            Family::Diagonal,
+        ] {
+            assert!(c.iter().any(|e| e.family == f), "family {f} missing");
+        }
+    }
+
+    #[test]
+    fn entries_build_deterministically() {
+        let c = corpus_sample(40);
+        for e in &c {
+            let a = e.build();
+            let b = e.build();
+            assert_eq!(a, b, "{} not deterministic", e.name);
+            assert!(a.nnz() > 0, "{} is empty", e.name);
+        }
+    }
+
+    #[test]
+    fn corpus_sample_strides() {
+        let full = corpus().len();
+        let half = corpus_sample(2).len();
+        assert!(half == full / 2 || half == full.div_ceil(2));
+    }
+
+    #[test]
+    fn density_axis_is_covered() {
+        // The corpus must contain both very sparse and near-dense-block
+        // matrices so Fig. 20's x-axis is covered.
+        let c = corpus();
+        let sparse_entry = c.iter().find(|e| e.name.contains("d0.0005")).unwrap().build();
+        let dense_entry = c.iter().find(|e| e.name.contains("d0.4000")).unwrap().build();
+        assert!(sparse_entry.sparsity() > 0.999);
+        assert!(dense_entry.sparsity() < 0.7);
+    }
+}

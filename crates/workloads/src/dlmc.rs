@@ -1,0 +1,199 @@
+//! DLMC-like pruned DNN weight matrices.
+//!
+//! The paper evaluates DNN inference with the 302 DLMC weight matrices at
+//! 70 % and 98 % sparsity (ResNet-50 and Transformer). DLMC's pruned
+//! weights are unstructured at matched sparsity, so a seeded Bernoulli
+//! mask at the same layer shape exercises the same code path (DESIGN.md,
+//! "Substitutions"). Convolutions are treated as im2col GEMMs, as the
+//! paper treats convolution as SpGEMM.
+
+use sparse::CsrMatrix;
+
+
+/// The two DNN models of the paper's Fig. 17.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DnnModel {
+    /// ResNet-50 (convolutional; activations sparse after preprocessing).
+    ResNet50,
+    /// Transformer (dense-ish GEMM workloads).
+    Transformer,
+}
+
+impl std::fmt::Display for DnnModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnnModel::ResNet50 => write!(f, "ResNet50"),
+            DnnModel::Transformer => write!(f, "Transformer"),
+        }
+    }
+}
+
+/// One GEMM-shaped DNN layer: the weight is `rows x cols`, multiplied by
+/// an activation matrix with `batch_cols` columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerSpec {
+    /// Model the layer belongs to.
+    pub model: DnnModel,
+    /// Layer index used in the paper's figure labels (e.g. "ResNet50-12").
+    pub index: u32,
+    /// Weight rows (output channels / model dim), scaled down.
+    pub rows: usize,
+    /// Weight columns (input channels x kernel window / model dim).
+    pub cols: usize,
+    /// Activation columns processed per invocation.
+    pub batch_cols: usize,
+}
+
+impl LayerSpec {
+    /// Display label, e.g. `ResNet50-12`.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.model, self.index)
+    }
+
+    /// Builds the pruned weight matrix at the given sparsity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparsity` is not in `[0, 1)`.
+    pub fn weight(&self, sparsity: f64, seed: u64) -> CsrMatrix {
+        assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0, 1)");
+        let density = 1.0 - sparsity;
+        // Rectangular weights: generate square then crop via block walk is
+        // wasteful; generate directly.
+        rectangular_random(self.rows, self.cols, density, seed ^ self.layer_seed())
+    }
+
+    fn layer_seed(&self) -> u64 {
+        (self.index as u64) << 32
+            | (self.rows as u64) << 16
+            | (self.cols as u64 & 0xFFFF)
+            | match self.model {
+                DnnModel::ResNet50 => 0x1000_0000_0000_0000,
+                DnnModel::Transformer => 0x2000_0000_0000_0000,
+            }
+    }
+}
+
+fn rectangular_random(rows: usize, cols: usize, density: f64, seed: u64) -> CsrMatrix {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = sparse::CooMatrix::new(rows, cols);
+    if density > 0.2 {
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.gen::<f64>() < density {
+                    coo.push(r, c, rng.gen_range(-1.0..1.0f64).max(1e-3));
+                }
+            }
+        }
+    } else {
+        let target = (rows as f64 * cols as f64 * density) as usize;
+        for _ in 0..target {
+            coo.push(rng.gen_range(0..rows), rng.gen_range(0..cols), 0.5);
+        }
+        coo.compress();
+    }
+    CsrMatrix::try_from(coo).expect("generated coordinates are in range")
+}
+
+/// Representative layers of a model (shapes scaled to 1/4 of the real
+/// network to keep the sweep tractable; relative proportions preserved).
+pub fn layers(model: DnnModel) -> Vec<LayerSpec> {
+    match model {
+        DnnModel::ResNet50 => {
+            // (index, out_ch, in_ch x k x k) scaled by 1/4; batch = im2col
+            // output pixels per invocation (56x56 / 4 etc.).
+            [
+                (2u32, 64usize, 144usize, 784usize),
+                (12, 128, 288, 196),
+                (23, 256, 576, 196),
+                (31, 256, 576, 196),
+                (42, 512, 1152, 64),
+                (48, 512, 512, 64),
+            ]
+            .into_iter()
+            .map(|(index, rows, cols, batch)| LayerSpec {
+                model,
+                index,
+                rows,
+                cols,
+                batch_cols: batch,
+            })
+            .collect()
+        }
+        DnnModel::Transformer => {
+            // Attention projections and FFN at d_model = 512 / 4 = 128.
+            [
+                (1u32, 128usize, 128usize, 256usize), // QKV projection
+                (4, 128, 128, 256),                   // attention output
+                (6, 512, 128, 256),                   // FFN up
+                (7, 128, 512, 256),                   // FFN down
+                (10, 128, 128, 256),                  // layer-2 projection
+                (12, 512, 128, 256),                  // layer-2 FFN
+            ]
+            .into_iter()
+            .map(|(index, rows, cols, batch)| LayerSpec {
+                model,
+                index,
+                rows,
+                cols,
+                batch_cols: batch,
+            })
+            .collect()
+        }
+    }
+}
+
+/// The two DLMC sparsity levels the paper evaluates.
+pub const DLMC_SPARSITIES: [f64; 2] = [0.70, 0.98];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_models_have_layers() {
+        assert_eq!(layers(DnnModel::ResNet50).len(), 6);
+        assert_eq!(layers(DnnModel::Transformer).len(), 6);
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        let l = &layers(DnnModel::ResNet50)[1];
+        assert_eq!(l.label(), "ResNet50-12");
+    }
+
+    #[test]
+    fn weight_sparsity_matches_target() {
+        for &s in &DLMC_SPARSITIES {
+            let l = layers(DnnModel::Transformer)[2];
+            let w = l.weight(s, 42);
+            assert_eq!(w.nrows(), 512);
+            assert_eq!(w.ncols(), 128);
+            let got = w.sparsity();
+            assert!((got - s).abs() < 0.03, "target {s} got {got}");
+        }
+    }
+
+    #[test]
+    fn weights_are_deterministic() {
+        let l = layers(DnnModel::ResNet50)[0];
+        assert_eq!(l.weight(0.7, 1), l.weight(0.7, 1));
+        assert_ne!(l.weight(0.7, 1), l.weight(0.7, 2));
+    }
+
+    #[test]
+    fn different_layers_differ() {
+        let ls = layers(DnnModel::Transformer);
+        let a = ls[0].weight(0.7, 1);
+        let b = ls[4].weight(0.7, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity")]
+    fn full_sparsity_rejected() {
+        layers(DnnModel::ResNet50)[0].weight(1.0, 0);
+    }
+}

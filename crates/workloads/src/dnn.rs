@@ -1,0 +1,240 @@
+//! Application-level DNN inference accounting.
+//!
+//! The paper reports that Uni-STC "retains application-level speedups of
+//! 1.43x on DNNs" (Section I). This module walks a whole model's layer
+//! sequence (the [`crate::dlmc`] layer specs) through a simulated engine
+//! and aggregates cycles and energy across the forward pass, for both the
+//! dense-activation (SpMM) and sparse-activation (SpGEMM, convolution
+//! treated as SpGEMM) regimes.
+
+use simkit::driver::{run_spgemm, run_spmm};
+use simkit::{EnergyModel, TileEngine};
+use sparse::{BbcMatrix, CooMatrix, CsrMatrix};
+
+use crate::dlmc::{layers, DnnModel, LayerSpec};
+
+/// Inference regime: what the activations look like.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActivationMode {
+    /// Dense activations: each layer is one SpMM (weight x dense batch).
+    Dense,
+    /// Sparse activations at the given sparsity: each layer is one SpGEMM
+    /// (the paper treats convolution as SpGEMM; ResNet-50 inputs "are
+    /// usually sparse after preprocessing").
+    Sparse(f64),
+}
+
+/// Cycles and energy of one layer's execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerResult {
+    /// Layer label (e.g. `ResNet50-12`).
+    pub label: String,
+    /// Cycles on the simulated engine.
+    pub cycles: u64,
+    /// Energy in model units.
+    pub energy: f64,
+    /// Mean MAC utilisation.
+    pub utilisation: f64,
+}
+
+/// Aggregated forward-pass result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceReport {
+    /// Engine display name.
+    pub engine: String,
+    /// Per-layer results in execution order.
+    pub layers: Vec<LayerResult>,
+    /// Total cycles of the forward pass.
+    pub total_cycles: u64,
+    /// Total energy of the forward pass.
+    pub total_energy: f64,
+}
+
+impl InferenceReport {
+    /// Application-level speedup of this report over a baseline run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this report has zero cycles.
+    pub fn speedup_over(&self, baseline: &InferenceReport) -> f64 {
+        assert!(self.total_cycles > 0, "report has zero cycles");
+        baseline.total_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// Application-level energy reduction over a baseline run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this report has zero energy.
+    pub fn energy_reduction_over(&self, baseline: &InferenceReport) -> f64 {
+        assert!(self.total_energy > 0.0, "report has zero energy");
+        baseline.total_energy / self.total_energy
+    }
+}
+
+/// Deterministic sparse activation matrix for a layer (`cols x batch`).
+fn activation_matrix(layer: &LayerSpec, sparsity: f64, seed: u64) -> CsrMatrix {
+    let (rows, cols) = (layer.cols, layer.batch_cols);
+    let mut coo = CooMatrix::new(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let h = ((r * cols + c) as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed.wrapping_mul(0x2545_F491_4F6C_DD1D));
+            let h = (h ^ (h >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            if ((h >> 40) as f64) < (1.0 - sparsity) * (1u64 << 24) as f64 {
+                coo.push(r, c, 0.25);
+            }
+        }
+    }
+    CsrMatrix::try_from(coo).expect("activation coordinates are in range")
+}
+
+/// Runs one model's forward pass on one engine.
+pub fn run_inference(
+    engine: &dyn TileEngine,
+    energy_model: &EnergyModel,
+    model: DnnModel,
+    weight_sparsity: f64,
+    mode: ActivationMode,
+    seed: u64,
+) -> InferenceReport {
+    let mut out = InferenceReport {
+        engine: engine.name().to_owned(),
+        layers: Vec::new(),
+        total_cycles: 0,
+        total_energy: 0.0,
+    };
+    for layer in layers(model) {
+        let w = layer.weight(weight_sparsity, seed);
+        let w_bbc = BbcMatrix::from_csr(&w);
+        let report = match mode {
+            ActivationMode::Dense => {
+                run_spmm(engine, energy_model, &w_bbc, layer.batch_cols)
+            }
+            ActivationMode::Sparse(s) => {
+                let act = BbcMatrix::from_csr(&activation_matrix(&layer, s, seed ^ 0xA5));
+                run_spgemm(engine, energy_model, &w_bbc, &act)
+            }
+        };
+        out.total_cycles += report.cycles;
+        out.total_energy += report.energy.total();
+        out.layers.push(LayerResult {
+            label: layer.label(),
+            cycles: report.cycles,
+            energy: report.energy.total(),
+            utilisation: report.mean_utilisation(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Precision;
+
+    struct CountEverything;
+
+    impl TileEngine for CountEverything {
+        fn name(&self) -> &str {
+            "count"
+        }
+        fn lanes(&self) -> usize {
+            Precision::Fp32.lanes()
+        }
+        fn execute(&self, task: &simkit::T1Task) -> simkit::T1Result {
+            let mut r = simkit::T1Result::new(self.lanes());
+            let mut left = task.products();
+            while left > 0 {
+                let used = left.min(self.lanes() as u64) as usize;
+                r.record_cycle(used);
+                left -= used as u64;
+            }
+            r.useful = task.products();
+            r.events.c_writes = task.c_nnz() as u64;
+            r
+        }
+        fn network_costs(&self) -> simkit::NetworkCosts {
+            simkit::NetworkCosts::flat()
+        }
+    }
+
+    #[test]
+    fn totals_sum_layers() {
+        let em = EnergyModel::default();
+        let rep = run_inference(
+            &CountEverything,
+            &em,
+            DnnModel::Transformer,
+            0.7,
+            ActivationMode::Dense,
+            1,
+        );
+        assert_eq!(rep.layers.len(), 6);
+        assert_eq!(rep.total_cycles, rep.layers.iter().map(|l| l.cycles).sum::<u64>());
+        let esum: f64 = rep.layers.iter().map(|l| l.energy).sum();
+        assert!((rep.total_energy - esum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let em = EnergyModel::default();
+        let run = || {
+            run_inference(
+                &CountEverything,
+                &em,
+                DnnModel::ResNet50,
+                0.98,
+                ActivationMode::Sparse(0.5),
+                7,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sparser_weights_need_fewer_cycles() {
+        let em = EnergyModel::default();
+        let dense_w = run_inference(
+            &CountEverything,
+            &em,
+            DnnModel::Transformer,
+            0.70,
+            ActivationMode::Dense,
+            3,
+        );
+        let sparse_w = run_inference(
+            &CountEverything,
+            &em,
+            DnnModel::Transformer,
+            0.98,
+            ActivationMode::Dense,
+            3,
+        );
+        assert!(sparse_w.total_cycles < dense_w.total_cycles);
+    }
+
+    #[test]
+    fn speedup_helpers() {
+        let em = EnergyModel::default();
+        let a = run_inference(
+            &CountEverything,
+            &em,
+            DnnModel::Transformer,
+            0.7,
+            ActivationMode::Dense,
+            1,
+        );
+        assert!((a.speedup_over(&a) - 1.0).abs() < 1e-12);
+        assert!((a.energy_reduction_over(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activation_sparsity_tracks_target() {
+        let layer = layers(DnnModel::ResNet50)[0];
+        let act = activation_matrix(&layer, 0.5, 3);
+        let got = act.sparsity();
+        assert!((got - 0.5).abs() < 0.05, "sparsity {got}");
+    }
+}

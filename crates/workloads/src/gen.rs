@@ -1,0 +1,453 @@
+//! Deterministic sparse-matrix generators covering the structure families
+//! that drive STC behaviour.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparse::{CooMatrix, CsrMatrix};
+
+/// Uniform random matrix: each entry independently nonzero with
+/// probability `density`. Matches the paper's random-matrix methodology
+/// (Fig. 16 uses random 8192x8192 matrices of varying sparsity).
+///
+/// # Panics
+///
+/// Panics if `density` is not in `[0, 1]` or `n == 0`.
+pub fn random_uniform(n: usize, density: f64, seed: u64) -> CsrMatrix {
+    assert!(n > 0, "matrix dimension must be positive");
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let expected = (n as f64 * n as f64 * density).round() as usize;
+    let mut coo = CooMatrix::with_capacity(n, n, expected);
+    if density > 0.2 {
+        // Dense-ish: Bernoulli per cell.
+        for r in 0..n {
+            for c in 0..n {
+                if rng.gen::<f64>() < density {
+                    coo.push(r, c, value(&mut rng));
+                }
+            }
+        }
+    } else {
+        // Sparse: sample coordinates (duplicates merge on compression,
+        // keeping nnz within a fraction of a percent of the target).
+        for _ in 0..expected {
+            let r = rng.gen_range(0..n);
+            let c = rng.gen_range(0..n);
+            coo.push(r, c, value(&mut rng));
+        }
+    }
+    CsrMatrix::try_from(coo).expect("generated coordinates are in range")
+}
+
+/// 2-D Poisson 5-point stencil on a `g x g` grid (the classic FEM/FD
+/// matrix; also the AMG test problem).
+///
+/// # Panics
+///
+/// Panics if `g == 0`.
+pub fn poisson_2d(g: usize) -> CsrMatrix {
+    assert!(g > 0, "grid dimension must be positive");
+    let n = g * g;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    for y in 0..g {
+        for x in 0..g {
+            let i = y * g + x;
+            coo.push(i, i, 4.0);
+            if x > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            if x + 1 < g {
+                coo.push(i, i + 1, -1.0);
+            }
+            if y > 0 {
+                coo.push(i, i - g, -1.0);
+            }
+            if y + 1 < g {
+                coo.push(i, i + g, -1.0);
+            }
+        }
+    }
+    CsrMatrix::try_from(coo).expect("stencil coordinates are in range")
+}
+
+/// 3-D Poisson 7-point stencil on a `g^3` grid.
+///
+/// # Panics
+///
+/// Panics if `g == 0`.
+pub fn poisson_3d(g: usize) -> CsrMatrix {
+    assert!(g > 0, "grid dimension must be positive");
+    let n = g * g * g;
+    let mut coo = CooMatrix::with_capacity(n, n, 7 * n);
+    let idx = |x: usize, y: usize, z: usize| (z * g + y) * g + x;
+    for z in 0..g {
+        for y in 0..g {
+            for x in 0..g {
+                let i = idx(x, y, z);
+                coo.push(i, i, 6.0);
+                if x > 0 {
+                    coo.push(i, idx(x - 1, y, z), -1.0);
+                }
+                if x + 1 < g {
+                    coo.push(i, idx(x + 1, y, z), -1.0);
+                }
+                if y > 0 {
+                    coo.push(i, idx(x, y - 1, z), -1.0);
+                }
+                if y + 1 < g {
+                    coo.push(i, idx(x, y + 1, z), -1.0);
+                }
+                if z > 0 {
+                    coo.push(i, idx(x, y, z - 1), -1.0);
+                }
+                if z + 1 < g {
+                    coo.push(i, idx(x, y, z + 1), -1.0);
+                }
+            }
+        }
+    }
+    CsrMatrix::try_from(coo).expect("stencil coordinates are in range")
+}
+
+/// Banded matrix with `half_bandwidth` diagonals on each side of the main
+/// diagonal, each retained with probability `fill` (FEM beam / wavefront
+/// structures such as `pwtk` or `cant`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `fill` is not in `[0, 1]`.
+pub fn banded(n: usize, half_bandwidth: usize, fill: f64, seed: u64) -> CsrMatrix {
+    assert!(n > 0, "matrix dimension must be positive");
+    assert!((0.0..=1.0).contains(&fill), "fill must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(n, n);
+    for r in 0..n {
+        let lo = r.saturating_sub(half_bandwidth);
+        let hi = (r + half_bandwidth + 1).min(n);
+        for c in lo..hi {
+            if c == r || rng.gen::<f64>() < fill {
+                coo.push(r, c, value(&mut rng));
+            }
+        }
+    }
+    CsrMatrix::try_from(coo).expect("banded coordinates are in range")
+}
+
+/// R-MAT power-law graph adjacency matrix (social/web graphs; the
+/// long-row irregular family, e.g. `crankseg_2`-like hubs).
+///
+/// Uses the standard (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) parameters.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `nnz_target == 0`.
+pub fn rmat(n: usize, nnz_target: usize, seed: u64) -> CsrMatrix {
+    assert!(n.is_power_of_two(), "R-MAT dimension must be a power of two");
+    assert!(nnz_target > 0, "need a positive nnz target");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let levels = n.trailing_zeros();
+    let mut coo = CooMatrix::with_capacity(n, n, nnz_target);
+    for _ in 0..nnz_target {
+        let (mut r, mut c) = (0usize, 0usize);
+        for _ in 0..levels {
+            r <<= 1;
+            c <<= 1;
+            let p: f64 = rng.gen();
+            if p < 0.57 {
+                // top-left
+            } else if p < 0.76 {
+                c |= 1;
+            } else if p < 0.95 {
+                r |= 1;
+            } else {
+                r |= 1;
+                c |= 1;
+            }
+        }
+        coo.push(r, c, value(&mut rng));
+    }
+    CsrMatrix::try_from(coo).expect("R-MAT coordinates are in range")
+}
+
+/// Block-dense matrix: `blocks` dense `block x block` blocks scattered at
+/// random block-aligned positions (FEM with dense element couplings, e.g.
+/// `pdb1HYS`-like clusters).
+///
+/// # Panics
+///
+/// Panics if `block == 0` or `block > n`.
+pub fn block_dense(n: usize, block: usize, blocks: usize, seed: u64) -> CsrMatrix {
+    assert!(block > 0 && block <= n, "block size must be in 1..=n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let grid = n / block;
+    let mut coo = CooMatrix::new(n, n);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..blocks {
+        let br = rng.gen_range(0..grid);
+        let bc = rng.gen_range(0..grid);
+        if !seen.insert((br, bc)) {
+            continue;
+        }
+        for r in 0..block {
+            for c in 0..block {
+                coo.push(br * block + r, bc * block + c, value(&mut rng));
+            }
+        }
+    }
+    CsrMatrix::try_from(coo).expect("block coordinates are in range")
+}
+
+/// Arrow matrix: a banded core plus `dense_rows` fully dense rows and
+/// columns (the `gupta3` family: optimisation/interior-point matrices with
+/// extreme intermediate-product counts).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `dense_rows > n`.
+pub fn arrow(n: usize, half_bandwidth: usize, dense_rows: usize, seed: u64) -> CsrMatrix {
+    assert!(n > 0, "matrix dimension must be positive");
+    assert!(dense_rows <= n, "cannot have more dense rows than rows");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(n, n);
+    for r in 0..n {
+        let lo = r.saturating_sub(half_bandwidth);
+        let hi = (r + half_bandwidth + 1).min(n);
+        for c in lo..hi {
+            coo.push(r, c, value(&mut rng));
+        }
+    }
+    for d in 0..dense_rows {
+        for c in 0..n {
+            if c > d + half_bandwidth || d > c + half_bandwidth {
+                coo.push(d, c, value(&mut rng));
+                coo.push(c, d, value(&mut rng));
+            }
+        }
+    }
+    coo.compress();
+    CsrMatrix::try_from(coo).expect("arrow coordinates are in range")
+}
+
+/// Kronecker product of a small seed pattern with itself `order` times —
+/// produces self-similar sparsity (graph-like hierarchical structure).
+///
+/// # Panics
+///
+/// Panics if the seed pattern is empty or `order == 0`.
+pub fn kronecker(pattern: &[(usize, usize)], base: usize, order: u32, seed: u64) -> CsrMatrix {
+    assert!(!pattern.is_empty(), "need a nonempty seed pattern");
+    assert!(order > 0, "order must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut entries: Vec<(usize, usize)> = vec![(0, 0)];
+    let mut dim = 1usize;
+    for _ in 0..order {
+        let mut next = Vec::with_capacity(entries.len() * pattern.len());
+        for &(r, c) in &entries {
+            for &(pr, pc) in pattern {
+                next.push((r * base + pr, c * base + pc));
+            }
+        }
+        entries = next;
+        dim *= base;
+    }
+    let mut coo = CooMatrix::with_capacity(dim, dim, entries.len());
+    for (r, c) in entries {
+        coo.push(r, c, value(&mut rng));
+    }
+    CsrMatrix::try_from(coo).expect("kronecker coordinates are in range")
+}
+
+/// Diagonal-plus-noise matrix: dense main diagonal plus `off_density`
+/// random off-diagonal entries (circuit-simulation style structure).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `off_density` is not in `[0, 1]`.
+pub fn diagonal_noise(n: usize, off_density: f64, seed: u64) -> CsrMatrix {
+    assert!(n > 0, "matrix dimension must be positive");
+    assert!((0.0..=1.0).contains(&off_density), "density must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, value(&mut rng));
+    }
+    let extras = (n as f64 * n as f64 * off_density) as usize;
+    for _ in 0..extras {
+        let r = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
+        if r != c {
+            coo.push(r, c, value(&mut rng));
+        }
+    }
+    coo.compress();
+    CsrMatrix::try_from(coo).expect("diagonal coordinates are in range")
+}
+
+/// Graph Laplacian of a symmetrised R-MAT graph: `L = D - A_sym`, with a
+/// unit diagonal shift to keep it non-singular. This is the irregular
+/// AMG test problem (real AMG deployments include graph Laplacians, and
+/// the power-law rows expose the load-imbalance effects the paper's
+/// Fig. 21 attributes to "real-world irregularity").
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `nnz_target == 0`.
+pub fn graph_laplacian(n: usize, nnz_target: usize, seed: u64) -> CsrMatrix {
+    let adj = rmat(n, nnz_target, seed);
+    let mut coo = CooMatrix::new(n, n);
+    for (r, c, _) in adj.iter() {
+        if r != c {
+            coo.push(r, c, -1.0);
+            coo.push(c, r, -1.0);
+        }
+    }
+    coo.compress();
+    let sym = CsrMatrix::try_from(coo).expect("symmetrised coordinates are in range");
+    let mut full = CooMatrix::new(n, n);
+    for r in 0..n {
+        // Weighted row degree plus a unit shift keeps the operator SPD
+        // (multi-edges accumulate weight during compression).
+        let (_, vals) = sym.row(r);
+        let degree: f64 = vals.iter().map(|v| v.abs()).sum();
+        full.push(r, r, degree + 1.0);
+    }
+    for (r, c, v) in sym.iter() {
+        full.push(r, c, v);
+    }
+    CsrMatrix::try_from(full).expect("laplacian coordinates are in range")
+}
+
+fn value(rng: &mut StdRng) -> f64 {
+    // Nonzero values in [-1, 1] \ {0}.
+    loop {
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        if v.abs() > 1e-6 {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_uniform_hits_density_target() {
+        let m = random_uniform(256, 0.01, 7);
+        let got = m.nnz() as f64 / (256.0 * 256.0);
+        assert!((got - 0.01).abs() < 0.002, "density {got}");
+        // Determinism.
+        assert_eq!(random_uniform(256, 0.01, 7), m);
+        assert_ne!(random_uniform(256, 0.01, 8), m);
+    }
+
+    #[test]
+    fn random_uniform_dense_path() {
+        let m = random_uniform(64, 0.5, 3);
+        let got = m.nnz() as f64 / (64.0 * 64.0);
+        assert!((got - 0.5).abs() < 0.05, "density {got}");
+    }
+
+    #[test]
+    fn poisson_2d_structure() {
+        let m = poisson_2d(8);
+        assert_eq!(m.nrows(), 64);
+        // Interior point has 5 entries, corners 3.
+        assert_eq!(m.row_nnz(9), 5);
+        assert_eq!(m.row_nnz(0), 3);
+        assert_eq!(m.get(9, 9), Some(4.0));
+        assert_eq!(m.get(9, 8), Some(-1.0));
+        // Symmetry.
+        assert_eq!(m.transpose(), m);
+    }
+
+    #[test]
+    fn poisson_3d_structure() {
+        let m = poisson_3d(4);
+        assert_eq!(m.nrows(), 64);
+        assert_eq!(m.get(0, 0), Some(6.0));
+        assert_eq!(m.transpose(), m);
+        // Interior point (1,1,1) has 7 entries.
+        let i = (4 + 1) * 4 + 1;
+        assert_eq!(m.row_nnz(i), 7);
+    }
+
+    #[test]
+    fn banded_stays_in_band() {
+        let m = banded(100, 3, 0.8, 5);
+        for (r, c, _) in m.iter() {
+            assert!(r.abs_diff(c) <= 3);
+        }
+        // Diagonal always present.
+        for i in 0..100 {
+            assert!(m.get(i, i).is_some());
+        }
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let m = rmat(256, 2000, 11);
+        assert!(m.nnz() > 1000); // duplicates merged but most survive
+        // Power-law: the max-degree row far exceeds the mean.
+        let max_row = (0..256).map(|r| m.row_nnz(r)).max().unwrap();
+        let mean = m.nnz() as f64 / 256.0;
+        assert!(max_row as f64 > 3.0 * mean, "max {max_row} mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rmat_rejects_non_power_of_two() {
+        rmat(100, 10, 0);
+    }
+
+    #[test]
+    fn block_dense_has_dense_blocks() {
+        let m = block_dense(64, 8, 4, 2);
+        assert!(m.nnz().is_multiple_of(64));
+        assert!(m.nnz() <= 4 * 64);
+    }
+
+    #[test]
+    fn arrow_has_dense_rows() {
+        let m = arrow(64, 2, 2, 9);
+        assert_eq!(m.row_nnz(0), 64);
+        assert_eq!(m.row_nnz(1), 64);
+        assert!(m.row_nnz(32) <= 7); // band + 2 dense columns
+    }
+
+    #[test]
+    fn kronecker_grows_self_similar() {
+        let pattern = [(0, 0), (0, 1), (1, 1)];
+        let m = kronecker(&pattern, 2, 3, 1);
+        assert_eq!(m.nrows(), 8);
+        assert_eq!(m.nnz(), 27); // 3^3
+    }
+
+    #[test]
+    fn graph_laplacian_is_symmetric_and_diagonally_dominant() {
+        let l = graph_laplacian(128, 600, 5);
+        assert_eq!(l.transpose(), l);
+        for r in 0..128 {
+            let (cols, vals) = l.row(r);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c as usize == r {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            assert!(diag > off, "row {r}: diag {diag} vs off {off}");
+        }
+    }
+
+    #[test]
+    fn diagonal_noise_keeps_diagonal() {
+        let m = diagonal_noise(128, 0.005, 4);
+        for i in 0..128 {
+            assert!(m.get(i, i).is_some());
+        }
+        assert!(m.nnz() >= 128);
+    }
+}

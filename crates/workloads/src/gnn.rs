@@ -1,0 +1,270 @@
+//! Graph neural network (GCN) forward pass with hierarchical pooling —
+//! the SpMM / SpGEMM application of the paper's Table II.
+//!
+//! A GCN layer propagates node features with the normalised adjacency:
+//! `H' = relu(A_hat H W)` — the `A_hat x (H W)` product is an **SpMM**
+//! (sparse matrix x dense feature block). Hierarchical pooling coarsens
+//! the graph with an assignment matrix `S`: `A_pool = S^T A_hat S` — two
+//! **SpGEMMs** (the same triple-product shape as AMG's Galerkin operator).
+//! This is exactly the "node information propagation and aggregation"
+//! kernel mix Section III-A attributes to GNNs.
+
+use sparse::ops::{spgemm, spmm};
+use sparse::{CooMatrix, CsrMatrix, DenseMatrix};
+
+/// A GCN model: per-level normalised adjacency and weight matrices.
+#[derive(Debug, Clone)]
+pub struct GcnModel {
+    /// Normalised adjacency per pooling level (finest first).
+    pub adjacencies: Vec<CsrMatrix>,
+    /// Pooling assignment matrices between consecutive levels.
+    pub poolings: Vec<CsrMatrix>,
+    /// Dense layer weights (one per level, `features x features`).
+    pub weights: Vec<DenseMatrix>,
+    /// Feature width.
+    pub features: usize,
+}
+
+/// Symmetrically normalised adjacency with self loops:
+/// `A_hat = D^-1/2 (A + A^T + I) D^-1/2`.
+///
+/// # Panics
+///
+/// Panics if `adj` is not square.
+pub fn normalise_adjacency(adj: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(adj.nrows(), adj.ncols(), "adjacency must be square");
+    let n = adj.nrows();
+    let mut coo = CooMatrix::new(n, n);
+    for (r, c, _) in adj.iter() {
+        if r != c {
+            coo.push(r, c, 1.0);
+            coo.push(c, r, 1.0);
+        }
+    }
+    for i in 0..n {
+        coo.push(i, i, 1.0);
+    }
+    coo.compress();
+    let sym = CsrMatrix::try_from(coo).expect("coordinates in range");
+    // Clamp multi-edge weights to 1 and normalise.
+    let mut coo = CooMatrix::with_capacity(n, n, sym.nnz());
+    let degree: Vec<f64> = (0..n).map(|r| sym.row_nnz(r) as f64).collect();
+    for (r, c, _) in sym.iter() {
+        coo.push(r, c, 1.0 / (degree[r] * degree[c]).sqrt());
+    }
+    CsrMatrix::try_from(coo).expect("coordinates in range")
+}
+
+/// Greedy modular pooling: vertices are assigned to `n / ratio` clusters
+/// by index hashing (deterministic, structure-agnostic).
+///
+/// # Panics
+///
+/// Panics if `ratio == 0`.
+pub fn pooling_assignment(n: usize, ratio: usize) -> CsrMatrix {
+    assert!(ratio > 0, "pooling ratio must be positive");
+    let clusters = (n / ratio).max(1);
+    let mut coo = CooMatrix::new(n, clusters);
+    for v in 0..n {
+        coo.push(v, v % clusters, 1.0);
+    }
+    CsrMatrix::try_from(coo).expect("coordinates in range")
+}
+
+impl GcnModel {
+    /// Builds a pooled GCN over a graph: `levels` pooling stages with the
+    /// given pooling ratio and feature width. Weights are deterministic
+    /// pseudo-random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adj` is not square or `levels == 0`.
+    pub fn build(adj: &CsrMatrix, levels: usize, ratio: usize, features: usize) -> Self {
+        assert!(levels > 0, "need at least one level");
+        let mut adjacencies = vec![normalise_adjacency(adj)];
+        let mut poolings = Vec::new();
+        for l in 1..levels {
+            let prev = &adjacencies[l - 1];
+            let s = pooling_assignment(prev.nrows(), ratio);
+            // A_pool = S^T * (A_hat * S): the two SpGEMMs of aggregation.
+            let as_ = spgemm(prev, &s).expect("A and S conform");
+            let pooled = spgemm(&s.transpose(), &as_).expect("S^T and AS conform");
+            poolings.push(s);
+            adjacencies.push(pooled);
+        }
+        let weights = (0..levels)
+            .map(|l| {
+                let mut w = DenseMatrix::zeros(features, features);
+                for r in 0..features {
+                    for c in 0..features {
+                        let h = ((l * features * features + r * features + c) as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        w[(r, c)] = (((h >> 32) as u32) as f64 / u32::MAX as f64 - 0.5) * 0.4;
+                    }
+                }
+                w
+            })
+            .collect();
+        GcnModel { adjacencies, poolings, weights, features }
+    }
+
+    /// Number of pooling levels.
+    pub fn n_levels(&self) -> usize {
+        self.adjacencies.len()
+    }
+
+    /// Runs the forward pass on dense input features, returning the final
+    /// (pooled) node embeddings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h.nrows()` does not match the finest graph or
+    /// `h.ncols() != self.features`.
+    pub fn forward(&self, h: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(h.nrows(), self.adjacencies[0].nrows(), "feature rows mismatch");
+        assert_eq!(h.ncols(), self.features, "feature width mismatch");
+        let mut h = h.clone();
+        for (l, a_hat) in self.adjacencies.iter().enumerate() {
+            // H W (dense), then A_hat x (H W): the SpMM.
+            let hw = dense_mul(&h, &self.weights[l]);
+            let mut next = spmm(a_hat, &hw).expect("A_hat and HW conform");
+            relu(&mut next);
+            if l < self.poolings.len() {
+                // Pool features: H_pool = S^T H (an SpMM on S^T).
+                next = spmm(&self.poolings[l].transpose(), &next)
+                    .expect("S^T and H conform");
+            }
+            h = next;
+        }
+        h
+    }
+
+    /// The SpGEMM pairs of the pooling (aggregation) stage, in execution
+    /// order, for engine replay.
+    pub fn spgemm_pairs(&self) -> Vec<(CsrMatrix, CsrMatrix)> {
+        let mut out = Vec::new();
+        for (l, s) in self.poolings.iter().enumerate() {
+            let a = &self.adjacencies[l];
+            let as_ = spgemm(a, s).expect("conforms");
+            out.push((a.clone(), s.clone()));
+            out.push((s.transpose(), as_));
+        }
+        out
+    }
+
+    /// The SpMM invocations of the propagation stage: `(matrix, n_cols)`.
+    pub fn spmm_trace(&self) -> Vec<(&CsrMatrix, usize)> {
+        self.adjacencies.iter().map(|a| (a, self.features)).collect()
+    }
+}
+
+fn dense_mul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let mut c = DenseMatrix::zeros(a.nrows(), b.ncols());
+    for r in 0..a.nrows() {
+        for k in 0..a.ncols() {
+            let av = a[(r, k)];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..b.ncols() {
+                c[(r, j)] += av * b[(k, j)];
+            }
+        }
+    }
+    c
+}
+
+fn relu(m: &mut DenseMatrix) {
+    for r in 0..m.nrows() {
+        for v in m.row_mut(r) {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn normalised_adjacency_is_symmetric_and_bounded() {
+        let a = normalise_adjacency(&gen::rmat(64, 300, 1));
+        assert_eq!(a.transpose(), a);
+        // Every entry is 1/sqrt(d_i d_j) in (0, 1]; the diagonal is 1/d_i.
+        for (r, c, v) in a.iter() {
+            assert!(v > 0.0 && v <= 1.0, "entry ({r},{c}) = {v}");
+        }
+        for r in 0..a.nrows() {
+            let d = a.row_nnz(r) as f64;
+            let diag = a.get(r, r).unwrap();
+            assert!((diag - 1.0 / d).abs() < 1e-12, "row {r}");
+        }
+        // Spectral radius of A_hat is <= 1: power iteration stays bounded.
+        let mut x = vec![1.0; a.nrows()];
+        for _ in 0..30 {
+            x = sparse::ops::spmv(&a, &x).unwrap();
+        }
+        let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(norm <= (a.nrows() as f64).sqrt() + 1e-6, "norm {norm}");
+    }
+
+    #[test]
+    fn pooling_assignment_partitions_vertices() {
+        let s = pooling_assignment(100, 4);
+        assert_eq!(s.nrows(), 100);
+        assert_eq!(s.ncols(), 25);
+        for r in 0..100 {
+            assert_eq!(s.row_nnz(r), 1);
+        }
+    }
+
+    #[test]
+    fn model_coarsens_graphs() {
+        let adj = gen::rmat(128, 700, 3);
+        let m = GcnModel::build(&adj, 3, 4, 8);
+        assert_eq!(m.n_levels(), 3);
+        assert_eq!(m.adjacencies[0].nrows(), 128);
+        assert_eq!(m.adjacencies[1].nrows(), 32);
+        assert_eq!(m.adjacencies[2].nrows(), 8);
+        assert_eq!(m.spgemm_pairs().len(), 4);
+        assert_eq!(m.spmm_trace().len(), 3);
+    }
+
+    #[test]
+    fn forward_pass_produces_finite_embeddings() {
+        let adj = gen::rmat(64, 400, 5);
+        let m = GcnModel::build(&adj, 2, 4, 8);
+        let mut h = DenseMatrix::zeros(64, 8);
+        for r in 0..64 {
+            for c in 0..8 {
+                h[(r, c)] = ((r + c) % 5) as f64 / 5.0;
+            }
+        }
+        let out = m.forward(&h);
+        assert_eq!(out.nrows(), 16);
+        assert_eq!(out.ncols(), 8);
+        assert!(out.as_slice().iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(out.count_nonzero(0.0) > 0);
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let adj = gen::rmat(64, 300, 7);
+        let m = GcnModel::build(&adj, 2, 4, 4);
+        let h = DenseMatrix::from_row_major(64, 4, vec![0.5; 256]);
+        assert_eq!(m.forward(&h), m.forward(&h));
+    }
+
+    #[test]
+    fn pooled_adjacency_matches_triple_product() {
+        let adj = gen::rmat(64, 300, 2);
+        let m = GcnModel::build(&adj, 2, 4, 4);
+        let a = &m.adjacencies[0];
+        let s = &m.poolings[0];
+        let want = spgemm(&s.transpose(), &spgemm(a, s).unwrap()).unwrap();
+        assert_eq!(m.adjacencies[1], want);
+    }
+}

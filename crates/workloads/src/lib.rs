@@ -1,0 +1,41 @@
+//! Workloads for the Uni-STC evaluation.
+//!
+//! The paper evaluates on the SuiteSparse collection (2 893 matrices), the
+//! DLMC pruned-DNN collection (302 matrices at 70 % / 98 % sparsity) and an
+//! AMG solver. Those datasets are not redistributable here, so this crate
+//! provides deterministic synthetic equivalents that exercise the same
+//! code paths (see DESIGN.md, "Substitutions"):
+//!
+//! * [`gen`] — structure-family generators: FEM stencils, banded, uniform
+//!   random, R-MAT power law, block-dense, arrow, Kronecker.
+//! * [`corpus`] — a ~300-matrix SuiteSparse-like corpus sweeping the
+//!   intermediate-product density axis of Fig. 20 end to end.
+//! * [`representative`] — synthetic analogues of the paper's eight
+//!   representative matrices (Table VII), matched on structure family and
+//!   relative block density.
+//! * [`dlmc`] — DLMC-like pruned weight matrices at ResNet-50 and
+//!   Transformer layer shapes, and [`dnn`] — whole-model forward-pass
+//!   accounting on a simulated engine.
+//! * [`amg`] — a real algebraic-multigrid solver (strength graph, greedy
+//!   aggregation, smoothed prolongation, Galerkin triple product,
+//!   damped-Jacobi V-cycle) whose SpMV/SpGEMM mix drives the Fig. 21 case
+//!   study.
+//! * [`bfs`] / [`gnn`] — the other Table II applications: linear-algebraic
+//!   breadth-first search (SpMV/SpMSpV mix) and a pooled GCN forward pass
+//!   (SpMM/SpGEMM mix), both with engine-replayable kernel traces.
+//!
+//! Everything is seeded and deterministic: the same inputs always produce
+//! the same matrices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amg;
+pub mod bfs;
+pub mod cg;
+pub mod corpus;
+pub mod dlmc;
+pub mod dnn;
+pub mod gen;
+pub mod gnn;
+pub mod representative;

@@ -1,0 +1,122 @@
+//! Cross-crate integration: every engine processes the same task streams
+//! and must agree on the *work* (useful MAC operations) while respecting
+//! its own throughput bounds.
+
+use bench::{all_engines, MatrixCtx, KERNELS};
+use simkit::{EnergyModel, Precision};
+use workloads::gen;
+
+fn contexts() -> Vec<MatrixCtx> {
+    vec![
+        MatrixCtx::new("poisson2d", gen::poisson_2d(12), 1),
+        MatrixCtx::new("banded", gen::banded(96, 4, 0.7, 2), 2),
+        MatrixCtx::new("rmat", gen::rmat(128, 900, 3), 3),
+        MatrixCtx::new("blocks", gen::block_dense(96, 8, 10, 4), 4),
+        MatrixCtx::new("arrow", gen::arrow(96, 3, 4, 5), 5),
+    ]
+}
+
+#[test]
+fn useful_work_is_engine_invariant() {
+    let em = EnergyModel::default();
+    for ctx in contexts() {
+        for kernel in KERNELS {
+            let mut useful = Vec::new();
+            for e in all_engines(Precision::Fp64) {
+                let r = ctx.run(e.as_ref(), &em, kernel);
+                useful.push((e.name().to_owned(), r.useful));
+            }
+            let first = useful[0].1;
+            for (name, u) in &useful {
+                assert_eq!(*u, first, "{name} disagrees on {kernel} for {}", ctx.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn cycles_respect_lane_throughput_floor() {
+    let em = EnergyModel::default();
+    for ctx in contexts() {
+        for kernel in KERNELS {
+            for e in all_engines(Precision::Fp64) {
+                let r = ctx.run(e.as_ref(), &em, kernel);
+                let floor = r.useful.div_ceil(e.lanes() as u64);
+                assert!(
+                    r.cycles >= floor,
+                    "{} beat the physical floor on {kernel}/{}: {} < {floor}",
+                    e.name(),
+                    ctx.name,
+                    r.cycles
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn utilisation_histogram_accounts_every_cycle() {
+    let em = EnergyModel::default();
+    for ctx in contexts() {
+        for e in all_engines(Precision::Fp64) {
+            for kernel in KERNELS {
+                let r = ctx.run(e.as_ref(), &em, kernel);
+                assert_eq!(r.util.cycles(), r.cycles, "{} {kernel}", e.name());
+                assert_eq!(r.util.useful_ops(), r.useful, "{} {kernel}", e.name());
+                let bands = r.util.quartile_bands();
+                let sum: f64 = bands.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "{} bands sum {sum}", e.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn uni_stc_is_never_slower_than_nv_dtc() {
+    // The dense tensor core is the no-adaptation floor: an STC that loses
+    // to it on sparse inputs would be pointless. (NV-DTC runs a fixed
+    // dense schedule, so this is the paper's minimum bar.)
+    let em = EnergyModel::default();
+    for ctx in contexts() {
+        for kernel in KERNELS {
+            let engines = all_engines(Precision::Fp64);
+            let nv = ctx.run(engines[0].as_ref(), &em, kernel);
+            let uni = ctx.run(engines[6].as_ref(), &em, kernel);
+            assert!(
+                uni.cycles <= nv.cycles,
+                "Uni-STC slower than NV-DTC on {kernel}/{}: {} vs {}",
+                ctx.name,
+                uni.cycles,
+                nv.cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn fp32_engines_handle_the_same_streams() {
+    let em = EnergyModel::default();
+    let ctx = MatrixCtx::new("banded", gen::banded(64, 4, 0.6, 7), 7);
+    for e in all_engines(Precision::Fp32) {
+        for kernel in KERNELS {
+            let r = ctx.run(e.as_ref(), &em, kernel);
+            assert!(r.cycles > 0, "{} produced no cycles on {kernel}", e.name());
+            assert!(r.util.lanes() == 128);
+        }
+    }
+}
+
+#[test]
+fn energy_is_positive_and_decomposes() {
+    let em = EnergyModel::default();
+    let ctx = MatrixCtx::new("poisson", gen::poisson_2d(10), 9);
+    for e in all_engines(Precision::Fp64) {
+        for kernel in KERNELS {
+            let r = ctx.run(e.as_ref(), &em, kernel);
+            assert!(r.energy.total() > 0.0);
+            assert!(r.energy.fetch >= 0.0 && r.energy.schedule >= 0.0 && r.energy.compute > 0.0);
+            let sum = r.energy.fetch + r.energy.schedule + r.energy.compute;
+            assert!((sum - r.energy.total()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Determinism: every generator, every engine and every driver must
+//! produce byte-identical results across runs — the property that makes
+//! the experiment harness reproducible (and that the paper's AE workflow
+//! relies on when comparing against pre-computed logs).
+
+use bench::{all_engines, MatrixCtx, KERNELS};
+use simkit::{EnergyModel, Precision};
+use workloads::{corpus, gen, representative};
+
+#[test]
+fn generators_are_deterministic() {
+    assert_eq!(gen::random_uniform(128, 0.05, 1), gen::random_uniform(128, 0.05, 1));
+    assert_eq!(gen::rmat(128, 700, 2), gen::rmat(128, 700, 2));
+    assert_eq!(gen::banded(100, 4, 0.5, 3), gen::banded(100, 4, 0.5, 3));
+    assert_eq!(gen::arrow(64, 3, 2, 4), gen::arrow(64, 3, 2, 4));
+    assert_eq!(gen::graph_laplacian(128, 600, 5), gen::graph_laplacian(128, 600, 5));
+    assert_eq!(
+        gen::block_dense(64, 8, 5, 6),
+        gen::block_dense(64, 8, 5, 6)
+    );
+}
+
+#[test]
+fn seeds_actually_matter() {
+    assert_ne!(gen::random_uniform(128, 0.05, 1), gen::random_uniform(128, 0.05, 2));
+    assert_ne!(gen::rmat(128, 700, 2), gen::rmat(128, 700, 3));
+    assert_ne!(gen::banded(100, 4, 0.5, 3), gen::banded(100, 4, 0.5, 4));
+}
+
+#[test]
+fn corpus_is_stable_across_calls() {
+    let a = corpus::corpus_sample(20);
+    let b = corpus::corpus_sample(20);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.build(), y.build());
+    }
+}
+
+#[test]
+fn representative_matrices_are_stable() {
+    let a = representative::representative_matrices();
+    let b = representative::representative_matrices();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.matrix, y.matrix);
+    }
+}
+
+#[test]
+fn engine_reports_are_bit_stable() {
+    let ctx = MatrixCtx::new("det", gen::rmat(128, 900, 7), 7);
+    let em = EnergyModel::default();
+    for e in all_engines(Precision::Fp64) {
+        for kernel in KERNELS {
+            let a = ctx.run(e.as_ref(), &em, kernel);
+            let b = ctx.run(e.as_ref(), &em, kernel);
+            assert_eq!(a, b, "{} {kernel}", e.name());
+        }
+    }
+}
+
+#[test]
+fn numeric_dataflow_is_bit_stable() {
+    let m = gen::banded(80, 4, 0.7, 9);
+    let bbc = sparse::BbcMatrix::from_csr(&m);
+    let cfg = uni_stc::UniStcConfig::default();
+    let x: Vec<f64> = (0..m.ncols()).map(|i| (i % 13) as f64 - 6.0).collect();
+    let (y1, s1) = uni_stc::kernels::spmv(&cfg, &bbc, &x).unwrap();
+    let (y2, s2) = uni_stc::kernels::spmv(&cfg, &bbc, &x).unwrap();
+    assert_eq!(y1, y2);
+    assert_eq!(s1, s2);
+    let (c1, g1) = uni_stc::kernels::spgemm(&cfg, &bbc, &bbc).unwrap();
+    let (c2, g2) = uni_stc::kernels::spgemm(&cfg, &bbc, &bbc).unwrap();
+    assert_eq!(c1, c2);
+    assert_eq!(g1, g2);
+}
+
+#[test]
+fn amg_hierarchy_is_stable() {
+    let a = gen::poisson_2d(16);
+    let opts = workloads::amg::AmgOptions::default();
+    let h1 = workloads::amg::build_hierarchy(&a, opts);
+    let h2 = workloads::amg::build_hierarchy(&a, opts);
+    assert_eq!(h1.n_levels(), h2.n_levels());
+    for (l1, l2) in h1.levels.iter().zip(&h2.levels) {
+        assert_eq!(l1.a, l2.a);
+    }
+    let b = vec![1.0; a.nrows()];
+    let (x1, r1) = h1.solve(&b, 1e-8, 50);
+    let (x2, r2) = h2.solve(&b, 1e-8, 50);
+    assert_eq!(x1, x2);
+    assert_eq!(r1, r2);
+}

@@ -1,0 +1,110 @@
+//! Property-based integration tests: every storage format must preserve
+//! the matrix exactly through conversion roundtrips, on matrices from all
+//! generator families.
+
+use proptest::prelude::*;
+use sparse::{BbcMatrix, BitmapMatrix, BsrMatrix, CooMatrix, CscMatrix, CsrMatrix, StorageSize};
+
+fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..60, 1usize..60).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(((0..m), (0..n), -5.0f64..5.0), 0..200).prop_map(
+            move |entries| {
+                let mut coo = CooMatrix::new(m, n);
+                for (r, c, v) in entries {
+                    if v != 0.0 {
+                        coo.push(r, c, v);
+                    }
+                }
+                CsrMatrix::try_from(coo).unwrap()
+            },
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn bbc_roundtrip(csr in arb_matrix()) {
+        let bbc = BbcMatrix::from_csr(&csr);
+        prop_assert_eq!(bbc.nnz(), csr.nnz());
+        prop_assert_eq!(bbc.to_csr(), csr);
+    }
+
+    #[test]
+    fn bbc_io_roundtrip(csr in arb_matrix()) {
+        let bbc = BbcMatrix::from_csr(&csr);
+        let mut buf = Vec::new();
+        bbc.write_bbc(&mut buf).unwrap();
+        let back = sparse::bbc::read_bbc(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, bbc);
+    }
+
+    #[test]
+    fn bsr_roundtrip_all_block_sizes(csr in arb_matrix(), block in 1usize..20) {
+        let bsr = BsrMatrix::from_csr(&csr, block).unwrap();
+        prop_assert_eq!(bsr.to_csr(), csr);
+    }
+
+    #[test]
+    fn bitmap_roundtrip(csr in arb_matrix()) {
+        let bm = BitmapMatrix::from_csr(&csr);
+        prop_assert_eq!(bm.to_csr(), csr);
+    }
+
+    #[test]
+    fn csc_roundtrip(csr in arb_matrix()) {
+        let csc = CscMatrix::from(&csr);
+        prop_assert_eq!(csc.to_csr(), csr);
+    }
+
+    #[test]
+    fn transpose_involution(csr in arb_matrix()) {
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn bbc_point_queries_match_csr(csr in arb_matrix()) {
+        let bbc = BbcMatrix::from_csr(&csr);
+        for r in 0..csr.nrows() {
+            for c in 0..csr.ncols() {
+                prop_assert_eq!(bbc.get(r, c), csr.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn value_bytes_count_logical_nonzeros(csr in arb_matrix()) {
+        let bbc = BbcMatrix::from_csr(&csr);
+        prop_assert_eq!(bbc.value_bytes(), csr.value_bytes());
+        // BSR pads values: at least as many bytes as CSR's.
+        let bsr = BsrMatrix::from_csr(&csr, 4).unwrap();
+        prop_assert!(bsr.value_bytes() >= csr.value_bytes());
+    }
+
+    #[test]
+    fn bbc_metadata_beats_csr_on_dense_blocks(g in 2usize..5) {
+        // Fully dense square matrices: BBC metadata must be far below CSR.
+        let n = g * 16;
+        let mut coo = CooMatrix::new(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                coo.push(r, c, 1.0);
+            }
+        }
+        let csr = CsrMatrix::try_from(coo).unwrap();
+        let bbc = BbcMatrix::from_csr(&csr);
+        prop_assert!(bbc.metadata_bytes() * 8 < csr.metadata_bytes());
+    }
+}
+
+#[test]
+fn generator_outputs_survive_bbc() {
+    for csr in [
+        workloads::gen::poisson_2d(10),
+        workloads::gen::banded(70, 5, 0.5, 1),
+        workloads::gen::rmat(64, 300, 2),
+        workloads::gen::arrow(50, 2, 3, 3),
+    ] {
+        let bbc = BbcMatrix::from_csr(&csr);
+        assert_eq!(bbc.to_csr(), csr);
+    }
+}

@@ -1,0 +1,108 @@
+//! Numerical integration tests: the reference kernels agree with dense
+//! linear algebra on generator outputs, and the AMG solver really solves
+//! its systems.
+
+use sparse::ops::{spgemm, spmm, spmspv, spmv};
+use sparse::{DenseMatrix, SparseVector};
+use workloads::amg::{build_hierarchy, AmgOptions};
+use workloads::gen;
+
+fn dense_matmul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let mut c = DenseMatrix::zeros(a.nrows(), b.ncols());
+    for i in 0..a.nrows() {
+        for k in 0..a.ncols() {
+            let av = a[(i, k)];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..b.ncols() {
+                c[(i, j)] += av * b[(k, j)];
+            }
+        }
+    }
+    c
+}
+
+#[test]
+fn spmv_matches_dense_on_generators() {
+    for a in [gen::poisson_2d(9), gen::banded(77, 4, 0.6, 1), gen::rmat(64, 400, 2)] {
+        let x: Vec<f64> = (0..a.ncols()).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let y = spmv(&a, &x).unwrap();
+        let ad = a.to_dense();
+        for r in 0..a.nrows() {
+            let want: f64 = (0..a.ncols()).map(|c| ad[(r, c)] * x[c]).sum();
+            assert!((y[r] - want).abs() < 1e-9, "row {r}");
+        }
+    }
+}
+
+#[test]
+fn spmspv_consistent_with_spmv() {
+    let a = gen::rmat(128, 800, 5);
+    let dense_x: Vec<f64> =
+        (0..a.ncols()).map(|i| if i % 3 == 0 { (i % 7) as f64 - 3.0 } else { 0.0 }).collect();
+    let x = SparseVector::from_dense(&dense_x, 0.0);
+    let ys = spmspv(&a, &x).unwrap().to_dense();
+    let yd = spmv(&a, &dense_x).unwrap();
+    for (s, d) in ys.iter().zip(&yd) {
+        assert!((s - d).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn spmm_matches_dense_on_generators() {
+    let a = gen::banded(60, 3, 0.8, 7);
+    let mut b = DenseMatrix::zeros(60, 16);
+    for r in 0..60 {
+        for c in 0..16 {
+            b[(r, c)] = ((r * 16 + c) % 9) as f64 - 4.0;
+        }
+    }
+    let c = spmm(&a, &b).unwrap();
+    let want = dense_matmul(&a.to_dense(), &b);
+    assert!(c.max_abs_diff(&want) < 1e-9);
+}
+
+#[test]
+fn spgemm_squares_match_dense() {
+    for a in [gen::poisson_2d(7), gen::block_dense(48, 8, 6, 3), gen::arrow(40, 2, 2, 4)] {
+        let c = spgemm(&a, &a).unwrap();
+        let want = dense_matmul(&a.to_dense(), &a.to_dense());
+        assert!(c.to_dense().max_abs_diff(&want) < 1e-9);
+    }
+}
+
+#[test]
+fn spgemm_associativity_on_triple_product() {
+    // (R A) P == R (A P): the Galerkin product computed both ways.
+    let a = gen::poisson_2d(16);
+    let h = build_hierarchy(&a, AmgOptions::default());
+    let l = &h.levels[0];
+    let (p, r) = (l.p.as_ref().unwrap(), l.r.as_ref().unwrap());
+    let left = spgemm(&spgemm(r, &l.a).unwrap(), p).unwrap();
+    let right = spgemm(r, &spgemm(&l.a, p).unwrap()).unwrap();
+    assert!(left.to_dense().max_abs_diff(&right.to_dense()) < 1e-9);
+}
+
+#[test]
+fn amg_solves_poisson_to_high_accuracy() {
+    let a = gen::poisson_2d(20);
+    let h = build_hierarchy(&a, AmgOptions::default());
+    let b: Vec<f64> = (0..a.nrows()).map(|i| ((i * 31) % 13) as f64 - 6.0).collect();
+    let (x, res) = h.solve(&b, 1e-10, 300);
+    assert!(res.converged, "residual {}", res.relative_residual);
+    let ax = spmv(&a, &x).unwrap();
+    let err: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt();
+    let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    assert!(err / bn < 1e-9);
+}
+
+#[test]
+fn amg_handles_3d_problems() {
+    let a = gen::poisson_3d(8);
+    let h = build_hierarchy(&a, AmgOptions::default());
+    assert!(h.n_levels() >= 2);
+    let b = vec![1.0; a.nrows()];
+    let (_, res) = h.solve(&b, 1e-8, 300);
+    assert!(res.converged, "3-D residual {}", res.relative_residual);
+}

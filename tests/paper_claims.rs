@@ -1,0 +1,211 @@
+//! Shape-level checks of the paper's headline claims: who wins, in which
+//! regime, and by roughly what kind of factor. Absolute constants are the
+//! model's, but the *orderings and crossovers* must match the paper.
+
+use bench::{all_engines, headline_engines, MatrixCtx, KERNELS};
+use simkit::driver::Kernel;
+use simkit::metrics::{geomean, Comparison};
+use simkit::{EnergyModel, Precision, TileEngine};
+use workloads::gen;
+use workloads::representative::representative_matrices;
+
+fn reps() -> Vec<MatrixCtx> {
+    representative_matrices()
+        .into_iter()
+        .map(|r| MatrixCtx::new(r.name, r.matrix, 3))
+        .collect()
+}
+
+fn geo_cmp(kernel: Kernel) -> (Comparison, Comparison) {
+    // Geomean Uni-vs-DS and Uni-vs-RM over the eight representatives.
+    let em = EnergyModel::default();
+    let mut ds_cs = Vec::new();
+    let mut rm_cs = Vec::new();
+    for ctx in reps() {
+        let engines = headline_engines(Precision::Fp64);
+        let ds = ctx.run(engines[0].as_ref(), &em, kernel);
+        let rm = ctx.run(engines[1].as_ref(), &em, kernel);
+        let uni = ctx.run(engines[2].as_ref(), &em, kernel);
+        ds_cs.push(Comparison::of(&uni, &ds));
+        rm_cs.push(Comparison::of(&uni, &rm));
+    }
+    let geo = |cs: &[Comparison]| Comparison {
+        speedup: geomean(cs.iter().map(|c| c.speedup)).unwrap(),
+        energy_reduction: geomean(cs.iter().map(|c| c.energy_reduction)).unwrap(),
+    };
+    (geo(&ds_cs), geo(&rm_cs))
+}
+
+#[test]
+fn uni_stc_wins_every_kernel_on_speed() {
+    for kernel in KERNELS {
+        let (vs_ds, vs_rm) = geo_cmp(kernel);
+        assert!(vs_ds.speedup > 1.0, "{kernel}: Uni not faster than DS ({})", vs_ds.speedup);
+        assert!(vs_rm.speedup > 1.0, "{kernel}: Uni not faster than RM ({})", vs_rm.speedup);
+    }
+}
+
+#[test]
+fn uni_stc_wins_every_kernel_on_efficiency() {
+    for kernel in KERNELS {
+        let (vs_ds, vs_rm) = geo_cmp(kernel);
+        assert!(vs_ds.efficiency() > 1.0, "{kernel} vs DS eff {}", vs_ds.efficiency());
+        assert!(vs_rm.efficiency() > 1.0, "{kernel} vs RM eff {}", vs_rm.efficiency());
+    }
+}
+
+#[test]
+fn spmv_speedup_factors_are_paper_sized() {
+    // Paper: ~5.21x over DS-STC and ~2.74x over RM-STC on the eight
+    // matrices (max 16x / 3.96x over the full corpus). Accept a generous
+    // band around the paper's points.
+    let (vs_ds, vs_rm) = geo_cmp(Kernel::SpMV);
+    assert!(
+        (2.5..=12.0).contains(&vs_ds.speedup),
+        "SpMV vs DS speedup {} outside band",
+        vs_ds.speedup
+    );
+    assert!(
+        (1.3..=8.0).contains(&vs_rm.speedup),
+        "SpMV vs RM speedup {} outside band",
+        vs_rm.speedup
+    );
+}
+
+#[test]
+fn rm_stc_utilisation_collapses_on_spmspv() {
+    // Paper Section VI-C.2: "RM-STC's MAC utilisation drops below 12.5 %
+    // as the input vector x becomes sparser" — the sparse x empties half
+    // of each K-pair's scalar window. Uni-STC keeps a decisive win on
+    // both MV kernels (see EXPERIMENTS.md for the second-order deviation
+    // on the SpMSpV/SpMV ratio).
+    let em = EnergyModel::default();
+    for ctx in reps() {
+        let engines = headline_engines(Precision::Fp64);
+        let rm_mv = ctx.run(engines[1].as_ref(), &em, Kernel::SpMV);
+        let rm_sv = ctx.run(engines[1].as_ref(), &em, Kernel::SpMSpV);
+        assert!(
+            rm_sv.mean_utilisation() < rm_mv.mean_utilisation(),
+            "{}: RM util did not drop ({} vs {})",
+            ctx.name,
+            rm_sv.mean_utilisation(),
+            rm_mv.mean_utilisation()
+        );
+        // "...drops below 12.5 % as the input vector x becomes sparser":
+        // at 90 % x-sparsity the collapse is unconditional.
+        let x90 = bench::sparse_vector(ctx.csr.ncols(), 0.9, 17);
+        let rm_sv90 =
+            simkit::driver::run_spmspv(engines[1].as_ref(), &em, &ctx.bbc, &x90);
+        // Allow a small margin above the asymptotic 12.5 % bound for
+        // K-pairs that keep both x entries at finite sparsity.
+        assert!(
+            rm_sv90.mean_utilisation() < 0.16,
+            "{}: {}",
+            ctx.name,
+            rm_sv90.mean_utilisation()
+        );
+    }
+    let (_, mv) = geo_cmp(Kernel::SpMV);
+    let (_, mspv) = geo_cmp(Kernel::SpMSpV);
+    assert!(mspv.speedup > 2.0, "SpMSpV vs RM collapsed to {}", mspv.speedup);
+    assert!(mspv.speedup > 0.6 * mv.speedup);
+}
+
+#[test]
+fn baseline_utilisation_caps_hold_on_spmv() {
+    // Paper Section VI-C.2: DS-STC <= 12.5 %, RM-STC <= 25 % on SpMV.
+    let em = EnergyModel::default();
+    for ctx in reps() {
+        let engines = headline_engines(Precision::Fp64);
+        let ds = ctx.run(engines[0].as_ref(), &em, Kernel::SpMV);
+        let rm = ctx.run(engines[1].as_ref(), &em, Kernel::SpMV);
+        assert!(ds.mean_utilisation() <= 0.125 + 1e-9, "{}", ctx.name);
+        assert!(rm.mean_utilisation() <= 0.25 + 1e-9, "{}", ctx.name);
+    }
+}
+
+#[test]
+fn dense_energy_ordering_matches_paper() {
+    // Paper Section VI-C.1 (dense inputs): NV-DTC cheapest; Uni-STC within
+    // ~10 % of it; RM-STC and DS-STC progressively worse.
+    let em = EnergyModel::default();
+    let dense = gen::random_uniform(64, 1.0, 1);
+    let ctx = MatrixCtx::new("dense", dense, 1);
+    let engines = all_engines(Precision::Fp64);
+    let by_name = |n: &str| {
+        let e = engines.iter().find(|e| e.name() == n).unwrap();
+        ctx.run(e.as_ref(), &em, Kernel::SpMM).energy.total()
+    };
+    let nv = by_name("NV-DTC");
+    let uni = by_name("Uni-STC");
+    let rm = by_name("RM-STC");
+    let ds = by_name("DS-STC");
+    assert!(nv <= uni, "NV-DTC {nv} not cheapest vs Uni {uni}");
+    assert!(uni < rm, "Uni {uni} not below RM {rm}");
+    assert!(rm < ds, "RM {rm} not below DS {ds}");
+    assert!(uni / nv < 1.35, "Uni {} too far above NV-DTC", uni / nv);
+}
+
+#[test]
+fn bbc_beats_csr_beyond_the_crossover() {
+    // Fig. 15: BBC's overhead reduction grows with NnzPB and crosses 1.0
+    // around a few nonzeros per tile; dense blocks approach ~14x.
+    use sparse::{BbcMatrix, StorageSize};
+    let overhead = |csr: &sparse::CsrMatrix| {
+        let bbc = BbcMatrix::from_csr(csr);
+        csr.metadata_bytes() as f64 / bbc.metadata_bytes() as f64
+    };
+    let sparse_m = gen::random_uniform(512, 0.002, 1); // NnzPB ~ 1
+    let dense_m = gen::random_uniform(256, 0.9, 2); // near-dense blocks
+    assert!(overhead(&sparse_m) < 1.0, "scattered matrix should favour CSR");
+    let dense_red = overhead(&dense_m);
+    assert!(dense_red > 5.0, "dense-block reduction only {dense_red}");
+}
+
+#[test]
+fn amg_speedup_ordering_matches_fig21() {
+    // Fig. 21: on real-world-irregular operators, Uni-STC beats every
+    // baseline on both kernels; Trapezoid is the strongest baseline on
+    // SpMV but falls back on SpGEMM ("real-world irregularity exacerbates
+    // load imbalances across its PE rows"). We use an R-MAT graph
+    // Laplacian as the irregular AMG problem.
+    use baselines::{DsStc, Trapezoid};
+    use simkit::driver::{run_spgemm, run_spmv};
+    use sparse::BbcMatrix;
+    use uni_stc::UniStc;
+    use workloads::amg::{build_hierarchy, AmgOptions};
+
+    let em = EnergyModel::default();
+    let a = gen::graph_laplacian(512, 3000, 7);
+    let h = build_hierarchy(&a, AmgOptions::default());
+    let ds = DsStc::new(Precision::Fp64);
+    let tr = Trapezoid::new(Precision::Fp64);
+    let uni = UniStc::default();
+
+    let spmv_cycles = |e: &dyn TileEngine| -> u64 {
+        h.spmv_trace(5)
+            .iter()
+            .map(|(m, c)| run_spmv(e, &em, &BbcMatrix::from_csr(m)).cycles * *c as u64)
+            .sum()
+    };
+    let spgemm_cycles = |e: &dyn TileEngine| -> u64 {
+        h.spgemm_pairs()
+            .iter()
+            .map(|(x, y)| {
+                run_spgemm(e, &em, &BbcMatrix::from_csr(x), &BbcMatrix::from_csr(y)).cycles
+            })
+            .sum()
+    };
+
+    let (ds_mv, tr_mv, uni_mv) = (spmv_cycles(&ds), spmv_cycles(&tr), spmv_cycles(&uni));
+    let (ds_mm, tr_mm, uni_mm) = (spgemm_cycles(&ds), spgemm_cycles(&tr), spgemm_cycles(&uni));
+    // Both beat DS-STC on SpMV...
+    assert!(tr_mv < ds_mv && uni_mv < ds_mv);
+    // ...Uni-STC leads overall and Trapezoid's SpGEMM edge is the smaller
+    // of its two wins (the Fig. 21 pattern).
+    assert!(uni_mv <= tr_mv, "Uni SpMV {uni_mv} vs Trapezoid {tr_mv}");
+    assert!(uni_mm < ds_mm);
+    let tr_gain_mm = ds_mm as f64 / tr_mm as f64;
+    let tr_gain_mv = ds_mv as f64 / tr_mv as f64;
+    assert!(tr_gain_mv > tr_gain_mm, "Trapezoid should shine on SpMV, not SpGEMM");
+}

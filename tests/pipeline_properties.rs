@@ -1,0 +1,151 @@
+//! Property-based invariants of the Uni-STC pipeline and the numeric
+//! dataflow kernels, over randomized block structures and matrices.
+
+use proptest::prelude::*;
+use simkit::{Block16, T1Task, TileEngine};
+use sparse::{BbcMatrix, CooMatrix, CsrMatrix};
+use uni_stc::{kernels, UniStc, UniStcConfig};
+
+fn arb_block(max_nnz: usize) -> impl Strategy<Value = Block16> {
+    proptest::collection::vec((0usize..16, 0usize..16), 0..=max_nnz).prop_map(|pts| {
+        let mut b = Block16::empty();
+        for (r, c) in pts {
+            b.set(r, c);
+        }
+        b
+    })
+}
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = CsrMatrix> {
+    (8usize..=max_dim).prop_flat_map(|n| {
+        proptest::collection::vec(((0..n), (0..n), 0.1f64..4.0), 1..200).prop_map(
+            move |entries| {
+                let mut coo = CooMatrix::new(n, n);
+                for (r, c, v) in entries {
+                    coo.push(r, c, v);
+                }
+                CsrMatrix::try_from(coo).unwrap()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pipeline_conserves_work(a in arb_block(64), b in arb_block(64)) {
+        let t = T1Task::mm(a, b);
+        prop_assume!(!t.is_trivial());
+        let r = UniStc::default().execute(&t);
+        prop_assert_eq!(r.useful, t.products());
+        prop_assert_eq!(r.util.useful_ops(), r.useful);
+        prop_assert_eq!(r.util.cycles(), r.cycles);
+    }
+
+    #[test]
+    fn pipeline_respects_physical_bounds(a in arb_block(64), b in arb_block(64)) {
+        let t = T1Task::mm(a, b);
+        prop_assume!(!t.is_trivial());
+        let cfg = UniStcConfig::default();
+        let r = UniStc::new(cfg).execute(&t);
+        // Lane-throughput floor.
+        prop_assert!(r.cycles >= t.products().div_ceil(64));
+        // A cycle cannot activate more DPGs than exist.
+        prop_assert!(r.events.unit_cycles <= r.cycles * cfg.n_dpg as u64);
+        // The gated output network never exceeds the static scale.
+        prop_assert!(r.events.c_ports_cycles <= r.cycles * (cfg.n_dpg as u64) * 256);
+        // Pre-merged partials: between products/4 (all length-4 segments)
+        // and products (all length-1).
+        prop_assert!(r.events.partial_updates >= t.products().div_ceil(4));
+        prop_assert!(r.events.partial_updates <= t.products());
+    }
+
+    #[test]
+    fn more_dpgs_never_slower(a in arb_block(48), b in arb_block(48)) {
+        let t = T1Task::mm(a, b);
+        prop_assume!(!t.is_trivial());
+        let c4 = UniStc::new(UniStcConfig::with_dpgs(4)).execute(&t);
+        let c8 = UniStc::new(UniStcConfig::with_dpgs(8)).execute(&t);
+        let c16 = UniStc::new(UniStcConfig::with_dpgs(16)).execute(&t);
+        prop_assert!(c8.cycles <= c4.cycles);
+        prop_assert!(c16.cycles <= c8.cycles);
+    }
+
+    #[test]
+    fn gating_only_reduces_energy_events(a in arb_block(48), b in arb_block(48)) {
+        let t = T1Task::mm(a, b);
+        prop_assume!(!t.is_trivial());
+        let gated_cfg = UniStcConfig { power_gating: true, ..Default::default() };
+        let hot_cfg = UniStcConfig { power_gating: false, ..gated_cfg };
+        let gated = UniStc::new(gated_cfg).execute(&t);
+        let hot = UniStc::new(hot_cfg).execute(&t);
+        // Identical schedule, different power accounting.
+        prop_assert_eq!(gated.cycles, hot.cycles);
+        prop_assert!(gated.events.unit_cycles <= hot.events.unit_cycles);
+        prop_assert!(gated.events.c_ports_cycles <= hot.events.c_ports_cycles);
+    }
+
+    #[test]
+    fn mv_tasks_have_no_conflict_stalls(a in arb_block(64), mask in any::<u16>()) {
+        // MV accumulates in per-thread registers: cycles are bounded by
+        // work and DPG task parallelism only. With 16 or fewer T3 tasks
+        // and no conflicts, every task is touched within ceil(16/8) + work
+        // cycles.
+        let t = T1Task::mv(a, mask);
+        prop_assume!(!t.is_trivial());
+        let r = UniStc::default().execute(&t);
+        let floor = t.products().div_ceil(64);
+        // 16 possible MV T3 tasks on 8 DPGs: at most 2 refill waves beyond
+        // the lane floor.
+        prop_assert!(r.cycles <= floor + 4, "cycles {} floor {}", r.cycles, floor);
+    }
+
+    #[test]
+    fn dataflow_spmv_matches_reference(a in arb_matrix(48)) {
+        let bbc = BbcMatrix::from_csr(&a);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let (y, _) = kernels::spmv(&UniStcConfig::default(), &bbc, &x).unwrap();
+        let want = sparse::ops::spmv(&a, &x).unwrap();
+        for (g, w) in y.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dataflow_spgemm_matches_reference(a in arb_matrix(32)) {
+        let bbc = BbcMatrix::from_csr(&a);
+        let (c, stats) = kernels::spgemm(&UniStcConfig::default(), &bbc, &bbc).unwrap();
+        let want = sparse::ops::spgemm(&a, &a).unwrap();
+        prop_assert!(c.to_dense().max_abs_diff(&want.to_dense()) < 1e-9);
+        prop_assert_eq!(stats.products, sparse::ops::spgemm_flops(&a, &a).unwrap());
+    }
+}
+
+#[test]
+fn fill_order_changes_schedule_not_results() {
+    let a = Block16::from_fn(|r, c| (r * 3 + c) % 4 != 0);
+    let b = Block16::from_fn(|r, c| (r + c * 5) % 3 != 0);
+    let t = T1Task::mm(a, b);
+    let z_cfg = UniStcConfig { fill_order: uni_stc::FillOrder::ZShape, ..Default::default() };
+    let n_cfg = UniStcConfig { fill_order: uni_stc::FillOrder::NShape, ..z_cfg };
+    let rz = UniStc::new(z_cfg).execute(&t);
+    let rn = UniStc::new(n_cfg).execute(&t);
+    assert_eq!(rz.useful, rn.useful);
+    assert_eq!(rz.events.partial_updates, rn.events.partial_updates);
+}
+
+#[test]
+fn ordering_strategy_changes_schedule_not_results() {
+    use uni_stc::TaskOrdering;
+    let a = Block16::from_fn(|r, c| (r * 7 + c) % 5 < 2);
+    let b = Block16::from_fn(|r, c| (r + c) % 4 < 2);
+    let t = T1Task::mm(a, b);
+    let mut useful = Vec::new();
+    for ordering in [TaskOrdering::DotProduct, TaskOrdering::OuterProduct, TaskOrdering::RowRow]
+    {
+        let cfg = UniStcConfig { ordering, ..Default::default() };
+        useful.push(UniStc::new(cfg).execute(&t).useful);
+    }
+    assert!(useful.windows(2).all(|w| w[0] == w[1]));
+}
