@@ -75,67 +75,89 @@ mod conformance {
     //! across randomized task structures.
 
     use super::*;
-    use proptest::prelude::*;
     use simkit::{Block16, Precision, T1Task};
+    use sparse::rng::Rng64;
 
-    fn arb_block(max_nnz: usize) -> impl Strategy<Value = Block16> {
-        proptest::collection::vec((0usize..16, 0usize..16), 0..=max_nnz).prop_map(|pts| {
-            let mut b = Block16::empty();
-            for (r, c) in pts {
-                b.set(r, c);
-            }
-            b
-        })
+    /// Deterministic replacement for the old proptest strategy: a seeded
+    /// random block with up to `max_nnz` set positions.
+    fn random_block(rng: &mut Rng64, max_nnz: usize) -> Block16 {
+        let nnz = rng.next_range(max_nnz + 1);
+        let mut b = Block16::empty();
+        for _ in 0..nnz {
+            b.set(rng.next_range(16), rng.next_range(16));
+        }
+        b
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    const CASES: u64 = 64;
 
-        #[test]
-        fn engines_cover_all_products_mm(a in arb_block(48), b in arb_block(48)) {
-            let task = T1Task::mm(a, b);
-            prop_assume!(!task.is_trivial());
+    #[test]
+    fn engines_cover_all_products_mm() {
+        for seed in 0..CASES {
+            let mut rng = Rng64::new(seed);
+            let task = T1Task::mm(random_block(&mut rng, 48), random_block(&mut rng, 48));
+            if task.is_trivial() {
+                continue;
+            }
             for engine in all_baselines(Precision::Fp64) {
                 let r = engine.execute(&task);
-                prop_assert_eq!(
-                    r.useful, task.products(),
-                    "{} lost or duplicated products", engine.name()
+                assert_eq!(
+                    r.useful,
+                    task.products(),
+                    "{} lost or duplicated products (seed {seed})",
+                    engine.name()
                 );
-                prop_assert_eq!(r.util.useful_ops(), r.useful, "{}", engine.name());
-                prop_assert!(r.cycles > 0, "{} took zero cycles", engine.name());
+                assert_eq!(r.util.useful_ops(), r.useful, "{}", engine.name());
+                assert!(r.cycles > 0, "{} took zero cycles", engine.name());
             }
         }
+    }
 
-        #[test]
-        fn engines_cover_all_products_mv(a in arb_block(48), mask in any::<u16>()) {
-            let task = T1Task::mv(a, mask);
-            prop_assume!(!task.is_trivial());
+    #[test]
+    fn engines_cover_all_products_mv() {
+        for seed in 0..CASES {
+            let mut rng = Rng64::new(seed ^ 0x11);
+            let mask = rng.next_u64() as u16;
+            let task = T1Task::mv(random_block(&mut rng, 48), mask);
+            if task.is_trivial() {
+                continue;
+            }
             for engine in all_baselines(Precision::Fp64) {
                 let r = engine.execute(&task);
-                prop_assert_eq!(r.useful, task.products(), "{}", engine.name());
-                prop_assert!(r.cycles > 0, "{}", engine.name());
+                assert_eq!(r.useful, task.products(), "{} (seed {seed})", engine.name());
+                assert!(r.cycles > 0, "{}", engine.name());
             }
         }
+    }
 
-        #[test]
-        fn fp32_doubles_lanes(a in arb_block(32), b in arb_block(32)) {
-            let task = T1Task::mm(a, b);
-            prop_assume!(!task.is_trivial());
+    #[test]
+    fn fp32_doubles_lanes() {
+        for seed in 0..CASES {
+            let mut rng = Rng64::new(seed ^ 0x22);
+            let task = T1Task::mm(random_block(&mut rng, 32), random_block(&mut rng, 32));
+            if task.is_trivial() {
+                continue;
+            }
             for engine in all_baselines(Precision::Fp32) {
                 let r = engine.execute(&task);
-                prop_assert_eq!(engine.lanes(), 128, "{}", engine.name());
-                prop_assert_eq!(r.useful, task.products(), "{}", engine.name());
+                assert_eq!(engine.lanes(), 128, "{}", engine.name());
+                assert_eq!(r.useful, task.products(), "{} (seed {seed})", engine.name());
             }
         }
+    }
 
-        #[test]
-        fn fp16_quadruples_lanes(a in arb_block(32), b in arb_block(32)) {
-            let task = T1Task::mm(a, b);
-            prop_assume!(!task.is_trivial());
+    #[test]
+    fn fp16_quadruples_lanes() {
+        for seed in 0..CASES {
+            let mut rng = Rng64::new(seed ^ 0x33);
+            let task = T1Task::mm(random_block(&mut rng, 32), random_block(&mut rng, 32));
+            if task.is_trivial() {
+                continue;
+            }
             for engine in all_baselines(Precision::Fp16) {
                 let r = engine.execute(&task);
-                prop_assert_eq!(engine.lanes(), 256, "{}", engine.name());
-                prop_assert_eq!(r.useful, task.products(), "{}", engine.name());
+                assert_eq!(engine.lanes(), 256, "{}", engine.name());
+                assert_eq!(r.useful, task.products(), "{} (seed {seed})", engine.name());
             }
         }
     }

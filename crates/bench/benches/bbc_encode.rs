@@ -1,39 +1,43 @@
-//! Criterion micro-bench: BBC encoding (the one-time software format
-//! conversion of Section IV-D) and BBC file I/O.
+//! Micro-bench: BBC encoding (the one-time software format conversion of
+//! Section IV-D) and BBC file I/O. Plain `Instant`-based timing so the
+//! suite runs with no external harness.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use sparse::BbcMatrix;
 use workloads::gen;
 
-fn bench_encode(c: &mut Criterion) {
+fn time<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    // One warm-up pass, then an averaged timed loop.
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{name:<28} {per_iter:>12.2?}/iter  ({iters} iters)");
+}
+
+fn main() {
     let poisson = gen::poisson_2d(64);
     let random = gen::random_uniform(1024, 0.01, 7);
     let banded = gen::banded(1024, 16, 0.8, 3);
 
-    let mut g = c.benchmark_group("bbc_encode");
-    g.bench_function("poisson2d-4096", |b| {
-        b.iter(|| BbcMatrix::from_csr(black_box(&poisson)))
-    });
-    g.bench_function("random-1024-d0.01", |b| {
-        b.iter(|| BbcMatrix::from_csr(black_box(&random)))
-    });
-    g.bench_function("banded-1024", |b| b.iter(|| BbcMatrix::from_csr(black_box(&banded))));
-    g.finish();
+    println!("== bbc_encode ==");
+    time("poisson2d-4096", 50, || BbcMatrix::from_csr(black_box(&poisson)));
+    time("random-1024-d0.01", 50, || BbcMatrix::from_csr(black_box(&random)));
+    time("banded-1024", 50, || BbcMatrix::from_csr(black_box(&banded)));
 
     let bbc = BbcMatrix::from_csr(&banded);
     let mut buf = Vec::new();
     bbc.write_bbc(&mut buf).unwrap();
-    let mut g = c.benchmark_group("bbc_io");
-    g.bench_function("write", |b| {
-        b.iter(|| {
-            let mut out = Vec::with_capacity(buf.len());
-            bbc.write_bbc(&mut out).unwrap();
-            out
-        })
-    });
-    g.bench_function("read", |b| b.iter(|| sparse::bbc::read_bbc(black_box(buf.as_slice()))));
-    g.finish();
-}
 
-criterion_group!(benches, bench_encode);
-criterion_main!(benches);
+    println!("== bbc_io ==");
+    time("write", 50, || {
+        let mut out = Vec::with_capacity(buf.len());
+        bbc.write_bbc(&mut out).unwrap();
+        out
+    });
+    time("read", 50, || sparse::bbc::read_bbc(black_box(buf.as_slice())));
+}

@@ -1,8 +1,11 @@
-//! Criterion micro-bench: per-engine T1-task scheduling throughput of the
-//! simulator models (dense, diagonal and irregular block pairs).
+//! Micro-bench: per-engine T1-task scheduling throughput of the simulator
+//! models (dense, diagonal and irregular block pairs). Plain
+//! `Instant`-based timing so the suite runs with no external harness.
+
+use std::hint::black_box;
+use std::time::Instant;
 
 use bench::all_engines;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use simkit::{Block16, Precision, T1Task};
 
 fn tasks() -> Vec<(&'static str, T1Task)> {
@@ -23,17 +26,18 @@ fn tasks() -> Vec<(&'static str, T1Task)> {
     ]
 }
 
-fn bench_engines(c: &mut Criterion) {
+fn main() {
+    const ITERS: u32 = 2000;
     for (task_name, task) in tasks() {
-        let mut g = c.benchmark_group(format!("t1_{task_name}"));
+        println!("== t1_{task_name} ==");
         for engine in all_engines(Precision::Fp64) {
-            g.bench_function(engine.name().to_owned(), |b| {
-                b.iter(|| engine.execute(black_box(&task)))
-            });
+            black_box(engine.execute(&task));
+            let start = Instant::now();
+            for _ in 0..ITERS {
+                black_box(engine.execute(black_box(&task)));
+            }
+            let per_iter = start.elapsed() / ITERS;
+            println!("{:<16} {per_iter:>12.2?}/iter  ({ITERS} iters)", engine.name());
         }
-        g.finish();
     }
 }
-
-criterion_group!(benches, bench_engines);
-criterion_main!(benches);

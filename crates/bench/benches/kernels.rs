@@ -1,8 +1,11 @@
-//! Criterion micro-bench: reference sparse kernels and end-to-end kernel
-//! simulation on a mid-size matrix.
+//! Micro-bench: reference sparse kernels and end-to-end kernel simulation
+//! on a mid-size matrix. Plain `Instant`-based timing so the suite runs
+//! with no external harness.
+
+use std::hint::black_box;
+use std::time::Instant;
 
 use bench::MatrixCtx;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use simkit::driver::Kernel;
 use simkit::EnergyModel;
 use sparse::ops::{spgemm, spmv};
@@ -10,57 +13,59 @@ use sparse::DenseMatrix;
 use uni_stc::UniStc;
 use workloads::gen;
 
-fn bench_reference_kernels(c: &mut Criterion) {
-    let a = gen::banded(1024, 12, 0.8, 3);
-    let x = vec![1.0; 1024];
-    let mut g = c.benchmark_group("reference");
-    g.bench_function("spmv-banded-1024", |b| {
-        b.iter(|| spmv(black_box(&a), black_box(&x)).unwrap())
-    });
-    let small = gen::poisson_2d(32);
-    g.bench_function("spgemm-poisson-1024", |b| {
-        b.iter(|| spgemm(black_box(&small), black_box(&small)).unwrap())
-    });
-    let bm = DenseMatrix::zeros(1024, 32);
-    g.bench_function("spmm-banded-1024x32", |b| {
-        b.iter(|| sparse::ops::spmm(black_box(&a), black_box(&bm)).unwrap())
-    });
-    g.finish();
+fn time<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{name:<28} {per_iter:>12.2?}/iter  ({iters} iters)");
 }
 
-fn bench_simulated_kernels(c: &mut Criterion) {
+fn bench_reference_kernels() {
+    let a = gen::banded(1024, 12, 0.8, 3);
+    let x = vec![1.0; 1024];
+    println!("== reference ==");
+    time("spmv-banded-1024", 200, || spmv(black_box(&a), black_box(&x)).unwrap());
+    let small = gen::poisson_2d(32);
+    time("spgemm-poisson-1024", 50, || {
+        spgemm(black_box(&small), black_box(&small)).unwrap()
+    });
+    let bm = DenseMatrix::zeros(1024, 32);
+    time("spmm-banded-1024x32", 50, || {
+        sparse::ops::spmm(black_box(&a), black_box(&bm)).unwrap()
+    });
+}
+
+fn bench_simulated_kernels() {
     let em = EnergyModel::default();
     let ctx = MatrixCtx::new("banded", gen::banded(512, 8, 0.7, 5), 1);
     let uni = UniStc::default();
-    let mut g = c.benchmark_group("simulate_uni_stc");
-    g.sample_size(20);
+    println!("== simulate_uni_stc ==");
     for kernel in [Kernel::SpMV, Kernel::SpMSpV, Kernel::SpMM, Kernel::SpGEMM] {
-        g.bench_function(kernel.to_string(), |b| {
-            b.iter(|| ctx.run(black_box(&uni), &em, kernel))
-        });
+        time(&kernel.to_string(), 20, || ctx.run(black_box(&uni), &em, kernel));
     }
-    g.finish();
 }
 
-fn bench_amg(c: &mut Criterion) {
+fn bench_amg() {
     use workloads::amg::{build_hierarchy, AmgOptions};
     let a = gen::poisson_2d(32);
-    let mut g = c.benchmark_group("amg");
-    g.sample_size(10);
-    g.bench_function("setup-poisson-1024", |b| {
-        b.iter(|| build_hierarchy(black_box(&a), AmgOptions::default()))
+    println!("== amg ==");
+    time("setup-poisson-1024", 10, || {
+        build_hierarchy(black_box(&a), AmgOptions::default())
     });
     let h = build_hierarchy(&a, AmgOptions::default());
     let rhs = vec![1.0; a.nrows()];
-    g.bench_function("vcycle-poisson-1024", |b| {
-        b.iter(|| {
-            let mut x = vec![0.0; rhs.len()];
-            h.vcycle(black_box(&rhs), &mut x);
-            x
-        })
+    time("vcycle-poisson-1024", 10, || {
+        let mut x = vec![0.0; rhs.len()];
+        h.vcycle(black_box(&rhs), &mut x);
+        x
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_reference_kernels, bench_simulated_kernels, bench_amg);
-criterion_main!(benches);
+fn main() {
+    bench_reference_kernels();
+    bench_simulated_kernels();
+    bench_amg();
+}

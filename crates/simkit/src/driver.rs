@@ -144,6 +144,30 @@ pub fn run_spmv(
     run_tasks(engine, energy_model, Kernel::SpMV, tasks)
 }
 
+/// SpMV under a fault plan: injects bit flips into a copy of `a`, checks
+/// the damage, and runs the kernel on the corrupted copy *unless*
+/// validation caught the corruption — in which case the run falls back to
+/// the pristine matrix (modelling a re-read from protected storage, which
+/// corrects every detected fault; `faults_uncorrected` therefore stays 0
+/// here). Undetected faults flow into the run silently, exactly as real
+/// soft errors would.
+///
+/// The fault counters land in the report's
+/// [`EventCounts`](crate::EventCounts).
+pub fn run_spmv_faulted(
+    engine: &dyn TileEngine,
+    energy_model: &EnergyModel,
+    a: &BbcMatrix,
+    plan: &crate::fault::FaultPlan,
+) -> KernelReport {
+    let (corrupted, outcome) = plan.inject_into(a);
+    let src = if outcome.structure_corrupt { a } else { &corrupted };
+    let mut rep = run_spmv(engine, energy_model, src);
+    rep.events.faults_injected = outcome.log.injected();
+    rep.events.faults_detected = outcome.detected;
+    rep
+}
+
 /// SpMSpV (`y = A x`, sparse `x`): one MV task per stored block whose
 /// 16-element x-segment holds at least one nonzero.
 pub fn run_spmspv(

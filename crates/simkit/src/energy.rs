@@ -160,6 +160,7 @@ mod tests {
             unit_cycles: 3,
             mac_issued: 100,
             c_ports_cycles: 0,
+            ..Default::default()
         }
     }
 

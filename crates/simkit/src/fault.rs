@@ -1,0 +1,247 @@
+//! Deterministic fault injection into BBC operand storage.
+//!
+//! Soft errors in on-chip SRAM flip individual bits of the structures the
+//! unified decoder consumes: the two-level bitmaps, the two value-pointer
+//! arrays and the packed FP values. This module models them as seeded
+//! Bernoulli bit flips — one independent draw per stored bit, at a
+//! per-structure-class rate — so every experiment is exactly reproducible
+//! from its seed.
+//!
+//! Detection is the job of [`BbcMatrix::validate`] (deep structural
+//! cross-checks) and of the `BBC2` stream checksums; this module only
+//! *creates* the damage and keeps an exact log of it, so tests can assert
+//! coverage: every metadata flip must be caught, while value flips are
+//! caught only when they denormalise the number (non-finite).
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::fault::FaultPlan;
+//! use sparse::{BbcMatrix, CooMatrix, CsrMatrix};
+//!
+//! # fn main() -> Result<(), sparse::FormatError> {
+//! let mut coo = CooMatrix::new(64, 64);
+//! for i in 0..64 { coo.push(i, i, 1.0); }
+//! let clean = BbcMatrix::from_csr(&CsrMatrix::try_from(coo)?);
+//!
+//! let plan = FaultPlan::uniform(7, 1e-2);
+//! let (corrupted, outcome) = plan.inject_into(&clean);
+//! // Every metadata upset is individually detectable by validation.
+//! assert!(outcome.detected >= outcome.log.metadata_faults());
+//! assert_eq!(corrupted.validate().is_err(), outcome.structure_corrupt);
+//! # Ok(())
+//! # }
+//! ```
+
+use sparse::rng::Rng64;
+use sparse::{BbcField, BbcMatrix};
+
+/// A seeded, rate-parameterised plan for injecting bit flips into one BBC
+/// matrix.
+///
+/// Rates are per-bit flip probabilities in `[0, 1]`, split by structure
+/// class: the bitmaps (`BitMap_Lv1` / `BitMap_Lv2`), the value pointers
+/// (`ValPtr_Lv1` / `ValPtr_Lv2`) and the FP64 values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed; the same seed over the same matrix yields the same flips.
+    pub seed: u64,
+    /// Per-bit flip probability for the level-1/level-2 bitmaps.
+    pub bitmap_rate: f64,
+    /// Per-bit flip probability for the two value-pointer arrays.
+    pub pointer_rate: f64,
+    /// Per-bit flip probability for stored FP64 values.
+    pub value_rate: f64,
+}
+
+/// One injected bit flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The storage array the flip landed in.
+    pub field: BbcField,
+    /// Element index within the array.
+    pub index: usize,
+    /// Bit position within the element.
+    pub bit: u32,
+}
+
+/// The exact log of every flip a plan injected.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// All injected flips, in injection order.
+    pub records: Vec<FaultRecord>,
+}
+
+impl FaultLog {
+    /// Total number of injected flips.
+    pub fn injected(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Flips that landed in structural metadata (bitmaps and pointers).
+    pub fn metadata_faults(&self) -> u64 {
+        self.records.iter().filter(|r| r.field.is_metadata()).count() as u64
+    }
+
+    /// Flips that landed in FP values.
+    pub fn value_faults(&self) -> u64 {
+        self.injected() - self.metadata_faults()
+    }
+}
+
+/// What injection did to a matrix, with per-fault detection attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultOutcome {
+    /// The exact flip log.
+    pub log: FaultLog,
+    /// How many of the injected flips are *individually* detectable: the
+    /// flip applied alone to the pristine matrix fails
+    /// [`BbcMatrix::validate`].
+    pub detected: u64,
+    /// Whether the corrupted matrix as a whole fails validation. (Distinct
+    /// flips can in principle mask each other; in practice any metadata
+    /// flip leaves the structure inconsistent.)
+    pub structure_corrupt: bool,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (all rates zero).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan { seed, bitmap_rate: 0.0, pointer_rate: 0.0, value_rate: 0.0 }
+    }
+
+    /// A plan with the same per-bit rate for every structure class.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultPlan { seed, bitmap_rate: rate, pointer_rate: rate, value_rate: rate }
+    }
+
+    /// The per-bit rate this plan applies to `field`.
+    pub fn rate_for(&self, field: BbcField) -> f64 {
+        match field {
+            BbcField::BitmapLv1 | BbcField::BitmapLv2 => self.bitmap_rate,
+            BbcField::ValPtrLv1 | BbcField::ValPtrLv2 => self.pointer_rate,
+            BbcField::Value => self.value_rate,
+        }
+    }
+
+    /// Injects faults into `m` in place and returns the exact log.
+    ///
+    /// Every stored bit of every mutable field gets one independent
+    /// Bernoulli draw at that field's rate, in a fixed field/index/bit
+    /// order, so the flip set is a pure function of `(plan, m)`.
+    pub fn inject(&self, m: &mut BbcMatrix) -> FaultLog {
+        let mut rng = Rng64::new(self.seed);
+        let mut log = FaultLog::default();
+        for field in BbcField::ALL {
+            let rate = self.rate_for(field);
+            if rate <= 0.0 {
+                continue;
+            }
+            for index in 0..m.field_len(field) {
+                for bit in 0..field.bit_width() {
+                    if rng.next_bool(rate) {
+                        m.flip_bit(field, index, bit);
+                        log.records.push(FaultRecord { field, index, bit });
+                    }
+                }
+            }
+        }
+        log
+    }
+
+    /// Injects into a copy of `clean` and attributes detection per fault:
+    /// each logged flip is replayed alone onto the pristine matrix and
+    /// counted as detected when validation rejects it.
+    pub fn inject_into(&self, clean: &BbcMatrix) -> (BbcMatrix, FaultOutcome) {
+        let mut corrupted = clean.clone();
+        let log = self.inject(&mut corrupted);
+        let mut detected = 0u64;
+        for r in &log.records {
+            let mut single = clean.clone();
+            single.flip_bit(r.field, r.index, r.bit);
+            if single.validate().is_err() {
+                detected += 1;
+            }
+        }
+        let structure_corrupt = corrupted.validate().is_err();
+        (corrupted, FaultOutcome { log, detected, structure_corrupt })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::{CooMatrix, CsrMatrix};
+
+    fn sample(n: usize, step: usize) -> BbcMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in (0..n).step_by(step) {
+            for j in (0..n).step_by(step + 1) {
+                coo.push(i, j, 1.0 + (i + j) as f64);
+            }
+        }
+        coo.push(0, 0, 1.0);
+        BbcMatrix::from_csr(&CsrMatrix::try_from(coo).unwrap())
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let clean = sample(64, 3);
+        let (m, outcome) = FaultPlan::none(42).inject_into(&clean);
+        assert_eq!(m, clean);
+        assert_eq!(outcome.log.injected(), 0);
+        assert_eq!(outcome.detected, 0);
+        assert!(!outcome.structure_corrupt);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let clean = sample(64, 2);
+        let plan = FaultPlan::uniform(9, 5e-3);
+        let (a, oa) = plan.inject_into(&clean);
+        let (b, ob) = plan.inject_into(&clean);
+        assert_eq!(a, b);
+        assert_eq!(oa, ob);
+        // A different seed draws a different flip set.
+        let (_, oc) = FaultPlan::uniform(10, 5e-3).inject_into(&clean);
+        assert_ne!(oa.log, oc.log);
+    }
+
+    #[test]
+    fn metadata_faults_are_always_detected() {
+        let clean = sample(96, 2);
+        for seed in 0..6 {
+            let plan = FaultPlan {
+                seed,
+                bitmap_rate: 1e-2,
+                pointer_rate: 1e-2,
+                value_rate: 0.0,
+            };
+            let (_, outcome) = plan.inject_into(&clean);
+            assert_eq!(outcome.detected, outcome.log.injected(), "seed {seed}");
+            if outcome.log.injected() > 0 {
+                assert!(outcome.structure_corrupt, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn detection_never_exceeds_injection() {
+        let clean = sample(80, 3);
+        for seed in 0..6 {
+            let (_, outcome) = FaultPlan::uniform(seed, 2e-3).inject_into(&clean);
+            assert!(outcome.detected <= outcome.log.injected());
+            assert!(outcome.detected >= outcome.log.metadata_faults());
+        }
+    }
+
+    #[test]
+    fn class_rates_are_respected() {
+        let clean = sample(64, 2);
+        let plan = FaultPlan { seed: 3, bitmap_rate: 0.0, pointer_rate: 0.0, value_rate: 0.5 };
+        let (_, outcome) = plan.inject_into(&clean);
+        assert!(outcome.log.injected() > 0);
+        assert_eq!(outcome.log.metadata_faults(), 0);
+        assert_eq!(outcome.log.value_faults(), outcome.log.injected());
+    }
+}

@@ -55,6 +55,7 @@ pub mod driver;
 pub mod geometry;
 mod energy;
 mod engine;
+pub mod fault;
 pub mod memory;
 pub mod metrics;
 pub mod network;

@@ -2,6 +2,18 @@
 //! density binning of Fig. 20.
 
 use crate::driver::KernelReport;
+use crate::EventCounts;
+
+/// Fault-detection coverage: detected over injected faults, or `None` when
+/// nothing was injected. The fault-tolerance acceptance bar is coverage
+/// 1.0 over metadata structures.
+pub fn fault_coverage(events: &EventCounts) -> Option<f64> {
+    if events.faults_injected == 0 {
+        None
+    } else {
+        Some(events.faults_detected as f64 / events.faults_injected as f64)
+    }
+}
 
 /// Geometric mean of a sequence of positive values; returns `None` when the
 /// sequence is empty or contains a non-positive value.
@@ -156,6 +168,13 @@ impl DensityBins {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_coverage_ratio() {
+        assert_eq!(fault_coverage(&EventCounts::default()), None);
+        let e = EventCounts { faults_injected: 4, faults_detected: 3, ..Default::default() };
+        assert!((fault_coverage(&e).unwrap() - 0.75).abs() < 1e-12);
+    }
 
     #[test]
     fn geomean_basic() {

@@ -40,12 +40,13 @@ pub fn ascii_histogram(util: &UtilHistogram, bins: usize, width: usize) -> Strin
 
 /// The CSV header matching [`csv_row`].
 pub const CSV_HEADER: &str = "engine,kernel,cycles,useful,t1_tasks,mean_util,\
-a_elems,b_elems,partial_updates,c_writes,energy_fetch,energy_schedule,energy_compute,energy_total";
+a_elems,b_elems,partial_updates,c_writes,energy_fetch,energy_schedule,energy_compute,energy_total,\
+faults_injected,faults_detected,faults_uncorrected";
 
 /// One CSV row for a kernel report (no trailing newline).
 pub fn csv_row(r: &KernelReport) -> String {
     format!(
-        "{},{},{},{},{},{:.6},{},{},{},{},{:.3},{:.3},{:.3},{:.3}",
+        "{},{},{},{},{},{:.6},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{},{},{}",
         r.engine,
         r.kernel,
         r.cycles,
@@ -59,7 +60,10 @@ pub fn csv_row(r: &KernelReport) -> String {
         r.energy.fetch,
         r.energy.schedule,
         r.energy.compute,
-        r.energy.total()
+        r.energy.total(),
+        r.events.faults_injected,
+        r.events.faults_detected,
+        r.events.faults_uncorrected
     )
 }
 

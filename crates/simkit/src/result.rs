@@ -119,6 +119,15 @@ pub struct EventCounts {
     /// Sum over cycles of the number of *enabled* output-network ports
     /// (Fig. 19's "average network scale" = this / cycles).
     pub c_ports_cycles: u64,
+    /// Bit flips injected into operand storage by the fault-injection
+    /// subsystem ([`crate::fault`]).
+    pub faults_injected: u64,
+    /// Injected faults caught by structural validation or stream checksums
+    /// before (or instead of) silently corrupting results.
+    pub faults_detected: u64,
+    /// Detected faults for which no recovery path succeeded (no pristine
+    /// copy, or no healthy unit to re-execute on).
+    pub faults_uncorrected: u64,
 }
 
 impl AddAssign for EventCounts {
@@ -132,6 +141,9 @@ impl AddAssign for EventCounts {
         self.unit_cycles += o.unit_cycles;
         self.mac_issued += o.mac_issued;
         self.c_ports_cycles += o.c_ports_cycles;
+        self.faults_injected += o.faults_injected;
+        self.faults_detected += o.faults_detected;
+        self.faults_uncorrected += o.faults_uncorrected;
     }
 }
 

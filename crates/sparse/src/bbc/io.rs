@@ -5,34 +5,122 @@
 //! implemented file I/O function" (Section IV-D). This module implements
 //! that function: a self-describing little-endian stream with a magic tag
 //! and explicit array lengths.
+//!
+//! Two stream versions exist:
+//!
+//! * **`BBC2`** (written by [`BbcMatrix::write_bbc`]) — every section
+//!   (header and each storage array) is followed by its IEEE CRC-32, so
+//!   payload corruption is detected before the decoder trusts the bytes.
+//! * **`BBC1`** (legacy) — identical layout without the per-section CRCs;
+//!   still readable for backwards compatibility.
+//!
+//! Regardless of version, every decoded matrix passes
+//! [`BbcMatrix::validate`] before it is returned, so no stream — corrupt,
+//! truncated or adversarial — can hand out an inconsistent matrix.
 
 use std::io::{Read, Write};
 
 use super::BbcMatrix;
 use crate::FormatError;
 
-const MAGIC: &[u8; 4] = b"BBC1";
+const MAGIC_V1: &[u8; 4] = b"BBC1";
+const MAGIC_V2: &[u8; 4] = b"BBC2";
 
-fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+/// Incremental IEEE CRC-32 (reflected polynomial 0xEDB88320), bitwise —
+/// no lookup table, no external dependency.
+struct Crc32(u32);
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u32::from(b);
+            for _ in 0..8 {
+                let mask = (self.0 & 1).wrapping_neg();
+                self.0 = (self.0 >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+    }
+
+    fn finish(&self) -> u32 {
+        !self.0
+    }
 }
 
-fn read_u64<R: Read>(r: &mut R) -> std::io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
+/// A writer that accumulates a CRC over each section and appends it on
+/// [`CrcWriter::end_section`].
+struct CrcWriter<W: Write> {
+    inner: W,
+    crc: Crc32,
+}
+
+impl<W: Write> CrcWriter<W> {
+    fn put(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.crc.update(bytes);
+        self.inner.write_all(bytes)
+    }
+
+    fn end_section(&mut self) -> std::io::Result<()> {
+        let sum = self.crc.finish();
+        self.crc = Crc32::new();
+        self.inner.write_all(&sum.to_le_bytes())
+    }
+}
+
+/// A reader that accumulates a CRC over each section and, for v2 streams,
+/// verifies the stored checksum on [`CrcReader::end_section`].
+struct CrcReader<R: Read> {
+    inner: R,
+    crc: Crc32,
+    /// v2 streams carry per-section checksums; v1 streams do not.
+    checked: bool,
+}
+
+impl<R: Read> CrcReader<R> {
+    fn take(&mut self, buf: &mut [u8]) -> std::io::Result<()> {
+        self.inner.read_exact(buf)?;
+        self.crc.update(buf);
+        Ok(())
+    }
+
+    fn take_u64(&mut self) -> std::io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.take(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn end_section(&mut self, section: &'static str) -> Result<(), FormatError> {
+        let sum = self.crc.finish();
+        self.crc = Crc32::new();
+        if !self.checked {
+            return Ok(());
+        }
+        let mut b = [0u8; 4];
+        self.inner
+            .read_exact(&mut b)
+            .map_err(|_| FormatError::CorruptStream { detail: section })?;
+        if u32::from_le_bytes(b) != sum {
+            return Err(FormatError::CorruptStream { detail: section });
+        }
+        Ok(())
+    }
 }
 
 impl BbcMatrix {
-    /// Serialises the matrix to `w` in the BBC binary stream format.
+    /// Serialises the matrix to `w` in the `BBC2` binary stream format
+    /// (per-section CRC-32 checksums).
     ///
     /// Pass `&mut writer` to keep using the writer afterwards.
     ///
     /// # Errors
     ///
     /// Propagates any I/O error from the underlying writer.
-    pub fn write_bbc<W: Write>(&self, mut w: W) -> std::io::Result<()> {
-        w.write_all(MAGIC)?;
+    pub fn write_bbc<W: Write>(&self, w: W) -> std::io::Result<()> {
+        let mut w = CrcWriter { inner: w, crc: Crc32::new() };
+        w.inner.write_all(MAGIC_V2)?;
         for v in [
             self.nrows as u64,
             self.ncols as u64,
@@ -43,107 +131,142 @@ impl BbcMatrix {
             self.bitmap_lv2.len() as u64,
             self.values.len() as u64,
         ] {
-            write_u64(&mut w, v)?;
+            w.put(&v.to_le_bytes())?;
         }
+        w.end_section()?;
         for &p in &self.row_ptr {
-            write_u64(&mut w, p as u64)?;
+            w.put(&(p as u64).to_le_bytes())?;
         }
+        w.end_section()?;
         for &c in &self.col_idx {
-            w.write_all(&c.to_le_bytes())?;
+            w.put(&c.to_le_bytes())?;
         }
+        w.end_section()?;
         for &b in &self.bitmap_lv1 {
-            w.write_all(&b.to_le_bytes())?;
+            w.put(&b.to_le_bytes())?;
         }
+        w.end_section()?;
         for &p in &self.valptr_lv1 {
-            w.write_all(&p.to_le_bytes())?;
+            w.put(&p.to_le_bytes())?;
         }
+        w.end_section()?;
         for &b in &self.bitmap_lv2 {
-            w.write_all(&b.to_le_bytes())?;
+            w.put(&b.to_le_bytes())?;
         }
+        w.end_section()?;
         for &p in &self.valptr_lv2 {
-            w.write_all(&p.to_le_bytes())?;
+            w.put(&p.to_le_bytes())?;
         }
+        w.end_section()?;
         for &v in &self.values {
-            w.write_all(&v.to_le_bytes())?;
+            w.put(&v.to_le_bytes())?;
         }
-        Ok(())
+        w.end_section()
     }
 }
 
 /// Deserialises a BBC matrix previously written with
-/// [`BbcMatrix::write_bbc`]. Pass `&mut reader` to keep using the reader
-/// afterwards.
+/// [`BbcMatrix::write_bbc`]. Accepts both the current `BBC2` streams
+/// (per-section CRC-32) and legacy `BBC1` streams (no checksums). Pass
+/// `&mut reader` to keep using the reader afterwards.
 ///
 /// # Errors
 ///
 /// Returns [`FormatError::CorruptStream`] on a bad magic tag, truncated
-/// stream, or internally inconsistent arrays.
-pub fn read_bbc<R: Read>(mut r: R) -> Result<BbcMatrix, FormatError> {
+/// stream, checksum mismatch, implausible header, or when the decoded
+/// arrays fail [`BbcMatrix::validate`].
+pub fn read_bbc<R: Read>(r: R) -> Result<BbcMatrix, FormatError> {
     let corrupt = |detail| FormatError::CorruptStream { detail };
+    let mut r = CrcReader { inner: r, crc: Crc32::new(), checked: false };
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic).map_err(|_| corrupt("truncated magic"))?;
-    if &magic != MAGIC {
-        return Err(corrupt("bad magic"));
-    }
+    r.inner.read_exact(&mut magic).map_err(|_| corrupt("truncated magic"))?;
+    r.checked = match &magic {
+        m if m == MAGIC_V2 => true,
+        m if m == MAGIC_V1 => false,
+        _ => return Err(corrupt("bad magic")),
+    };
+
     let mut hdr = [0u64; 8];
     for h in hdr.iter_mut() {
-        *h = read_u64(&mut r).map_err(|_| corrupt("truncated header"))?;
+        *h = r.take_u64().map_err(|_| corrupt("truncated header"))?;
     }
+    r.end_section("header checksum mismatch")?;
     let [nrows, ncols, block_rows, block_cols, n_rowptr, n_blocks, n_tiles, n_vals] = hdr;
+
+    // Semantic cross-validation of the header *before* trusting any length
+    // for allocation: the block grid must match the logical dimensions and
+    // every count must fit inside the structure above it.
+    if block_rows != (nrows.div_ceil(16)).max(1) || block_cols != (ncols.div_ceil(16)).max(1) {
+        return Err(corrupt("block grid inconsistent with dimensions"));
+    }
     if n_rowptr != block_rows + 1 {
         return Err(corrupt("row_ptr length != block_rows + 1"));
     }
-    // Guard against absurd allocations from corrupt headers: never trust a
-    // header length for pre-allocation beyond a modest cap — the read loop
-    // grows vectors as real bytes arrive, and truncation errors naturally.
-    if n_vals > (1 << 40) || n_blocks > (1 << 40) || n_tiles > (1 << 40) {
-        return Err(corrupt("implausible array length"));
+    if n_blocks > block_rows.saturating_mul(block_cols) {
+        return Err(corrupt("more stored blocks than grid cells"));
     }
+    if n_tiles > n_blocks.saturating_mul(16) {
+        return Err(corrupt("more stored tiles than 16 per block"));
+    }
+    if n_vals > n_tiles.saturating_mul(16) {
+        return Err(corrupt("more values than 16 per tile"));
+    }
+    // Never trust a header length for pre-allocation beyond a modest cap —
+    // the read loops grow vectors as real bytes arrive, so a lying header
+    // against a short stream errors without allocating.
     const CAP: usize = 1 << 16;
     let clamp = |n: u64| (n as usize).min(CAP);
 
     let mut row_ptr = Vec::with_capacity(clamp(n_rowptr));
     for _ in 0..n_rowptr {
-        row_ptr.push(read_u64(&mut r).map_err(|_| corrupt("truncated row_ptr"))? as usize);
+        row_ptr.push(r.take_u64().map_err(|_| corrupt("truncated row_ptr"))? as usize);
     }
+    r.end_section("row_ptr checksum mismatch")?;
     let mut col_idx = Vec::with_capacity(clamp(n_blocks));
     for _ in 0..n_blocks {
         let mut b = [0u8; 4];
-        r.read_exact(&mut b).map_err(|_| corrupt("truncated col_idx"))?;
+        r.take(&mut b).map_err(|_| corrupt("truncated col_idx"))?;
         col_idx.push(u32::from_le_bytes(b));
     }
+    r.end_section("col_idx checksum mismatch")?;
     let mut bitmap_lv1 = Vec::with_capacity(clamp(n_blocks));
     for _ in 0..n_blocks {
         let mut b = [0u8; 2];
-        r.read_exact(&mut b).map_err(|_| corrupt("truncated bitmap_lv1"))?;
+        r.take(&mut b).map_err(|_| corrupt("truncated bitmap_lv1"))?;
         bitmap_lv1.push(u16::from_le_bytes(b));
     }
+    r.end_section("bitmap_lv1 checksum mismatch")?;
     let mut valptr_lv1 = Vec::with_capacity(clamp(n_blocks));
     for _ in 0..n_blocks {
         let mut b = [0u8; 4];
-        r.read_exact(&mut b).map_err(|_| corrupt("truncated valptr_lv1"))?;
+        r.take(&mut b).map_err(|_| corrupt("truncated valptr_lv1"))?;
         valptr_lv1.push(u32::from_le_bytes(b));
     }
+    r.end_section("valptr_lv1 checksum mismatch")?;
     let mut bitmap_lv2 = Vec::with_capacity(clamp(n_tiles));
     for _ in 0..n_tiles {
         let mut b = [0u8; 2];
-        r.read_exact(&mut b).map_err(|_| corrupt("truncated bitmap_lv2"))?;
+        r.take(&mut b).map_err(|_| corrupt("truncated bitmap_lv2"))?;
         bitmap_lv2.push(u16::from_le_bytes(b));
     }
+    r.end_section("bitmap_lv2 checksum mismatch")?;
     let mut valptr_lv2 = Vec::with_capacity(clamp(n_tiles));
     for _ in 0..n_tiles {
         let mut b = [0u8; 2];
-        r.read_exact(&mut b).map_err(|_| corrupt("truncated valptr_lv2"))?;
+        r.take(&mut b).map_err(|_| corrupt("truncated valptr_lv2"))?;
         valptr_lv2.push(u16::from_le_bytes(b));
     }
+    r.end_section("valptr_lv2 checksum mismatch")?;
     let mut values = Vec::with_capacity(clamp(n_vals));
     for _ in 0..n_vals {
         let mut b = [0u8; 8];
-        r.read_exact(&mut b).map_err(|_| corrupt("truncated values"))?;
+        r.take(&mut b).map_err(|_| corrupt("truncated values"))?;
         values.push(f64::from_le_bytes(b));
     }
+    r.end_section("values checksum mismatch")?;
 
-    // Re-derive tile_ptr and validate internal consistency.
+    // Re-derive tile_ptr, then run the full deep validation so a decoded
+    // matrix upholds every encoder invariant.
     let mut tile_ptr = Vec::with_capacity(clamp(n_blocks) + 1);
     tile_ptr.push(0usize);
     let mut running = 0usize;
@@ -151,38 +274,7 @@ pub fn read_bbc<R: Read>(mut r: R) -> Result<BbcMatrix, FormatError> {
         running += lv1.count_ones() as usize;
         tile_ptr.push(running);
     }
-    if running != bitmap_lv2.len() {
-        return Err(corrupt("bitmap_lv1 popcount != bitmap_lv2 length"));
-    }
-    let elem_count: usize = bitmap_lv2.iter().map(|m| m.count_ones() as usize).sum();
-    if elem_count != values.len() {
-        return Err(corrupt("bitmap_lv2 popcount != values length"));
-    }
-    if row_ptr.first() != Some(&0) || row_ptr.last() != Some(&(n_blocks as usize)) {
-        return Err(corrupt("row_ptr endpoints"));
-    }
-    if row_ptr.windows(2).any(|w| w[0] > w[1]) {
-        return Err(corrupt("row_ptr not non-decreasing"));
-    }
-    // Block columns must be strictly increasing within each block row and
-    // inside the grid; value pointers must be non-decreasing and in range.
-    for w in row_ptr.windows(2) {
-        let row = &col_idx[w[0]..w[1]];
-        if row.windows(2).any(|p| p[0] >= p[1]) {
-            return Err(corrupt("block columns not strictly increasing"));
-        }
-        if row.last().is_some_and(|&c| c as u64 >= block_cols) {
-            return Err(corrupt("block column outside the grid"));
-        }
-    }
-    if valptr_lv1.windows(2).any(|w| w[0] > w[1]) {
-        return Err(corrupt("valptr_lv1 not non-decreasing"));
-    }
-    if valptr_lv1.last().is_some_and(|&p| p as usize > values.len()) {
-        return Err(corrupt("valptr_lv1 outside the value array"));
-    }
-
-    Ok(BbcMatrix {
+    let m = BbcMatrix {
         nrows: nrows as usize,
         ncols: ncols as usize,
         block_rows: block_rows as usize,
@@ -195,5 +287,7 @@ pub fn read_bbc<R: Read>(mut r: R) -> Result<BbcMatrix, FormatError> {
         valptr_lv1,
         valptr_lv2,
         values,
-    })
+    };
+    m.validate().map_err(|_| corrupt("stream decodes to an inconsistent matrix"))?;
+    Ok(m)
 }

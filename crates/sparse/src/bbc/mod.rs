@@ -19,10 +19,12 @@
 
 mod build;
 mod io;
+mod validate;
 
 use crate::{CsrMatrix, StorageSize, INDEX_BYTES, VALUE_BYTES};
 
 pub use io::read_bbc;
+pub use validate::BbcField;
 
 /// Edge length of a BBC block (= the T1 task dimension, 16).
 pub const BLOCK_DIM: usize = 16;

@@ -217,11 +217,131 @@ fn io_rejects_inconsistent_bitmaps() {
     let bbc = BbcMatrix::from_csr(&sample());
     let mut buf = Vec::new();
     bbc.write_bbc(&mut buf).unwrap();
-    // Flip a bit in the first bitmap_lv1 word: popcounts no longer match.
-    let lv1_off = 4 + 8 * 8 + 8 * (bbc.block_rows() + 1) + 4 * bbc.block_count();
+    // Flip a bit in the first bitmap_lv1 word (v2 layout: each section is
+    // followed by a 4-byte CRC): the section checksum no longer matches.
+    let lv1_off =
+        4 + (8 * 8 + 4) + (8 * (bbc.block_rows() + 1) + 4) + (4 * bbc.block_count() + 4);
     buf[lv1_off] ^= 0x40;
     let err = read_bbc(buf.as_slice()).unwrap_err();
     assert!(matches!(err, crate::FormatError::CorruptStream { .. }));
+}
+
+/// Serialises `bbc` in the legacy `BBC1` layout (no per-section CRCs).
+fn write_v1(bbc: &BbcMatrix) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(b"BBC1");
+    for v in [
+        bbc.nrows as u64,
+        bbc.ncols as u64,
+        bbc.block_rows as u64,
+        bbc.block_cols as u64,
+        bbc.row_ptr.len() as u64,
+        bbc.col_idx.len() as u64,
+        bbc.bitmap_lv2.len() as u64,
+        bbc.values.len() as u64,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    for &p in &bbc.row_ptr {
+        buf.extend_from_slice(&(p as u64).to_le_bytes());
+    }
+    for &c in &bbc.col_idx {
+        buf.extend_from_slice(&c.to_le_bytes());
+    }
+    for &b in &bbc.bitmap_lv1 {
+        buf.extend_from_slice(&b.to_le_bytes());
+    }
+    for &p in &bbc.valptr_lv1 {
+        buf.extend_from_slice(&p.to_le_bytes());
+    }
+    for &b in &bbc.bitmap_lv2 {
+        buf.extend_from_slice(&b.to_le_bytes());
+    }
+    for &p in &bbc.valptr_lv2 {
+        buf.extend_from_slice(&p.to_le_bytes());
+    }
+    for &v in &bbc.values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
+}
+
+#[test]
+fn io_reads_legacy_v1_stream() {
+    let bbc = BbcMatrix::from_csr(&sample());
+    let back = read_bbc(write_v1(&bbc).as_slice()).unwrap();
+    assert_eq!(back, bbc);
+}
+
+#[test]
+fn io_rejects_adversarial_header_lengths() {
+    // A header claiming astronomically large arrays against a short stream
+    // must error (not allocate or panic): the counts are cross-checked
+    // against the block grid before any allocation happens.
+    let bbc = BbcMatrix::from_csr(&sample());
+    let mut buf = Vec::new();
+    bbc.write_bbc(&mut buf).unwrap();
+    // Header fields start at offset 4 (after the magic): n_blocks is field
+    // 5, n_tiles field 6, n_vals field 7.
+    for field in [5usize, 6, 7] {
+        let mut evil = buf.clone();
+        evil[4 + field * 8..4 + (field + 1) * 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_bbc(evil.as_slice()).unwrap_err();
+        assert!(matches!(err, crate::FormatError::CorruptStream { .. }), "field {field}");
+    }
+    // Same for a v1 stream, which has no checksums to catch it first.
+    let v1 = write_v1(&bbc);
+    for field in [5usize, 6, 7] {
+        let mut evil = v1.clone();
+        evil[4 + field * 8..4 + (field + 1) * 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_bbc(evil.as_slice()).unwrap_err();
+        assert!(matches!(err, crate::FormatError::CorruptStream { .. }), "v1 field {field}");
+    }
+}
+
+#[test]
+fn every_single_bit_stream_mutation_is_safe() {
+    // Exhaustive mutation test over both stream versions: flipping any one
+    // bit of a serialized stream must either be rejected with
+    // `CorruptStream` or decode to a matrix that still passes `validate()`
+    // — reading a mutated stream must never panic.
+    let bbc = BbcMatrix::from_csr(&sample());
+    let mut v2 = Vec::new();
+    bbc.write_bbc(&mut v2).unwrap();
+    for (version, stream) in [("v2", v2), ("v1", write_v1(&bbc))] {
+        for byte in 0..stream.len() {
+            for bit in 0..8 {
+                let mut evil = stream.clone();
+                evil[byte] ^= 1u8 << bit;
+                match read_bbc(evil.as_slice()) {
+                    Err(crate::FormatError::CorruptStream { .. }) => {}
+                    Err(e) => panic!("{version} byte {byte} bit {bit}: unexpected {e:?}"),
+                    Ok(m) => {
+                        m.validate().unwrap_or_else(|e| {
+                            panic!("{version} byte {byte} bit {bit}: invalid decode {e:?}")
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_streams_error_at_every_length() {
+    // Every proper prefix of a valid stream must be rejected cleanly.
+    let bbc = BbcMatrix::from_csr(&sample());
+    let mut buf = Vec::new();
+    bbc.write_bbc(&mut buf).unwrap();
+    for len in 0..buf.len() {
+        assert!(
+            matches!(
+                read_bbc(&buf[..len]),
+                Err(crate::FormatError::CorruptStream { .. })
+            ),
+            "prefix of {len} bytes not rejected"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,279 @@
+//! Deep structural validation and the bit-level mutation surface used by
+//! the fault-injection subsystem.
+//!
+//! [`BbcMatrix::validate`] cross-checks every derived invariant that
+//! [`BbcMatrix::from_csr`] establishes (exact running popcounts, not just
+//! monotonicity), so a single flipped metadata bit anywhere in the encoded
+//! structure is detectable. [`BbcMatrix::flip_bit`] is the *only* mutable
+//! access to the encoded arrays — it deliberately leaves derived state
+//! (`tile_ptr`) untouched so that injected corruption is observable exactly
+//! the way a hardware soft error would be.
+
+use super::{BbcMatrix, BLOCK_DIM};
+use crate::FormatError;
+
+/// One of the five encoded BBC storage arrays a fault can land in.
+///
+/// The outer CSR arrays (`row_ptr` / `col_idx`) are excluded: the paper's
+/// fault model targets the per-block metadata and value storage that the
+/// unified decoder consumes (`BitMap_Lv1`, `BitMap_Lv2`, `ValPtr_Lv1`,
+/// `ValPtr_Lv2`, `Value`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BbcField {
+    /// Per-block level-1 tile bitmap (16-bit words).
+    BitmapLv1,
+    /// Per-tile level-2 element bitmap (16-bit words).
+    BitmapLv2,
+    /// Per-block base offset into the value array (32-bit words).
+    ValPtrLv1,
+    /// Per-tile offset from the block base (16-bit words).
+    ValPtrLv2,
+    /// The packed nonzero values (64-bit IEEE-754 words).
+    Value,
+}
+
+impl BbcField {
+    /// All five mutable fields, in storage-layout order.
+    pub const ALL: [BbcField; 5] = [
+        BbcField::BitmapLv1,
+        BbcField::BitmapLv2,
+        BbcField::ValPtrLv1,
+        BbcField::ValPtrLv2,
+        BbcField::Value,
+    ];
+
+    /// Width in bits of one element of this field.
+    pub fn bit_width(self) -> u32 {
+        match self {
+            BbcField::BitmapLv1 | BbcField::BitmapLv2 | BbcField::ValPtrLv2 => 16,
+            BbcField::ValPtrLv1 => 32,
+            BbcField::Value => 64,
+        }
+    }
+
+    /// Whether corruption of this field is structural metadata (always
+    /// detectable by [`BbcMatrix::validate`]) as opposed to a numeric value.
+    pub fn is_metadata(self) -> bool {
+        !matches!(self, BbcField::Value)
+    }
+}
+
+impl BbcMatrix {
+    /// Number of elements stored in `field`.
+    pub fn field_len(&self, field: BbcField) -> usize {
+        match field {
+            BbcField::BitmapLv1 => self.bitmap_lv1.len(),
+            BbcField::BitmapLv2 => self.bitmap_lv2.len(),
+            BbcField::ValPtrLv1 => self.valptr_lv1.len(),
+            BbcField::ValPtrLv2 => self.valptr_lv2.len(),
+            BbcField::Value => self.values.len(),
+        }
+    }
+
+    /// Flips bit `bit` of element `index` of `field`, simulating a single
+    /// soft-error upset in the stored structure.
+    ///
+    /// Derived metadata (`tile_ptr`) is *not* recomputed: the matrix is
+    /// left exactly as corrupted storage would appear to the decoder, so
+    /// [`BbcMatrix::validate`] can observe the damage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.field_len(field)` or
+    /// `bit >= field.bit_width()`.
+    pub fn flip_bit(&mut self, field: BbcField, index: usize, bit: u32) {
+        assert!(bit < field.bit_width(), "bit {bit} outside {field:?}");
+        match field {
+            BbcField::BitmapLv1 => self.bitmap_lv1[index] ^= 1 << bit,
+            BbcField::BitmapLv2 => self.bitmap_lv2[index] ^= 1 << bit,
+            BbcField::ValPtrLv1 => self.valptr_lv1[index] ^= 1 << bit,
+            BbcField::ValPtrLv2 => self.valptr_lv2[index] ^= 1 << bit,
+            BbcField::Value => {
+                let bits = self.values[index].to_bits() ^ (1u64 << bit);
+                self.values[index] = f64::from_bits(bits);
+            }
+        }
+    }
+
+    /// Deep structural validation: re-derives every invariant the encoder
+    /// establishes and checks the stored arrays against them *exactly*.
+    ///
+    /// The checks are strictly stronger than the ones performed while
+    /// decoding a stream: value pointers must equal the exact running
+    /// popcounts (not merely stay monotonic), every stored block and tile
+    /// must be structurally nonzero, and every value must be finite. A
+    /// single flipped bit in any metadata array
+    /// ([`BbcField::is_metadata`]) makes this fail.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`FormatError`].
+    pub fn validate(&self) -> Result<(), FormatError> {
+        let ptr_err = |detail| Err(FormatError::MalformedPointers { detail });
+        let len_err = |detail| Err(FormatError::LengthMismatch { detail });
+
+        // Grid geometry.
+        if self.block_rows != self.nrows.div_ceil(BLOCK_DIM).max(1) {
+            return ptr_err("block_rows inconsistent with nrows");
+        }
+        if self.block_cols != self.ncols.div_ceil(BLOCK_DIM).max(1) {
+            return ptr_err("block_cols inconsistent with ncols");
+        }
+
+        // Outer CSR over blocks.
+        let n_blocks = self.col_idx.len();
+        if self.row_ptr.len() != self.block_rows + 1 {
+            return ptr_err("row_ptr length != block_rows + 1");
+        }
+        if self.row_ptr.first() != Some(&0) || self.row_ptr.last() != Some(&n_blocks) {
+            return ptr_err("row_ptr endpoints");
+        }
+        if self.row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return ptr_err("row_ptr not non-decreasing");
+        }
+        for (br, w) in self.row_ptr.windows(2).enumerate() {
+            let row = &self.col_idx[w[0]..w[1]];
+            if row.windows(2).any(|p| p[0] >= p[1]) {
+                return Err(FormatError::UnsortedIndices { outer: br });
+            }
+            if row.last().is_some_and(|&c| c as usize >= self.block_cols) {
+                return ptr_err("block column outside the grid");
+            }
+        }
+
+        // Per-block arrays and the level-1 / tile_ptr cross-check.
+        if self.bitmap_lv1.len() != n_blocks {
+            return len_err("bitmap_lv1 length != block count");
+        }
+        if self.valptr_lv1.len() != n_blocks {
+            return len_err("valptr_lv1 length != block count");
+        }
+        if self.tile_ptr.len() != n_blocks + 1 || self.tile_ptr.first() != Some(&0) {
+            return ptr_err("tile_ptr shape");
+        }
+        for (i, &lv1) in self.bitmap_lv1.iter().enumerate() {
+            if lv1 == 0 {
+                return ptr_err("stored block with empty level-1 bitmap");
+            }
+            if self.tile_ptr[i + 1] - self.tile_ptr[i] != lv1.count_ones() as usize {
+                return ptr_err("tile_ptr disagrees with bitmap_lv1 popcount");
+            }
+        }
+
+        // Per-tile arrays and the level-2 / value-pointer cross-check.
+        let n_tiles = self.tile_ptr[n_blocks];
+        if self.bitmap_lv2.len() != n_tiles {
+            return len_err("bitmap_lv2 length != stored tile count");
+        }
+        if self.valptr_lv2.len() != n_tiles {
+            return len_err("valptr_lv2 length != stored tile count");
+        }
+        let mut running = 0usize;
+        for i in 0..n_blocks {
+            if self.valptr_lv1[i] as usize != running {
+                return ptr_err("valptr_lv1 disagrees with running value count");
+            }
+            let mut in_block = 0usize;
+            for t in self.tile_ptr[i]..self.tile_ptr[i + 1] {
+                let lv2 = self.bitmap_lv2[t];
+                if lv2 == 0 {
+                    return ptr_err("stored tile with empty level-2 bitmap");
+                }
+                if self.valptr_lv2[t] as usize != in_block {
+                    return ptr_err("valptr_lv2 disagrees with in-block offset");
+                }
+                in_block += lv2.count_ones() as usize;
+            }
+            running += in_block;
+        }
+        if running != self.values.len() {
+            return len_err("bitmap_lv2 popcount != values length");
+        }
+
+        // Values: a bit flip can denormalise a finite number silently, but
+        // exponent-field upsets routinely produce NaN / infinity — catch
+        // those.
+        if !self.values.iter().all(|v| v.is_finite()) {
+            return Err(FormatError::CorruptStream { detail: "non-finite stored value" });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+    use crate::{CooMatrix, CsrMatrix};
+
+    fn sample(seed: u64) -> BbcMatrix {
+        let mut rng = Rng64::new(seed);
+        let n = 20 + rng.next_range(40);
+        let mut coo = CooMatrix::new(n, n);
+        for _ in 0..1 + rng.next_range(150) {
+            coo.push(rng.next_range(n), rng.next_range(n), rng.next_f64_range(0.5, 2.0));
+        }
+        BbcMatrix::from_csr(&CsrMatrix::try_from(coo).unwrap())
+    }
+
+    #[test]
+    fn freshly_encoded_matrices_validate() {
+        for seed in 0..32 {
+            sample(seed).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn every_metadata_bit_flip_is_detected() {
+        for seed in 0..8 {
+            let clean = sample(seed);
+            for field in BbcField::ALL {
+                if !field.is_metadata() {
+                    continue;
+                }
+                for index in 0..clean.field_len(field) {
+                    for bit in 0..field.bit_width() {
+                        let mut m = clean.clone();
+                        m.flip_bit(field, index, bit);
+                        assert!(
+                            m.validate().is_err(),
+                            "undetected flip: seed {seed} {field:?}[{index}] bit {bit}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flip_is_an_involution() {
+        let clean = sample(3);
+        for field in BbcField::ALL {
+            if clean.field_len(field) == 0 {
+                continue;
+            }
+            let mut m = clean.clone();
+            m.flip_bit(field, 0, field.bit_width() - 1);
+            m.flip_bit(field, 0, field.bit_width() - 1);
+            assert_eq!(m, clean, "{field:?}");
+        }
+    }
+
+    #[test]
+    fn value_flip_changes_only_numerics() {
+        let mut m = sample(5);
+        if m.field_len(BbcField::Value) == 0 {
+            return;
+        }
+        m.flip_bit(BbcField::Value, 0, 52);
+        // Mantissa/low-exponent flips keep the structure valid.
+        assert!(m.validate().is_ok() || m.values[0].is_infinite() || m.values[0].is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn flip_rejects_out_of_width_bit() {
+        let mut m = sample(1);
+        m.flip_bit(BbcField::BitmapLv1, 0, 16);
+    }
+}

@@ -51,6 +51,14 @@ pub enum FormatError {
         /// Human-readable description of the corruption.
         detail: &'static str,
     },
+    /// A text stream (e.g. Matrix Market) failed to parse at a specific
+    /// line.
+    ParseError {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of what was expected.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for FormatError {
@@ -78,6 +86,9 @@ impl fmt::Display for FormatError {
             FormatError::CorruptStream { detail } => {
                 write!(f, "corrupt BBC stream: {detail}")
             }
+            FormatError::ParseError { line, detail } => {
+                write!(f, "parse error at line {line}: {detail}")
+            }
         }
     }
 }
@@ -98,6 +109,7 @@ mod tests {
             FormatError::DimensionMismatch { detail: "a.ncols != b.nrows".into() },
             FormatError::InvalidBlockSize { block: 0 },
             FormatError::CorruptStream { detail: "bad magic" },
+            FormatError::ParseError { line: 7, detail: "expected rows cols nnz" },
         ];
         for e in errs {
             let s = e.to_string();

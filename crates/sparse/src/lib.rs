@@ -53,11 +53,12 @@ mod error;
 pub mod mtx;
 pub mod ops;
 pub mod reorder;
+pub mod rng;
 mod sparsevec;
 
 pub use bitmap::BitmapMatrix;
 pub use bsr::BsrMatrix;
-pub use bbc::{BbcBlock, BbcMatrix, BLOCK_DIM, TILES_PER_BLOCK, TILE_DIM};
+pub use bbc::{BbcBlock, BbcField, BbcMatrix, BLOCK_DIM, TILES_PER_BLOCK, TILE_DIM};
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;

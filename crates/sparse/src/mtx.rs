@@ -26,8 +26,8 @@ enum Field {
     Pattern,
 }
 
-fn corrupt(detail: &'static str) -> FormatError {
-    FormatError::CorruptStream { detail }
+fn bad(line: usize, detail: &'static str) -> FormatError {
+    FormatError::ParseError { line, detail }
 }
 
 /// Reads a Matrix Market coordinate stream into CSR form.
@@ -38,42 +38,49 @@ fn corrupt(detail: &'static str) -> FormatError {
 ///
 /// # Errors
 ///
-/// Returns [`FormatError::CorruptStream`] on malformed headers, counts or
+/// Returns [`FormatError::ParseError`] — carrying the 1-based line number
+/// of the offending line — on malformed or truncated headers, counts or
 /// entries, and [`FormatError::IndexOutOfBounds`] on out-of-range
-/// coordinates.
+/// coordinates. No input byte sequence panics the parser.
 pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, FormatError> {
+    // 1-based line numbers for error reporting; `lineno` always holds the
+    // number of the line just pulled from the iterator.
     let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize;
 
     // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
     let header = loop {
+        lineno += 1;
         match lines.next() {
             Some(Ok(l)) if !l.trim().is_empty() => break l,
             Some(Ok(_)) => continue,
-            _ => return Err(corrupt("missing header")),
+            Some(Err(_)) => return Err(bad(lineno, "read error")),
+            None => return Err(bad(lineno, "missing header")),
         }
     };
     let h: Vec<String> = header.split_whitespace().map(|s| s.to_lowercase()).collect();
     if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
-        return Err(corrupt("not a MatrixMarket matrix header"));
+        return Err(bad(lineno, "not a MatrixMarket matrix header"));
     }
     if h[2] != "coordinate" {
-        return Err(corrupt("only the coordinate format is supported"));
+        return Err(bad(lineno, "only the coordinate format is supported"));
     }
     let field = match h[3].as_str() {
         "real" => Field::Real,
         "integer" => Field::Integer,
         "pattern" => Field::Pattern,
-        _ => return Err(corrupt("unsupported value field (complex?)")),
+        _ => return Err(bad(lineno, "unsupported value field (complex?)")),
     };
     let symmetry = match h[4].as_str() {
         "general" => Symmetry::General,
         "symmetric" => Symmetry::Symmetric,
         "skew-symmetric" => Symmetry::SkewSymmetric,
-        _ => return Err(corrupt("unsupported symmetry (hermitian?)")),
+        _ => return Err(bad(lineno, "unsupported symmetry (hermitian?)")),
     };
 
     // Size line: rows cols nnz (comments allowed before it).
     let size = loop {
+        lineno += 1;
         match lines.next() {
             Some(Ok(l)) => {
                 let t = l.trim();
@@ -82,22 +89,28 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, FormatError> 
                 }
                 break l;
             }
-            _ => return Err(corrupt("missing size line")),
+            Some(Err(_)) => return Err(bad(lineno, "read error")),
+            None => return Err(bad(lineno, "missing size line")),
         }
     };
     let dims: Vec<usize> = size
         .split_whitespace()
-        .map(|t| t.parse::<usize>().map_err(|_| corrupt("bad size line")))
+        .map(|t| t.parse::<usize>().map_err(|_| bad(lineno, "bad size line")))
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
-        return Err(corrupt("size line needs rows cols nnz"));
+        return Err(bad(lineno, "size line needs rows cols nnz"));
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
 
-    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz * 2);
+    // Cap the up-front reservation: `nnz` comes straight from the input, so
+    // an adversarial size line must not translate into an unbounded
+    // allocation before any entry has been seen.
+    const CAP: usize = 1 << 16;
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz.saturating_mul(2).min(CAP));
     let mut parsed = 0usize;
     for line in lines {
-        let line = line.map_err(|_| corrupt("read error"))?;
+        lineno += 1;
+        let line = line.map_err(|_| bad(lineno, "read error"))?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
@@ -106,20 +119,20 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, FormatError> 
         let r: usize = it
             .next()
             .and_then(|s| s.parse().ok())
-            .ok_or(corrupt("bad entry row"))?;
+            .ok_or(bad(lineno, "bad entry row"))?;
         let c: usize = it
             .next()
             .and_then(|s| s.parse().ok())
-            .ok_or(corrupt("bad entry column"))?;
+            .ok_or(bad(lineno, "bad entry column"))?;
         let v: f64 = match field {
             Field::Pattern => 1.0,
             Field::Real | Field::Integer => it
                 .next()
                 .and_then(|s| s.parse().ok())
-                .ok_or(corrupt("bad entry value"))?,
+                .ok_or(bad(lineno, "bad entry value"))?,
         };
         if r == 0 || c == 0 {
-            return Err(corrupt("matrix market indices are 1-based"));
+            return Err(bad(lineno, "matrix market indices are 1-based"));
         }
         let (r, c) = (r - 1, c - 1);
         coo.try_push(r, c, v)?;
@@ -137,9 +150,12 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, FormatError> 
             }
         }
         parsed += 1;
+        if parsed > nnz {
+            return Err(bad(lineno, "more entries than the size line declared"));
+        }
     }
     if parsed != nnz {
-        return Err(corrupt("entry count disagrees with size line"));
+        return Err(bad(lineno, "entry count disagrees with size line"));
     }
     CsrMatrix::try_from(coo)
 }
@@ -237,6 +253,72 @@ mod tests {
             &b"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n"[..]
         )
         .is_err());
+    }
+
+    fn parse_line_of(err: FormatError) -> usize {
+        match err {
+            FormatError::ParseError { line, .. } => line,
+            other => panic!("expected ParseError, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_header_reports_first_line() {
+        // Empty input, header-only input, and header-plus-comments input
+        // are all truncated before the size line.
+        assert_eq!(parse_line_of(read_matrix_market(&b""[..]).unwrap_err()), 1);
+        let err = read_matrix_market(
+            &b"%%MatrixMarket matrix coordinate real general\n"[..],
+        )
+        .unwrap_err();
+        assert_eq!(parse_line_of(err), 2);
+        let err = read_matrix_market(
+            &b"%%MatrixMarket matrix coordinate real general\n% note\n% more\n"[..],
+        )
+        .unwrap_err();
+        assert_eq!(parse_line_of(err), 4);
+    }
+
+    #[test]
+    fn garbage_entry_reports_its_line() {
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+            2 2 2\n1 1 1.0\n1 two 2.0\n";
+        let err = read_matrix_market(src.as_bytes()).unwrap_err();
+        assert_eq!(parse_line_of(err), 4);
+        assert!(err_detail_mentions(src, "column"));
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+            2 2 1\n1 1 not-a-number\n";
+        let err = read_matrix_market(src.as_bytes()).unwrap_err();
+        assert_eq!(parse_line_of(err), 3);
+    }
+
+    fn err_detail_mentions(src: &str, needle: &str) -> bool {
+        read_matrix_market(src.as_bytes()).unwrap_err().to_string().contains(needle)
+    }
+
+    #[test]
+    fn entry_count_mismatch_reports_last_line() {
+        // Too few entries: the error points past the final line read.
+        let short = "%%MatrixMarket matrix coordinate real general\n\
+            2 2 3\n1 1 1.0\n2 2 2.0\n";
+        let err = read_matrix_market(short.as_bytes()).unwrap_err();
+        assert_eq!(parse_line_of(err), 4);
+        // Too many entries: rejected at the first surplus entry.
+        let long = "%%MatrixMarket matrix coordinate real general\n\
+            2 2 1\n1 1 1.0\n2 2 2.0\n2 1 3.0\n";
+        let err = read_matrix_market(long.as_bytes()).unwrap_err();
+        assert_eq!(parse_line_of(err), 4);
+    }
+
+    #[test]
+    fn adversarial_size_line_does_not_overallocate() {
+        // A size line claiming usize::MAX entries must fail cleanly, not
+        // abort on an enormous reservation.
+        let src = format!(
+            "%%MatrixMarket matrix coordinate real general\n2 2 {}\n1 1 1.0\n",
+            usize::MAX / 2
+        );
+        assert!(read_matrix_market(src.as_bytes()).is_err());
     }
 
     #[test]

@@ -25,40 +25,35 @@ pub(crate) fn dim_err(detail: String) -> FormatError {
 }
 
 #[cfg(test)]
-mod proptests {
-    use super::*;
-    use crate::{CooMatrix, CsrMatrix, DenseMatrix, SparseVector};
-    use proptest::prelude::*;
+mod randomized {
+    //! Deterministic randomized tests (seed-sweep replacements for the old
+    //! proptest strategies; no external dependencies, fully offline).
 
-    /// A random small CSR matrix with entries in [-2, 2].
-    fn arb_csr(max_dim: usize) -> impl Strategy<Value = CsrMatrix> {
-        (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
-            proptest::collection::vec(
-                ((0..m), (0..n), -2.0f64..2.0),
-                0..=(m * n).min(64),
-            )
-            .prop_map(move |entries| {
-                let mut coo = CooMatrix::new(m, n);
-                for (r, c, v) in entries {
-                    coo.push(r, c, v);
-                }
-                CsrMatrix::try_from(coo).unwrap()
-            })
-        })
+    use super::*;
+    use crate::rng::Rng64;
+    use crate::{CooMatrix, CsrMatrix, DenseMatrix, SparseVector};
+
+    /// A seeded random CSR matrix up to `max_dim` per side with entries in
+    /// [-2, 2] and up to 64 pushed coordinates (duplicates merge).
+    fn random_csr(rng: &mut Rng64, max_dim: usize) -> CsrMatrix {
+        let m = 1 + rng.next_range(max_dim);
+        let n = 1 + rng.next_range(max_dim);
+        let nnz = rng.next_range((m * n).min(64) + 1);
+        let mut coo = CooMatrix::new(m, n);
+        for _ in 0..nnz {
+            coo.push(rng.next_range(m), rng.next_range(n), rng.next_f64_range(-2.0, 2.0));
+        }
+        CsrMatrix::try_from(coo).unwrap()
     }
 
-    /// A random small square CSR matrix with entries in [-2, 2].
-    fn arb_square_csr(max_dim: usize) -> impl Strategy<Value = CsrMatrix> {
-        (1..=max_dim).prop_flat_map(|n| {
-            proptest::collection::vec(((0..n), (0..n), -2.0f64..2.0), 0..=(n * n).min(64))
-                .prop_map(move |entries| {
-                    let mut coo = CooMatrix::new(n, n);
-                    for (r, c, v) in entries {
-                        coo.push(r, c, v);
-                    }
-                    CsrMatrix::try_from(coo).unwrap()
-                })
-        })
+    fn random_square_csr(rng: &mut Rng64, max_dim: usize) -> CsrMatrix {
+        let n = 1 + rng.next_range(max_dim);
+        let nnz = rng.next_range((n * n).min(64) + 1);
+        let mut coo = CooMatrix::new(n, n);
+        for _ in 0..nnz {
+            coo.push(rng.next_range(n), rng.next_range(n), rng.next_f64_range(-2.0, 2.0));
+        }
+        CsrMatrix::try_from(coo).unwrap()
     }
 
     fn dense_mul(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
@@ -71,37 +66,57 @@ mod proptests {
         c
     }
 
-    proptest! {
-        #[test]
-        fn spmv_matches_dense(a in arb_csr(24), seed in 0u64..1000) {
+    const CASES: u64 = 64;
+
+    #[test]
+    fn spmv_matches_dense() {
+        for seed in 0..CASES {
+            let mut rng = Rng64::new(seed);
+            let a = random_csr(&mut rng, 24);
             let n = a.ncols();
-            let x: Vec<f64> = (0..n).map(|i| ((i as u64 * 2654435761 + seed) % 7) as f64 - 3.0).collect();
+            let x: Vec<f64> =
+                (0..n).map(|i| ((i as u64 * 2654435761 + seed) % 7) as f64 - 3.0).collect();
             let y = spmv(&a, &x).unwrap();
             let mut expect = vec![0.0; a.nrows()];
             for (r, c, v) in a.iter() {
                 expect[r] += v * x[c];
             }
             for (got, want) in y.iter().zip(&expect) {
-                prop_assert!((got - want).abs() < 1e-9);
+                assert!((got - want).abs() < 1e-9, "seed {seed}");
             }
         }
+    }
 
-        #[test]
-        fn spmspv_matches_spmv_on_densified(a in arb_csr(24), seed in 0u64..1000) {
+    #[test]
+    fn spmspv_matches_spmv_on_densified() {
+        for seed in 0..CASES {
+            let mut rng = Rng64::new(seed);
+            let a = random_csr(&mut rng, 24);
             let n = a.ncols();
             let dense: Vec<f64> = (0..n)
-                .map(|i| if (i as u64 + seed).is_multiple_of(2) { (i % 5) as f64 - 2.0 } else { 0.0 })
+                .map(|i| {
+                    if (i as u64 + seed).is_multiple_of(2) {
+                        (i % 5) as f64 - 2.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
             let x = SparseVector::from_dense(&dense, 0.0);
             let ys = spmspv(&a, &x).unwrap().to_dense();
             let yd = spmv(&a, &dense).unwrap();
             for (got, want) in ys.iter().zip(&yd) {
-                prop_assert!((got - want).abs() < 1e-9);
+                assert!((got - want).abs() < 1e-9, "seed {seed}");
             }
         }
+    }
 
-        #[test]
-        fn spmm_matches_dense(a in arb_csr(16), cols in 1usize..8, seed in 0u64..100) {
+    #[test]
+    fn spmm_matches_dense() {
+        for seed in 0..CASES {
+            let mut rng = Rng64::new(seed ^ 0xA5A5);
+            let a = random_csr(&mut rng, 16);
+            let cols = 1 + rng.next_range(7);
             let k = a.ncols();
             let mut b = DenseMatrix::zeros(k, cols);
             for r in 0..k {
@@ -111,34 +126,46 @@ mod proptests {
             }
             let got = spmm(&a, &b).unwrap();
             let want = dense_mul(&a, &b);
-            prop_assert!(got.max_abs_diff(&want) < 1e-9);
+            assert!(got.max_abs_diff(&want) < 1e-9, "seed {seed}");
         }
+    }
 
-        #[test]
-        fn spgemm_matches_dense((a, b) in (1usize..=14).prop_flat_map(|n| {
-            let entries = || proptest::collection::vec(((0..n), (0..n), -2.0f64..2.0), 0..=(n * n).min(64));
-            (entries(), entries()).prop_map(move |(ea, eb)| {
-                let build = |es: Vec<(usize, usize, f64)>| {
-                    let mut coo = CooMatrix::new(n, n);
-                    for (r, c, v) in es { coo.push(r, c, v); }
-                    CsrMatrix::try_from(coo).unwrap()
-                };
-                (build(ea), build(eb))
-            })
-        })) {
+    #[test]
+    fn spgemm_matches_dense() {
+        for seed in 0..CASES {
+            let mut rng = Rng64::new(seed ^ 0x5A5A);
+            let n = 1 + rng.next_range(14);
+            let build = |rng: &mut Rng64| {
+                let nnz = rng.next_range((n * n).min(64) + 1);
+                let mut coo = CooMatrix::new(n, n);
+                for _ in 0..nnz {
+                    coo.push(
+                        rng.next_range(n),
+                        rng.next_range(n),
+                        rng.next_f64_range(-2.0, 2.0),
+                    );
+                }
+                CsrMatrix::try_from(coo).unwrap()
+            };
+            let a = build(&mut rng);
+            let b = build(&mut rng);
             let got = spgemm(&a, &b).unwrap().to_dense();
             let want = dense_mul(&a, &b.to_dense());
-            prop_assert!(got.max_abs_diff(&want) < 1e-9);
+            assert!(got.max_abs_diff(&want) < 1e-9, "seed {seed}");
         }
+    }
 
-        #[test]
-        fn spgemm_structure_covers_numeric(a in arb_square_csr(12)) {
+    #[test]
+    fn spgemm_structure_covers_numeric() {
+        for seed in 0..CASES {
+            let mut rng = Rng64::new(seed ^ 0xC3C3);
+            let a = random_square_csr(&mut rng, 12);
             let c = spgemm(&a, &a).unwrap();
             let s = spgemm_structure(&a, &a).unwrap();
             // Structural nnz is an upper bound on numeric nnz (cancellation).
-            prop_assert!(s.nnz() >= c.nnz());
+            assert!(s.nnz() >= c.nnz(), "seed {seed}");
             for (r, cc, _) in c.iter() {
-                prop_assert!(s.get(r, cc).is_some());
+                assert!(s.get(r, cc).is_some(), "seed {seed}");
             }
         }
     }

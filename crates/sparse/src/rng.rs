@@ -1,0 +1,155 @@
+//! Deterministic pseudo-random numbers for workload generation and tests.
+//!
+//! The workspace builds in fully offline environments, so it carries no
+//! external RNG dependency. [`Rng64`] is an xorshift64* generator: a tiny,
+//! seedable, reproducible stream that is more than good enough for sparsity
+//! patterns, value sampling and randomized test cases. It is **not**
+//! cryptographic and must never be used where unpredictability matters.
+
+/// A seedable xorshift64* pseudo-random number generator.
+///
+/// The same seed always yields the same stream, on every platform: matrix
+/// generators and tests rely on this for reproducibility.
+///
+/// # Example
+///
+/// ```
+/// use sparse::rng::Rng64;
+///
+/// let mut a = Rng64::new(42);
+/// let mut b = Rng64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let f = a.next_f64();
+/// assert!((0.0..1.0).contains(&f));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed. A zero seed is remapped to a fixed
+    /// nonzero constant (xorshift has an all-zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 scramble so that small consecutive seeds (0, 1, 2, ...)
+        // produce uncorrelated streams.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Rng64 { state: if z == 0 { 0x4D59_5DF4_D0F3_3173 } else { z } }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn next_range(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        // Multiply-shift rejection-free mapping; the bias is < 2^-53 for
+        // every n this workspace uses.
+        (self.next_f64() * n as f64) as usize % n
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn next_f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range [{lo}, {hi})");
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng64::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng64::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = Rng64::new(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Rng64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = Rng64::new(3);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = Rng64::new(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.next_range(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut r = Rng64::new(19);
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn bernoulli_tracks_probability() {
+        let mut r = Rng64::new(23);
+        let hits = (0..10_000).filter(|_| r.next_bool(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.02, "{hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        Rng64::new(1).next_range(0);
+    }
+}

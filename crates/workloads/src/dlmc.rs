@@ -75,22 +75,21 @@ impl LayerSpec {
 }
 
 fn rectangular_random(rows: usize, cols: usize, density: f64, seed: u64) -> CsrMatrix {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
+    use sparse::rng::Rng64;
+    let mut rng = Rng64::new(seed);
     let mut coo = sparse::CooMatrix::new(rows, cols);
     if density > 0.2 {
         for r in 0..rows {
             for c in 0..cols {
-                if rng.gen::<f64>() < density {
-                    coo.push(r, c, rng.gen_range(-1.0..1.0f64).max(1e-3));
+                if rng.next_f64() < density {
+                    coo.push(r, c, rng.next_f64_range(-1.0, 1.0).max(1e-3));
                 }
             }
         }
     } else {
         let target = (rows as f64 * cols as f64 * density) as usize;
         for _ in 0..target {
-            coo.push(rng.gen_range(0..rows), rng.gen_range(0..cols), 0.5);
+            coo.push(rng.next_range(rows), rng.next_range(cols), 0.5);
         }
         coo.compress();
     }

@@ -1,8 +1,7 @@
 //! Deterministic sparse-matrix generators covering the structure families
 //! that drive STC behaviour.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sparse::rng::Rng64;
 use sparse::{CooMatrix, CsrMatrix};
 
 /// Uniform random matrix: each entry independently nonzero with
@@ -15,14 +14,14 @@ use sparse::{CooMatrix, CsrMatrix};
 pub fn random_uniform(n: usize, density: f64, seed: u64) -> CsrMatrix {
     assert!(n > 0, "matrix dimension must be positive");
     assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let expected = (n as f64 * n as f64 * density).round() as usize;
     let mut coo = CooMatrix::with_capacity(n, n, expected);
     if density > 0.2 {
         // Dense-ish: Bernoulli per cell.
         for r in 0..n {
             for c in 0..n {
-                if rng.gen::<f64>() < density {
+                if rng.next_f64() < density {
                     coo.push(r, c, value(&mut rng));
                 }
             }
@@ -31,8 +30,8 @@ pub fn random_uniform(n: usize, density: f64, seed: u64) -> CsrMatrix {
         // Sparse: sample coordinates (duplicates merge on compression,
         // keeping nnz within a fraction of a percent of the target).
         for _ in 0..expected {
-            let r = rng.gen_range(0..n);
-            let c = rng.gen_range(0..n);
+            let r = rng.next_range(n);
+            let c = rng.next_range(n);
             coo.push(r, c, value(&mut rng));
         }
     }
@@ -119,13 +118,13 @@ pub fn poisson_3d(g: usize) -> CsrMatrix {
 pub fn banded(n: usize, half_bandwidth: usize, fill: f64, seed: u64) -> CsrMatrix {
     assert!(n > 0, "matrix dimension must be positive");
     assert!((0.0..=1.0).contains(&fill), "fill must be in [0, 1]");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut coo = CooMatrix::new(n, n);
     for r in 0..n {
         let lo = r.saturating_sub(half_bandwidth);
         let hi = (r + half_bandwidth + 1).min(n);
         for c in lo..hi {
-            if c == r || rng.gen::<f64>() < fill {
+            if c == r || rng.next_f64() < fill {
                 coo.push(r, c, value(&mut rng));
             }
         }
@@ -144,7 +143,7 @@ pub fn banded(n: usize, half_bandwidth: usize, fill: f64, seed: u64) -> CsrMatri
 pub fn rmat(n: usize, nnz_target: usize, seed: u64) -> CsrMatrix {
     assert!(n.is_power_of_two(), "R-MAT dimension must be a power of two");
     assert!(nnz_target > 0, "need a positive nnz target");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let levels = n.trailing_zeros();
     let mut coo = CooMatrix::with_capacity(n, n, nnz_target);
     for _ in 0..nnz_target {
@@ -152,7 +151,7 @@ pub fn rmat(n: usize, nnz_target: usize, seed: u64) -> CsrMatrix {
         for _ in 0..levels {
             r <<= 1;
             c <<= 1;
-            let p: f64 = rng.gen();
+            let p: f64 = rng.next_f64();
             if p < 0.57 {
                 // top-left
             } else if p < 0.76 {
@@ -178,13 +177,13 @@ pub fn rmat(n: usize, nnz_target: usize, seed: u64) -> CsrMatrix {
 /// Panics if `block == 0` or `block > n`.
 pub fn block_dense(n: usize, block: usize, blocks: usize, seed: u64) -> CsrMatrix {
     assert!(block > 0 && block <= n, "block size must be in 1..=n");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let grid = n / block;
     let mut coo = CooMatrix::new(n, n);
     let mut seen = std::collections::HashSet::new();
     for _ in 0..blocks {
-        let br = rng.gen_range(0..grid);
-        let bc = rng.gen_range(0..grid);
+        let br = rng.next_range(grid);
+        let bc = rng.next_range(grid);
         if !seen.insert((br, bc)) {
             continue;
         }
@@ -207,7 +206,7 @@ pub fn block_dense(n: usize, block: usize, blocks: usize, seed: u64) -> CsrMatri
 pub fn arrow(n: usize, half_bandwidth: usize, dense_rows: usize, seed: u64) -> CsrMatrix {
     assert!(n > 0, "matrix dimension must be positive");
     assert!(dense_rows <= n, "cannot have more dense rows than rows");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut coo = CooMatrix::new(n, n);
     for r in 0..n {
         let lo = r.saturating_sub(half_bandwidth);
@@ -237,7 +236,7 @@ pub fn arrow(n: usize, half_bandwidth: usize, dense_rows: usize, seed: u64) -> C
 pub fn kronecker(pattern: &[(usize, usize)], base: usize, order: u32, seed: u64) -> CsrMatrix {
     assert!(!pattern.is_empty(), "need a nonempty seed pattern");
     assert!(order > 0, "order must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut entries: Vec<(usize, usize)> = vec![(0, 0)];
     let mut dim = 1usize;
     for _ in 0..order {
@@ -266,15 +265,15 @@ pub fn kronecker(pattern: &[(usize, usize)], base: usize, order: u32, seed: u64)
 pub fn diagonal_noise(n: usize, off_density: f64, seed: u64) -> CsrMatrix {
     assert!(n > 0, "matrix dimension must be positive");
     assert!((0.0..=1.0).contains(&off_density), "density must be in [0, 1]");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut coo = CooMatrix::new(n, n);
     for i in 0..n {
         coo.push(i, i, value(&mut rng));
     }
     let extras = (n as f64 * n as f64 * off_density) as usize;
     for _ in 0..extras {
-        let r = rng.gen_range(0..n);
-        let c = rng.gen_range(0..n);
+        let r = rng.next_range(n);
+        let c = rng.next_range(n);
         if r != c {
             coo.push(r, c, value(&mut rng));
         }
@@ -317,10 +316,10 @@ pub fn graph_laplacian(n: usize, nnz_target: usize, seed: u64) -> CsrMatrix {
     CsrMatrix::try_from(full).expect("laplacian coordinates are in range")
 }
 
-fn value(rng: &mut StdRng) -> f64 {
+fn value(rng: &mut Rng64) -> f64 {
     // Nonzero values in [-1, 1] \ {0}.
     loop {
-        let v: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.next_f64_range(-1.0, 1.0);
         if v.abs() > 1e-6 {
             return v;
         }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Offline CI gate: lints and the full test suite.
+#
+# The workspace has zero external dependencies, so this script must work
+# with no network access at all (no registry, no index update).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "CI OK"

@@ -1,88 +1,116 @@
-//! Property-based integration tests: every storage format must preserve
-//! the matrix exactly through conversion roundtrips, on matrices from all
-//! generator families.
+//! Randomized integration tests: every storage format must preserve the
+//! matrix exactly through conversion roundtrips, on matrices from all
+//! generator families. Cases are seed-swept deterministically so the suite
+//! runs fully offline.
 
-use proptest::prelude::*;
+use sparse::rng::Rng64;
 use sparse::{BbcMatrix, BitmapMatrix, BsrMatrix, CooMatrix, CscMatrix, CsrMatrix, StorageSize};
 
-fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
-    (1usize..60, 1usize..60).prop_flat_map(|(m, n)| {
-        proptest::collection::vec(((0..m), (0..n), -5.0f64..5.0), 0..200).prop_map(
-            move |entries| {
-                let mut coo = CooMatrix::new(m, n);
-                for (r, c, v) in entries {
-                    if v != 0.0 {
-                        coo.push(r, c, v);
-                    }
-                }
-                CsrMatrix::try_from(coo).unwrap()
-            },
-        )
-    })
+/// A seeded random rectangular CSR matrix up to 60x60 with up to 200 pushed
+/// entries (duplicates merge on compression).
+fn random_matrix(seed: u64) -> CsrMatrix {
+    let mut rng = Rng64::new(seed);
+    let m = 1 + rng.next_range(59);
+    let n = 1 + rng.next_range(59);
+    let nnz = rng.next_range(200);
+    let mut coo = CooMatrix::new(m, n);
+    for _ in 0..nnz {
+        let v = rng.next_f64_range(-5.0, 5.0);
+        if v != 0.0 {
+            coo.push(rng.next_range(m), rng.next_range(n), v);
+        }
+    }
+    CsrMatrix::try_from(coo).unwrap()
 }
 
-proptest! {
-    #[test]
-    fn bbc_roundtrip(csr in arb_matrix()) {
-        let bbc = BbcMatrix::from_csr(&csr);
-        prop_assert_eq!(bbc.nnz(), csr.nnz());
-        prop_assert_eq!(bbc.to_csr(), csr);
-    }
+const CASES: u64 = 48;
 
-    #[test]
-    fn bbc_io_roundtrip(csr in arb_matrix()) {
+#[test]
+fn bbc_roundtrip() {
+    for seed in 0..CASES {
+        let csr = random_matrix(seed);
         let bbc = BbcMatrix::from_csr(&csr);
+        assert_eq!(bbc.nnz(), csr.nnz(), "seed {seed}");
+        assert_eq!(bbc.to_csr(), csr, "seed {seed}");
+    }
+}
+
+#[test]
+fn bbc_io_roundtrip() {
+    for seed in 0..CASES {
+        let bbc = BbcMatrix::from_csr(&random_matrix(seed));
         let mut buf = Vec::new();
         bbc.write_bbc(&mut buf).unwrap();
         let back = sparse::bbc::read_bbc(buf.as_slice()).unwrap();
-        prop_assert_eq!(back, bbc);
+        assert_eq!(back, bbc, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bsr_roundtrip_all_block_sizes(csr in arb_matrix(), block in 1usize..20) {
+#[test]
+fn bsr_roundtrip_all_block_sizes() {
+    for seed in 0..CASES {
+        let csr = random_matrix(seed);
+        let block = 1 + (seed as usize % 19);
         let bsr = BsrMatrix::from_csr(&csr, block).unwrap();
-        prop_assert_eq!(bsr.to_csr(), csr);
+        assert_eq!(bsr.to_csr(), csr, "seed {seed} block {block}");
     }
+}
 
-    #[test]
-    fn bitmap_roundtrip(csr in arb_matrix()) {
+#[test]
+fn bitmap_roundtrip() {
+    for seed in 0..CASES {
+        let csr = random_matrix(seed);
         let bm = BitmapMatrix::from_csr(&csr);
-        prop_assert_eq!(bm.to_csr(), csr);
+        assert_eq!(bm.to_csr(), csr, "seed {seed}");
     }
+}
 
-    #[test]
-    fn csc_roundtrip(csr in arb_matrix()) {
+#[test]
+fn csc_roundtrip() {
+    for seed in 0..CASES {
+        let csr = random_matrix(seed);
         let csc = CscMatrix::from(&csr);
-        prop_assert_eq!(csc.to_csr(), csr);
+        assert_eq!(csc.to_csr(), csr, "seed {seed}");
     }
+}
 
-    #[test]
-    fn transpose_involution(csr in arb_matrix()) {
-        prop_assert_eq!(csr.transpose().transpose(), csr);
+#[test]
+fn transpose_involution() {
+    for seed in 0..CASES {
+        let csr = random_matrix(seed);
+        assert_eq!(csr.transpose().transpose(), csr, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bbc_point_queries_match_csr(csr in arb_matrix()) {
+#[test]
+fn bbc_point_queries_match_csr() {
+    for seed in 0..CASES {
+        let csr = random_matrix(seed);
         let bbc = BbcMatrix::from_csr(&csr);
         for r in 0..csr.nrows() {
             for c in 0..csr.ncols() {
-                prop_assert_eq!(bbc.get(r, c), csr.get(r, c));
+                assert_eq!(bbc.get(r, c), csr.get(r, c), "seed {seed} at ({r}, {c})");
             }
         }
     }
+}
 
-    #[test]
-    fn value_bytes_count_logical_nonzeros(csr in arb_matrix()) {
+#[test]
+fn value_bytes_count_logical_nonzeros() {
+    for seed in 0..CASES {
+        let csr = random_matrix(seed);
         let bbc = BbcMatrix::from_csr(&csr);
-        prop_assert_eq!(bbc.value_bytes(), csr.value_bytes());
+        assert_eq!(bbc.value_bytes(), csr.value_bytes(), "seed {seed}");
         // BSR pads values: at least as many bytes as CSR's.
         let bsr = BsrMatrix::from_csr(&csr, 4).unwrap();
-        prop_assert!(bsr.value_bytes() >= csr.value_bytes());
+        assert!(bsr.value_bytes() >= csr.value_bytes(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn bbc_metadata_beats_csr_on_dense_blocks(g in 2usize..5) {
-        // Fully dense square matrices: BBC metadata must be far below CSR.
+#[test]
+fn bbc_metadata_beats_csr_on_dense_blocks() {
+    // Fully dense square matrices: BBC metadata must be far below CSR.
+    for g in 2usize..5 {
         let n = g * 16;
         let mut coo = CooMatrix::new(n, n);
         for r in 0..n {
@@ -92,7 +120,7 @@ proptest! {
         }
         let csr = CsrMatrix::try_from(coo).unwrap();
         let bbc = BbcMatrix::from_csr(&csr);
-        prop_assert!(bbc.metadata_bytes() * 8 < csr.metadata_bytes());
+        assert!(bbc.metadata_bytes() * 8 < csr.metadata_bytes(), "g {g}");
     }
 }
 

@@ -1,124 +1,154 @@
-//! Property-based invariants of the Uni-STC pipeline and the numeric
-//! dataflow kernels, over randomized block structures and matrices.
+//! Randomized invariants of the Uni-STC pipeline and the numeric dataflow
+//! kernels, over seed-swept block structures and matrices (deterministic,
+//! offline replacements for the old proptest strategies).
 
-use proptest::prelude::*;
 use simkit::{Block16, T1Task, TileEngine};
+use sparse::rng::Rng64;
 use sparse::{BbcMatrix, CooMatrix, CsrMatrix};
 use uni_stc::{kernels, UniStc, UniStcConfig};
 
-fn arb_block(max_nnz: usize) -> impl Strategy<Value = Block16> {
-    proptest::collection::vec((0usize..16, 0usize..16), 0..=max_nnz).prop_map(|pts| {
-        let mut b = Block16::empty();
-        for (r, c) in pts {
-            b.set(r, c);
-        }
-        b
-    })
-}
-
-fn arb_matrix(max_dim: usize) -> impl Strategy<Value = CsrMatrix> {
-    (8usize..=max_dim).prop_flat_map(|n| {
-        proptest::collection::vec(((0..n), (0..n), 0.1f64..4.0), 1..200).prop_map(
-            move |entries| {
-                let mut coo = CooMatrix::new(n, n);
-                for (r, c, v) in entries {
-                    coo.push(r, c, v);
-                }
-                CsrMatrix::try_from(coo).unwrap()
-            },
-        )
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn pipeline_conserves_work(a in arb_block(64), b in arb_block(64)) {
-        let t = T1Task::mm(a, b);
-        prop_assume!(!t.is_trivial());
-        let r = UniStc::default().execute(&t);
-        prop_assert_eq!(r.useful, t.products());
-        prop_assert_eq!(r.util.useful_ops(), r.useful);
-        prop_assert_eq!(r.util.cycles(), r.cycles);
+fn random_block(rng: &mut Rng64, max_nnz: usize) -> Block16 {
+    let nnz = rng.next_range(max_nnz + 1);
+    let mut b = Block16::empty();
+    for _ in 0..nnz {
+        b.set(rng.next_range(16), rng.next_range(16));
     }
+    b
+}
 
-    #[test]
-    fn pipeline_respects_physical_bounds(a in arb_block(64), b in arb_block(64)) {
-        let t = T1Task::mm(a, b);
-        prop_assume!(!t.is_trivial());
+fn random_matrix(rng: &mut Rng64, max_dim: usize) -> CsrMatrix {
+    let n = 8 + rng.next_range(max_dim - 7);
+    let nnz = 1 + rng.next_range(199);
+    let mut coo = CooMatrix::new(n, n);
+    for _ in 0..nnz {
+        coo.push(rng.next_range(n), rng.next_range(n), rng.next_f64_range(0.1, 4.0));
+    }
+    CsrMatrix::try_from(coo).unwrap()
+}
+
+const CASES: u64 = 48;
+
+#[test]
+fn pipeline_conserves_work() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let t = T1Task::mm(random_block(&mut rng, 64), random_block(&mut rng, 64));
+        if t.is_trivial() {
+            continue;
+        }
+        let r = UniStc::default().execute(&t);
+        assert_eq!(r.useful, t.products(), "seed {seed}");
+        assert_eq!(r.util.useful_ops(), r.useful, "seed {seed}");
+        assert_eq!(r.util.cycles(), r.cycles, "seed {seed}");
+    }
+}
+
+#[test]
+fn pipeline_respects_physical_bounds() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed ^ 0x10);
+        let t = T1Task::mm(random_block(&mut rng, 64), random_block(&mut rng, 64));
+        if t.is_trivial() {
+            continue;
+        }
         let cfg = UniStcConfig::default();
         let r = UniStc::new(cfg).execute(&t);
         // Lane-throughput floor.
-        prop_assert!(r.cycles >= t.products().div_ceil(64));
+        assert!(r.cycles >= t.products().div_ceil(64), "seed {seed}");
         // A cycle cannot activate more DPGs than exist.
-        prop_assert!(r.events.unit_cycles <= r.cycles * cfg.n_dpg as u64);
+        assert!(r.events.unit_cycles <= r.cycles * cfg.n_dpg as u64, "seed {seed}");
         // The gated output network never exceeds the static scale.
-        prop_assert!(r.events.c_ports_cycles <= r.cycles * (cfg.n_dpg as u64) * 256);
+        assert!(
+            r.events.c_ports_cycles <= r.cycles * (cfg.n_dpg as u64) * 256,
+            "seed {seed}"
+        );
         // Pre-merged partials: between products/4 (all length-4 segments)
         // and products (all length-1).
-        prop_assert!(r.events.partial_updates >= t.products().div_ceil(4));
-        prop_assert!(r.events.partial_updates <= t.products());
+        assert!(r.events.partial_updates >= t.products().div_ceil(4), "seed {seed}");
+        assert!(r.events.partial_updates <= t.products(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn more_dpgs_never_slower(a in arb_block(48), b in arb_block(48)) {
-        let t = T1Task::mm(a, b);
-        prop_assume!(!t.is_trivial());
+#[test]
+fn more_dpgs_never_slower() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed ^ 0x20);
+        let t = T1Task::mm(random_block(&mut rng, 48), random_block(&mut rng, 48));
+        if t.is_trivial() {
+            continue;
+        }
         let c4 = UniStc::new(UniStcConfig::with_dpgs(4)).execute(&t);
         let c8 = UniStc::new(UniStcConfig::with_dpgs(8)).execute(&t);
         let c16 = UniStc::new(UniStcConfig::with_dpgs(16)).execute(&t);
-        prop_assert!(c8.cycles <= c4.cycles);
-        prop_assert!(c16.cycles <= c8.cycles);
+        assert!(c8.cycles <= c4.cycles, "seed {seed}");
+        assert!(c16.cycles <= c8.cycles, "seed {seed}");
     }
+}
 
-    #[test]
-    fn gating_only_reduces_energy_events(a in arb_block(48), b in arb_block(48)) {
-        let t = T1Task::mm(a, b);
-        prop_assume!(!t.is_trivial());
+#[test]
+fn gating_only_reduces_energy_events() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed ^ 0x30);
+        let t = T1Task::mm(random_block(&mut rng, 48), random_block(&mut rng, 48));
+        if t.is_trivial() {
+            continue;
+        }
         let gated_cfg = UniStcConfig { power_gating: true, ..Default::default() };
         let hot_cfg = UniStcConfig { power_gating: false, ..gated_cfg };
         let gated = UniStc::new(gated_cfg).execute(&t);
         let hot = UniStc::new(hot_cfg).execute(&t);
         // Identical schedule, different power accounting.
-        prop_assert_eq!(gated.cycles, hot.cycles);
-        prop_assert!(gated.events.unit_cycles <= hot.events.unit_cycles);
-        prop_assert!(gated.events.c_ports_cycles <= hot.events.c_ports_cycles);
+        assert_eq!(gated.cycles, hot.cycles, "seed {seed}");
+        assert!(gated.events.unit_cycles <= hot.events.unit_cycles, "seed {seed}");
+        assert!(gated.events.c_ports_cycles <= hot.events.c_ports_cycles, "seed {seed}");
     }
+}
 
-    #[test]
-    fn mv_tasks_have_no_conflict_stalls(a in arb_block(64), mask in any::<u16>()) {
-        // MV accumulates in per-thread registers: cycles are bounded by
-        // work and DPG task parallelism only. With 16 or fewer T3 tasks
-        // and no conflicts, every task is touched within ceil(16/8) + work
-        // cycles.
-        let t = T1Task::mv(a, mask);
-        prop_assume!(!t.is_trivial());
+#[test]
+fn mv_tasks_have_no_conflict_stalls() {
+    // MV accumulates in per-thread registers: cycles are bounded by work
+    // and DPG task parallelism only. With 16 or fewer T3 tasks and no
+    // conflicts, every task is touched within ceil(16/8) + work cycles.
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed ^ 0x40);
+        let mask = rng.next_u64() as u16;
+        let t = T1Task::mv(random_block(&mut rng, 64), mask);
+        if t.is_trivial() {
+            continue;
+        }
         let r = UniStc::default().execute(&t);
         let floor = t.products().div_ceil(64);
         // 16 possible MV T3 tasks on 8 DPGs: at most 2 refill waves beyond
         // the lane floor.
-        prop_assert!(r.cycles <= floor + 4, "cycles {} floor {}", r.cycles, floor);
+        assert!(r.cycles <= floor + 4, "seed {seed}: cycles {} floor {}", r.cycles, floor);
     }
+}
 
-    #[test]
-    fn dataflow_spmv_matches_reference(a in arb_matrix(48)) {
+#[test]
+fn dataflow_spmv_matches_reference() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed ^ 0x50);
+        let a = random_matrix(&mut rng, 48);
         let bbc = BbcMatrix::from_csr(&a);
         let x: Vec<f64> = (0..a.ncols()).map(|i| ((i % 7) as f64) - 3.0).collect();
         let (y, _) = kernels::spmv(&UniStcConfig::default(), &bbc, &x).unwrap();
         let want = sparse::ops::spmv(&a, &x).unwrap();
         for (g, w) in y.iter().zip(&want) {
-            prop_assert!((g - w).abs() < 1e-9);
+            assert!((g - w).abs() < 1e-9, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn dataflow_spgemm_matches_reference(a in arb_matrix(32)) {
+#[test]
+fn dataflow_spgemm_matches_reference() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed ^ 0x60);
+        let a = random_matrix(&mut rng, 32);
         let bbc = BbcMatrix::from_csr(&a);
         let (c, stats) = kernels::spgemm(&UniStcConfig::default(), &bbc, &bbc).unwrap();
         let want = sparse::ops::spgemm(&a, &a).unwrap();
-        prop_assert!(c.to_dense().max_abs_diff(&want.to_dense()) < 1e-9);
-        prop_assert_eq!(stats.products, sparse::ops::spgemm_flops(&a, &a).unwrap());
+        assert!(c.to_dense().max_abs_diff(&want.to_dense()) < 1e-9, "seed {seed}");
+        assert_eq!(stats.products, sparse::ops::spgemm_flops(&a, &a).unwrap(), "seed {seed}");
     }
 }
 
