@@ -1,0 +1,274 @@
+//! ULP-aware floating-point comparison.
+//!
+//! The four kernels accumulate the same products in different orders
+//! (per-thread registers, the SDPU merge network, the Gustavson dense
+//! accumulator), so results agree only up to rounding. Fixed absolute
+//! epsilons (`1e-9` and friends) are both too loose for small values and
+//! too tight for large sums; the honest metric is distance in *units in
+//! the last place* with a small absolute floor for sums that cancel to
+//! (nearly) zero.
+
+use sparse::DenseMatrix;
+
+/// Distance between two `f64` values in units in the last place.
+///
+/// Equal values (including `+0.0` vs `-0.0`) are at distance 0; any
+/// comparison involving a NaN is at distance `u64::MAX`; values of opposite
+/// sign are the sum of their distances to zero.
+///
+/// # Example
+///
+/// ```
+/// use conformance::compare::ulp_diff_f64;
+///
+/// assert_eq!(ulp_diff_f64(1.0, 1.0), 0);
+/// assert_eq!(ulp_diff_f64(1.0, 1.0 + f64::EPSILON), 1);
+/// assert_eq!(ulp_diff_f64(0.0, -0.0), 0);
+/// assert_eq!(ulp_diff_f64(f64::NAN, 1.0), u64::MAX);
+/// ```
+pub fn ulp_diff_f64(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    // Map the bit patterns onto a monotone unsigned number line centred so
+    // that +0.0 and -0.0 coincide at 1 << 63.
+    fn ordered(x: f64) -> u64 {
+        let bits = x.to_bits();
+        if bits >> 63 == 1 {
+            (1 << 63) - (bits & !(1 << 63))
+        } else {
+            bits + (1 << 63)
+        }
+    }
+    ordered(a).abs_diff(ordered(b))
+}
+
+/// Distance between two `f32` values in units in the last place (the FP32
+/// analogue of [`ulp_diff_f64`], for precision-scaled engine outputs).
+pub fn ulp_diff_f32(a: f32, b: f32) -> u32 {
+    if a == b {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return u32::MAX;
+    }
+    fn ordered(x: f32) -> u32 {
+        let bits = x.to_bits();
+        if bits >> 31 == 1 {
+            (1 << 31) - (bits & !(1 << 31))
+        } else {
+            bits + (1 << 31)
+        }
+    }
+    ordered(a).abs_diff(ordered(b))
+}
+
+/// Comparison tolerance: two values agree when they are within `max_ulps`
+/// units in the last place *or* within `abs_floor` absolutely (the floor
+/// absorbs catastrophic cancellation down to ~0, where ULP distance blows
+/// up).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Maximum accepted ULP distance between finite values.
+    pub max_ulps: u64,
+    /// Absolute difference below which values always agree.
+    pub abs_floor: f64,
+}
+
+impl Tolerance {
+    /// Bit-exact comparison (still identifies `+0.0` and `-0.0`).
+    pub const EXACT: Tolerance = Tolerance { max_ulps: 0, abs_floor: 0.0 };
+
+    /// Default tolerance for FP64 kernel outputs: generous enough for any
+    /// reassociation of a few thousand products, far tighter than the old
+    /// `1e-9` absolute epsilons for values of magnitude below ~4000.
+    pub const FP64_KERNEL: Tolerance = Tolerance { max_ulps: 512, abs_floor: 1e-9 };
+
+    /// Tolerance for quantities derived through divisions and norms
+    /// (solver residuals, energy ratios) rather than raw kernel sums.
+    pub const DERIVED: Tolerance = Tolerance { max_ulps: 1 << 24, abs_floor: 1e-6 };
+
+    /// Whether `a` and `b` agree under this tolerance.
+    pub fn eq(&self, a: f64, b: f64) -> bool {
+        if (a - b).abs() <= self.abs_floor {
+            return true;
+        }
+        ulp_diff_f64(a, b) <= self.max_ulps
+    }
+}
+
+/// A located comparison failure, suitable for shrinker output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    /// Flat index of the worst element.
+    pub index: usize,
+    /// Left value at the worst element.
+    pub got: f64,
+    /// Right value at the worst element.
+    pub want: f64,
+    /// ULP distance at the worst element.
+    pub ulps: u64,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "index {}: got {:e}, want {:e} ({} ulps apart)",
+            self.index, self.got, self.want, self.ulps
+        )
+    }
+}
+
+/// Compares two slices element-wise, returning the worst offender outside
+/// tolerance (or `Ok` when every element agrees).
+///
+/// # Errors
+///
+/// Returns a [`Mismatch`] when the lengths differ (reported at the shorter
+/// length with NaN sentinels) or any element pair violates `tol`.
+pub fn compare_slices(got: &[f64], want: &[f64], tol: Tolerance) -> Result<(), Mismatch> {
+    if got.len() != want.len() {
+        return Err(Mismatch {
+            index: got.len().min(want.len()),
+            got: f64::NAN,
+            want: f64::NAN,
+            ulps: u64::MAX,
+        });
+    }
+    let mut worst: Option<Mismatch> = None;
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        if !tol.eq(g, w) {
+            let ulps = ulp_diff_f64(g, w);
+            if worst.as_ref().is_none_or(|m| ulps > m.ulps) {
+                worst = Some(Mismatch { index: i, got: g, want: w, ulps });
+            }
+        }
+    }
+    match worst {
+        Some(m) => Err(m),
+        None => Ok(()),
+    }
+}
+
+/// Compares two dense matrices under `tol`; the mismatch index is the
+/// row-major flat index.
+///
+/// # Errors
+///
+/// Returns a [`Mismatch`] on any shape or element disagreement.
+pub fn compare_dense(got: &DenseMatrix, want: &DenseMatrix, tol: Tolerance) -> Result<(), Mismatch> {
+    if got.nrows() != want.nrows() || got.ncols() != want.ncols() {
+        return Err(Mismatch { index: 0, got: f64::NAN, want: f64::NAN, ulps: u64::MAX });
+    }
+    compare_slices(got.as_slice(), want.as_slice(), tol)
+}
+
+/// Asserts two slices agree under `tol`, panicking with the worst offender
+/// in the message. Drop-in replacement for ad-hoc `(a - b).abs() < 1e-9`
+/// loops in tests.
+///
+/// # Panics
+///
+/// Panics when any element pair violates `tol`; the message names the
+/// element and its ULP distance plus the caller-provided context.
+pub fn assert_slices_close(got: &[f64], want: &[f64], tol: Tolerance, context: &str) {
+    if let Err(m) = compare_slices(got, want, tol) {
+        panic!("{context}: {m}");
+    }
+}
+
+/// Asserts two dense matrices agree under `tol` (see
+/// [`assert_slices_close`]).
+///
+/// # Panics
+///
+/// Panics when the shapes differ or any element pair violates `tol`.
+pub fn assert_dense_close(got: &DenseMatrix, want: &DenseMatrix, tol: Tolerance, context: &str) {
+    if let Err(m) = compare_dense(got, want, tol) {
+        panic!("{context}: {m}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_adjacent_values() {
+        let a = 1.0f64;
+        let b = f64::from_bits(a.to_bits() + 1);
+        assert_eq!(ulp_diff_f64(a, b), 1);
+        assert_eq!(ulp_diff_f64(b, a), 1);
+    }
+
+    #[test]
+    fn ulp_across_zero() {
+        let tiny = f64::from_bits(1); // smallest positive subnormal
+        assert_eq!(ulp_diff_f64(tiny, -tiny), 2);
+        assert_eq!(ulp_diff_f64(0.0, tiny), 1);
+    }
+
+    #[test]
+    fn ulp_nan_and_infinity() {
+        assert_eq!(ulp_diff_f64(f64::NAN, f64::NAN), u64::MAX);
+        assert_eq!(ulp_diff_f64(f64::INFINITY, f64::INFINITY), 0);
+        assert!(ulp_diff_f64(f64::MAX, f64::INFINITY) == 1);
+    }
+
+    #[test]
+    fn ulp_f32_mirrors_f64() {
+        assert_eq!(ulp_diff_f32(1.0, 1.0), 0);
+        assert_eq!(ulp_diff_f32(1.0, 1.0 + f32::EPSILON), 1);
+        assert_eq!(ulp_diff_f32(0.0, -0.0), 0);
+        assert_eq!(ulp_diff_f32(f32::NAN, 0.0), u32::MAX);
+    }
+
+    #[test]
+    fn tolerance_exact_and_kernel() {
+        assert!(Tolerance::EXACT.eq(2.5, 2.5));
+        // At 1.5 (exponent 0), EPSILON is exactly one ulp.
+        assert!(!Tolerance::EXACT.eq(1.5, 1.5 + f64::EPSILON));
+        // ULP(1e6) is ~1.16e-10, so 1e-8 is ~86 ulps: well inside 512.
+        assert!(Tolerance::FP64_KERNEL.eq(1e6, 1e6 + 1e-8));
+        assert!(!Tolerance::FP64_KERNEL.eq(1e6, 1e6 + 1e-6));
+        assert!(!Tolerance::FP64_KERNEL.eq(1.0, 1.0001));
+    }
+
+    #[test]
+    fn abs_floor_absorbs_cancellation() {
+        // 1e-30 vs 0.0 is astronomically many ULPs but passes the floor.
+        assert!(Tolerance::FP64_KERNEL.eq(1e-30, 0.0));
+    }
+
+    #[test]
+    fn compare_slices_finds_worst() {
+        let got = [1.0, 2.0, 3.5];
+        let want = [1.0, 2.0, 3.0];
+        let m = compare_slices(&got, &want, Tolerance::FP64_KERNEL).unwrap_err();
+        assert_eq!(m.index, 2);
+        assert_eq!(m.got, 3.5);
+    }
+
+    #[test]
+    fn compare_slices_length_mismatch() {
+        assert!(compare_slices(&[1.0], &[1.0, 2.0], Tolerance::FP64_KERNEL).is_err());
+    }
+
+    #[test]
+    fn compare_dense_checks_shape() {
+        let a = DenseMatrix::zeros(2, 2);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(compare_dense(&a, &b, Tolerance::FP64_KERNEL).is_err());
+        assert!(compare_dense(&a, &a, Tolerance::EXACT).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "spmv check")]
+    fn assert_helper_panics_with_context() {
+        assert_slices_close(&[1.0], &[2.0], Tolerance::EXACT, "spmv check");
+    }
+}

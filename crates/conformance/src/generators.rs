@@ -1,0 +1,296 @@
+//! Structured sparsity regimes for property testing.
+//!
+//! Each [`Regime`] is a family of matrices with a characteristic structure
+//! that stresses a different part of the BBC format and the four kernel
+//! dataflows: trivial/degenerate shapes, block-aligned patterns that fill
+//! tiles exactly, DLMC-style pruning masks, and adversarial single
+//! dense-row/column shapes that break row-balanced schedules. Generation is
+//! fully deterministic in `(regime, seed)` via [`sparse::rng::Rng64`].
+//!
+//! Values are drawn from a small dyadic grid (multiples of 0.25 in
+//! `[-4, 4]`) so that individual products are exact in FP64 and comparison
+//! failures always indicate *structural* kernel bugs, never benign
+//! rounding — with occasional full-range draws to keep the ULP comparison
+//! honest.
+
+use sparse::rng::Rng64;
+use sparse::{CooMatrix, CsrMatrix, DenseMatrix, SparseVector};
+use workloads::gen;
+
+/// Largest matrix edge a regime generates; keeps the full sweep fast while
+/// still crossing several 16x16 block boundaries.
+pub const MAX_DIM: usize = 48;
+
+/// A structured sparsity regime (a family of generated matrices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Regime {
+    /// No stored entries at all; seeds rotate through 0x0, 0xn, nx0 and
+    /// nxm shapes to pin degenerate-dimension handling.
+    Empty,
+    /// Square diagonal matrices (every T3 task on the tile diagonal).
+    Diagonal,
+    /// Banded matrices via [`workloads::gen::banded`].
+    Banded,
+    /// Power-law row lengths: row `i` holds ~`n / (i + 1)` entries, the
+    /// skewed degree distribution of graph matrices.
+    PowerLawRows,
+    /// Dense 16x16 blocks exactly aligned to the BBC block grid.
+    BlockAligned16,
+    /// Dense 4x4 tiles exactly aligned to the BBC tile grid.
+    BlockAligned4,
+    /// DLMC-style magnitude-pruning mask: dense weights with the smallest
+    /// ~75 % of magnitudes dropped.
+    DlmcMask,
+    /// One fully dense row in an otherwise very sparse matrix
+    /// (adversarial for row-balanced schedules).
+    SingleDenseRow,
+    /// One fully dense column in an otherwise very sparse matrix
+    /// (adversarial for outer-product schedules).
+    SingleDenseCol,
+    /// Uniform random density via [`workloads::gen::random_uniform`].
+    UniformRandom,
+}
+
+impl Regime {
+    /// Every regime, in sweep order.
+    pub const ALL: [Regime; 10] = [
+        Regime::Empty,
+        Regime::Diagonal,
+        Regime::Banded,
+        Regime::PowerLawRows,
+        Regime::BlockAligned16,
+        Regime::BlockAligned4,
+        Regime::DlmcMask,
+        Regime::SingleDenseRow,
+        Regime::SingleDenseCol,
+        Regime::UniformRandom,
+    ];
+
+    /// Stable display name (used in golden files and counterexamples).
+    pub fn name(self) -> &'static str {
+        match self {
+            Regime::Empty => "empty",
+            Regime::Diagonal => "diagonal",
+            Regime::Banded => "banded",
+            Regime::PowerLawRows => "power-law-rows",
+            Regime::BlockAligned16 => "block-aligned-16",
+            Regime::BlockAligned4 => "block-aligned-4",
+            Regime::DlmcMask => "dlmc-mask",
+            Regime::SingleDenseRow => "single-dense-row",
+            Regime::SingleDenseCol => "single-dense-col",
+            Regime::UniformRandom => "uniform-random",
+        }
+    }
+
+    /// Generates the regime's matrix for `seed`. The same `(regime, seed)`
+    /// pair always yields the same matrix.
+    pub fn generate(self, seed: u64) -> CsrMatrix {
+        let mut rng = Rng64::new(seed ^ (self as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let n = 1 + rng.next_range(MAX_DIM);
+        match self {
+            Regime::Empty => {
+                let m = 1 + rng.next_range(MAX_DIM);
+                match seed % 4 {
+                    0 => CsrMatrix::zeros(0, 0),
+                    1 => CsrMatrix::zeros(0, n),
+                    2 => CsrMatrix::zeros(n, 0),
+                    _ => CsrMatrix::zeros(n, m),
+                }
+            }
+            Regime::Diagonal => {
+                let mut coo = CooMatrix::new(n, n);
+                for i in 0..n {
+                    // Every seed drops a few diagonal entries to vary nnz.
+                    if rng.next_bool(0.85) {
+                        coo.push(i, i, value(&mut rng));
+                    }
+                }
+                CsrMatrix::try_from(coo).expect("diagonal coordinates in range")
+            }
+            Regime::Banded => {
+                let hb = rng.next_range(5);
+                gen::banded(n, hb, 0.5 + 0.5 * rng.next_f64(), seed)
+            }
+            Regime::PowerLawRows => {
+                let m = 1 + rng.next_range(MAX_DIM);
+                let mut coo = CooMatrix::new(n, m);
+                for r in 0..n {
+                    let quota = (n / (r + 1)).clamp(1, m);
+                    for _ in 0..quota {
+                        coo.push(r, rng.next_range(m), value(&mut rng));
+                    }
+                }
+                CsrMatrix::try_from(coo).expect("power-law coordinates in range")
+            }
+            Regime::BlockAligned16 => {
+                let blocks = 1 + rng.next_range(3);
+                gen::block_dense(n.next_multiple_of(16), 16, blocks, seed)
+            }
+            Regime::BlockAligned4 => {
+                let blocks = 1 + rng.next_range(8);
+                gen::block_dense(n.next_multiple_of(4), 4, blocks, seed)
+            }
+            Regime::DlmcMask => {
+                // Magnitude pruning: keep the largest quarter of a dense
+                // weight matrix, like the DLMC pruned-transformer corpus.
+                let m = 1 + rng.next_range(MAX_DIM);
+                let mut weights: Vec<(usize, usize, f64)> = Vec::with_capacity(n * m);
+                for r in 0..n {
+                    for c in 0..m {
+                        weights.push((r, c, rng.next_f64_range(-1.0, 1.0)));
+                    }
+                }
+                weights.sort_by(|a, b| {
+                    b.2.abs().partial_cmp(&a.2.abs()).expect("finite weights")
+                });
+                weights.truncate((n * m).div_ceil(4));
+                let mut coo = CooMatrix::new(n, m);
+                for (r, c, v) in weights {
+                    coo.push(r, c, v);
+                }
+                CsrMatrix::try_from(coo).expect("pruned coordinates in range")
+            }
+            Regime::SingleDenseRow => {
+                let mut coo = CooMatrix::new(n, n);
+                let hot = rng.next_range(n);
+                for c in 0..n {
+                    coo.push(hot, c, value(&mut rng));
+                }
+                for _ in 0..n / 4 {
+                    coo.push(rng.next_range(n), rng.next_range(n), value(&mut rng));
+                }
+                CsrMatrix::try_from(coo).expect("dense-row coordinates in range")
+            }
+            Regime::SingleDenseCol => {
+                let mut coo = CooMatrix::new(n, n);
+                let hot = rng.next_range(n);
+                for r in 0..n {
+                    coo.push(r, hot, value(&mut rng));
+                }
+                for _ in 0..n / 4 {
+                    coo.push(rng.next_range(n), rng.next_range(n), value(&mut rng));
+                }
+                CsrMatrix::try_from(coo).expect("dense-col coordinates in range")
+            }
+            Regime::UniformRandom => gen::random_uniform(n, 0.02 + 0.3 * rng.next_f64(), seed),
+        }
+    }
+}
+
+/// A mostly-dyadic test value: multiples of 0.25 in `[-4, 4]`, with a 1-in-8
+/// chance of a full-range draw.
+fn value(rng: &mut Rng64) -> f64 {
+    if rng.next_bool(0.125) {
+        rng.next_f64_range(-2.0, 2.0)
+    } else {
+        (rng.next_range(33) as f64 - 16.0) * 0.25
+    }
+}
+
+/// A deterministic dense vector of length `dim` (the SpMV operand).
+pub fn dense_vector(dim: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng64::new(seed ^ 0xD15E_A5E0);
+    (0..dim).map(|_| value(&mut rng)).collect()
+}
+
+/// A deterministic ~50 %-dense sparse vector of dimension `dim` (the
+/// SpMSpV operand, matching the paper's Section VI-A methodology).
+pub fn sparse_vector(dim: usize, seed: u64) -> SparseVector {
+    let mut rng = Rng64::new(seed ^ 0x5EA5_1DE0);
+    let mut idx = Vec::new();
+    let mut values = Vec::new();
+    for i in 0..dim {
+        if rng.next_bool(0.5) {
+            idx.push(i as u32);
+            values.push(value(&mut rng));
+        }
+    }
+    SparseVector::try_new(dim, idx, values).expect("indices are sorted and in range")
+}
+
+/// A deterministic dense operand matrix (the SpMM `B`).
+pub fn dense_operand(nrows: usize, ncols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = Rng64::new(seed ^ 0xB0B0_CAFE);
+    let mut b = DenseMatrix::zeros(nrows, ncols);
+    for r in 0..nrows {
+        for v in b.row_mut(r) {
+            *v = value(&mut rng);
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for regime in Regime::ALL {
+            for seed in 0..4 {
+                let a = regime.generate(seed);
+                let b = regime.generate(seed);
+                assert_eq!(a, b, "{} seed {seed}", regime.name());
+            }
+        }
+    }
+
+    #[test]
+    fn regimes_have_distinct_names() {
+        let mut names: Vec<&str> = Regime::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Regime::ALL.len());
+    }
+
+    #[test]
+    fn empty_regime_rotates_degenerate_shapes() {
+        assert_eq!(Regime::Empty.generate(0).nrows(), 0);
+        assert_eq!(Regime::Empty.generate(0).ncols(), 0);
+        assert_eq!(Regime::Empty.generate(1).nrows(), 0);
+        assert!(Regime::Empty.generate(1).ncols() > 0);
+        assert!(Regime::Empty.generate(2).nrows() > 0);
+        assert_eq!(Regime::Empty.generate(2).ncols(), 0);
+        for seed in 0..8 {
+            assert_eq!(Regime::Empty.generate(seed).nnz(), 0);
+        }
+    }
+
+    #[test]
+    fn dense_row_and_col_are_adversarial() {
+        for seed in 0..4 {
+            let a = Regime::SingleDenseRow.generate(seed);
+            let max_row = (0..a.nrows()).map(|r| a.row_nnz(r)).max().unwrap();
+            assert_eq!(max_row, a.ncols(), "seed {seed}");
+            let t = Regime::SingleDenseCol.generate(seed).transpose();
+            let max_col = (0..t.nrows()).map(|r| t.row_nnz(r)).max().unwrap();
+            assert_eq!(max_col, t.ncols(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn block_aligned_regimes_fill_whole_tiles() {
+        let a = Regime::BlockAligned4.generate(3);
+        assert_eq!(a.nrows() % 4, 0);
+        assert!(a.nnz() > 0);
+        let b = Regime::BlockAligned16.generate(3);
+        assert_eq!(b.nrows() % 16, 0);
+        assert!(b.nnz() >= 256);
+    }
+
+    #[test]
+    fn dlmc_mask_prunes_three_quarters() {
+        let a = Regime::DlmcMask.generate(5);
+        let cells = a.nrows() * a.ncols();
+        assert_eq!(a.nnz(), cells.div_ceil(4));
+    }
+
+    #[test]
+    fn operand_generators_are_deterministic() {
+        assert_eq!(dense_vector(10, 7), dense_vector(10, 7));
+        assert_eq!(sparse_vector(10, 7), sparse_vector(10, 7));
+        assert_eq!(dense_operand(4, 4, 7), dense_operand(4, 4, 7));
+        let sv = sparse_vector(64, 1);
+        assert!(sv.nnz() > 8 && sv.nnz() < 56);
+    }
+}

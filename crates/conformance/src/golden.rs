@@ -1,0 +1,139 @@
+//! Golden-file snapshots of simulator counters.
+//!
+//! Numeric equivalence says the kernels compute the right values; the
+//! golden snapshot says the *simulator* still charges the same cycles and
+//! events for the same work. Each conformance run renders every
+//! `(regime, engine, kernel)` combination to a
+//! [`KernelReport::counter_signature`](simkit::driver::KernelReport) line;
+//! the file under `golden/` is the blessed reference. A mismatch is a
+//! deliberate perf-model change (re-bless) or an accidental one (a bug) —
+//! either way it becomes visible in review instead of drifting silently.
+//!
+//! Update flow: `CONFORMANCE_BLESS=1 cargo test -p conformance` rewrites
+//! the snapshot; the diff then documents the perf-model change.
+
+use std::path::PathBuf;
+
+use simkit::{driver, EnergyModel};
+use sparse::BbcMatrix;
+
+use crate::differential::all_engines;
+use crate::generators::{sparse_vector, Regime};
+
+/// Seed the snapshot sweep runs under (fixed: the golden file pins these
+/// exact matrices).
+pub const GOLDEN_SEED: u64 = 7;
+
+/// Renders the full counter snapshot: every regime at [`GOLDEN_SEED`],
+/// every engine, all four kernels, one signature line each.
+pub fn counters_snapshot() -> String {
+    let energy = EnergyModel::default();
+    let mut out = String::new();
+    out.push_str("# conformance counter snapshot (CONFORMANCE_BLESS=1 to update)\n");
+    for regime in Regime::ALL {
+        let a = regime.generate(GOLDEN_SEED);
+        let bbc = BbcMatrix::from_csr(&a);
+        let sx = sparse_vector(a.ncols(), GOLDEN_SEED);
+        let bt = a.transpose();
+        let bbc_b = BbcMatrix::from_csr(&bt);
+        for engine in all_engines() {
+            let e = engine.as_ref();
+            for rep in [
+                driver::run_spmv(e, &energy, &bbc),
+                driver::run_spmspv(e, &energy, &bbc, &sx),
+                driver::run_spmm(e, &energy, &bbc, 20),
+                driver::run_spgemm(e, &energy, &bbc, &bbc_b),
+            ] {
+                out.push_str(regime.name());
+                out.push(' ');
+                out.push_str(&rep.counter_signature());
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Path of the blessed snapshot file (inside the crate, so it is versioned
+/// with the code it describes).
+pub fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden").join("counters.txt")
+}
+
+/// Compares the current snapshot against the blessed file — or rewrites
+/// the file when `CONFORMANCE_BLESS=1` is set in the environment.
+///
+/// # Errors
+///
+/// Returns a unified description of the first diverging line (with its
+/// line number) when the snapshot and the blessed file disagree, or an IO
+/// error description when the file is missing and blessing is off.
+pub fn check_or_bless() -> Result<(), String> {
+    let current = counters_snapshot();
+    let path = golden_path();
+    if std::env::var_os("CONFORMANCE_BLESS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("golden path has a parent"))
+            .map_err(|e| format!("creating {}: {e}", path.display()))?;
+        std::fs::write(&path, &current)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        return Ok(());
+    }
+    let blessed = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "reading {}: {e}\nrun `CONFORMANCE_BLESS=1 cargo test -p conformance` to create it",
+            path.display()
+        )
+    })?;
+    if blessed == current {
+        return Ok(());
+    }
+    // Name the first diverging line for the failure message.
+    let mut blessed_lines = blessed.lines();
+    let mut current_lines = current.lines();
+    let mut lineno = 0usize;
+    loop {
+        lineno += 1;
+        match (blessed_lines.next(), current_lines.next()) {
+            (Some(b), Some(c)) if b == c => continue,
+            (b, c) => {
+                return Err(format!(
+                    "counter snapshot diverges from {} at line {lineno}:\n  blessed: {}\n  current: {}\n\
+                     re-bless with CONFORMANCE_BLESS=1 if the perf-model change is intentional",
+                    path.display(),
+                    b.unwrap_or("<missing>"),
+                    c.unwrap_or("<missing>"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        assert_eq!(counters_snapshot(), counters_snapshot());
+    }
+
+    #[test]
+    fn snapshot_covers_every_regime_engine_kernel() {
+        let snap = counters_snapshot();
+        // 10 regimes x 7 engines x 4 kernels + 1 header line.
+        assert_eq!(snap.lines().count(), 10 * 7 * 4 + 1);
+        for regime in Regime::ALL {
+            assert!(snap.contains(regime.name()), "{} missing", regime.name());
+        }
+        for kernel in ["SpMV", "SpMSpV", "SpMM", "SpGEMM"] {
+            assert!(snap.contains(kernel), "{kernel} missing");
+        }
+    }
+
+    #[test]
+    fn golden_path_is_inside_the_crate() {
+        let p = golden_path();
+        assert!(p.ends_with("golden/counters.txt"));
+        assert!(p.starts_with(env!("CARGO_MANIFEST_DIR")));
+    }
+}

@@ -1,0 +1,276 @@
+//! Metamorphic laws over the four kernels.
+//!
+//! Where the dense oracle asks "is the answer right?", metamorphic laws
+//! ask "do related inputs give consistently related answers?" — relations
+//! that hold for *any* correct linear-algebra implementation regardless of
+//! evaluation order. They catch bug classes the oracle can miss (operand
+//! routing mixed up between kernels, transpose/permutation index errors)
+//! and they pin the four kernels *to each other*, which is the paper's
+//! central unification claim.
+
+use sparse::{CooMatrix, CsrMatrix};
+
+use crate::compare::{compare_slices, Tolerance};
+use crate::generators::{dense_operand, dense_vector, sparse_vector};
+use crate::oracle::{spgemm_rhs, NumericEngine};
+
+/// A named metamorphic law.
+pub struct Law {
+    /// Stable law name (used in counterexamples and golden summaries).
+    pub name: &'static str,
+    /// Runs the law for `(engine, matrix, seed, tol)`.
+    pub check: fn(&dyn NumericEngine, &CsrMatrix, u64, Tolerance) -> Result<(), String>,
+}
+
+/// All implemented laws, in check order.
+pub fn all_laws() -> Vec<Law> {
+    vec![
+        Law { name: "linearity", check: check_linearity },
+        Law { name: "spmm-column-slicing", check: check_spmm_column_slicing },
+        Law { name: "spgemm-iterated-spmv", check: check_spgemm_iterated_spmv },
+        Law { name: "transpose-duality", check: check_transpose_duality },
+        Law { name: "identity-neutrality", check: check_identity_neutrality },
+        Law { name: "row-permutation", check: check_row_permutation },
+        Law { name: "spmspv-spmv-consistency", check: check_spmspv_consistency },
+    ]
+}
+
+/// Runs every law; the error message names the violated law.
+///
+/// # Errors
+///
+/// Returns the first law violation, prefixed `metamorphic/<law>`.
+pub fn check_all_laws(
+    engine: &dyn NumericEngine,
+    a: &CsrMatrix,
+    seed: u64,
+    tol: Tolerance,
+) -> Result<(), String> {
+    for law in all_laws() {
+        (law.check)(engine, a, seed, tol).map_err(|e| format!("metamorphic/{}: {e}", law.name))?;
+    }
+    Ok(())
+}
+
+fn ctx(engine: &dyn NumericEngine, e: impl std::fmt::Display) -> String {
+    format!("engine `{}`: {e}", engine.name())
+}
+
+/// `A(αx + βy) = α(Ax) + β(Ay)` with power-of-two coefficients, so the
+/// law itself introduces no rounding beyond the kernel's own.
+fn check_linearity(
+    engine: &dyn NumericEngine,
+    a: &CsrMatrix,
+    seed: u64,
+    tol: Tolerance,
+) -> Result<(), String> {
+    let (alpha, beta) = (0.5, -2.0);
+    let x = dense_vector(a.ncols(), seed);
+    let y = dense_vector(a.ncols(), seed ^ 0xFEED);
+    let mixed: Vec<f64> =
+        x.iter().zip(&y).map(|(&xv, &yv)| alpha * xv + beta * yv).collect();
+    let lhs = engine.spmv(a, &mixed).map_err(|e| ctx(engine, e))?;
+    let ax = engine.spmv(a, &x).map_err(|e| ctx(engine, e))?;
+    let ay = engine.spmv(a, &y).map_err(|e| ctx(engine, e))?;
+    let rhs: Vec<f64> = ax.iter().zip(&ay).map(|(&p, &q)| alpha * p + beta * q).collect();
+    compare_slices(&lhs, &rhs, tol).map_err(|m| ctx(engine, m))
+}
+
+/// Column `j` of `A B` equals `A b_j`: SpMM must be consistent with SpMV
+/// applied per column.
+fn check_spmm_column_slicing(
+    engine: &dyn NumericEngine,
+    a: &CsrMatrix,
+    seed: u64,
+    tol: Tolerance,
+) -> Result<(), String> {
+    let n_cols = 1 + (seed as usize % 7);
+    let b = dense_operand(a.ncols(), n_cols, seed);
+    let c = engine.spmm(a, &b).map_err(|e| ctx(engine, e))?;
+    for j in 0..n_cols {
+        let bj: Vec<f64> = (0..b.nrows()).map(|r| b.row(r)[j]).collect();
+        let yj = engine.spmv(a, &bj).map_err(|e| ctx(engine, e))?;
+        let cj: Vec<f64> = (0..c.nrows()).map(|r| c.row(r)[j]).collect();
+        compare_slices(&cj, &yj, tol)
+            .map_err(|m| ctx(engine, format_args!("column {j}: {m}")))?;
+    }
+    Ok(())
+}
+
+/// `(A B) x = A (B x)`: the SpGEMM product must act on vectors exactly as
+/// the two SpMV applications chained.
+fn check_spgemm_iterated_spmv(
+    engine: &dyn NumericEngine,
+    a: &CsrMatrix,
+    seed: u64,
+    tol: Tolerance,
+) -> Result<(), String> {
+    let b = spgemm_rhs(a);
+    let x = dense_vector(b.ncols(), seed);
+    let c = engine.spgemm(a, &b).map_err(|e| ctx(engine, e))?;
+    // (A B) x via a plain dense walk over the engine's C.
+    let mut lhs = vec![0.0; c.nrows()];
+    for (r, l) in lhs.iter_mut().enumerate() {
+        *l = c.row(r).iter().zip(&x).map(|(&cv, &xv)| cv * xv).sum();
+    }
+    let bx = engine.spmv(&b, &x).map_err(|e| ctx(engine, e))?;
+    let rhs = engine.spmv(a, &bx).map_err(|e| ctx(engine, e))?;
+    compare_slices(&lhs, &rhs, tol).map_err(|m| ctx(engine, m))
+}
+
+/// `Aᵀ x` computed by the engine equals the column-accumulation of `A`
+/// against `x` read off the CSC transpose directly.
+fn check_transpose_duality(
+    engine: &dyn NumericEngine,
+    a: &CsrMatrix,
+    seed: u64,
+    tol: Tolerance,
+) -> Result<(), String> {
+    let x = dense_vector(a.nrows(), seed);
+    let lhs = engine.spmv(&a.transpose(), &x).map_err(|e| ctx(engine, e))?;
+    // CSC view of A: column j of A lists exactly the terms of (Aᵀ x)[j].
+    let csc = a.to_csc();
+    let mut rhs = vec![0.0; a.ncols()];
+    for (j, out) in rhs.iter_mut().enumerate() {
+        let (rows, vals) = csc.col(j);
+        *out = rows.iter().zip(vals).map(|(&r, &v)| v * x[r as usize]).sum();
+    }
+    compare_slices(&lhs, &rhs, tol).map_err(|m| ctx(engine, m))
+}
+
+/// `A I = A` and `I A = A` under SpGEMM (identity blocks exercise the
+/// diagonal-tile fast paths).
+fn check_identity_neutrality(
+    engine: &dyn NumericEngine,
+    a: &CsrMatrix,
+    _seed: u64,
+    tol: Tolerance,
+) -> Result<(), String> {
+    let want = a.to_dense();
+    let right = engine.spgemm(a, &CsrMatrix::identity(a.ncols())).map_err(|e| ctx(engine, e))?;
+    compare_slices(right.as_slice(), want.as_slice(), tol)
+        .map_err(|m| ctx(engine, format_args!("A*I: {m}")))?;
+    let left = engine.spgemm(&CsrMatrix::identity(a.nrows()), a).map_err(|e| ctx(engine, e))?;
+    compare_slices(left.as_slice(), want.as_slice(), tol)
+        .map_err(|m| ctx(engine, format_args!("I*A: {m}")))
+}
+
+/// `(P A) x = P (A x)` for a seeded row permutation `P` — catches row-index
+/// bookkeeping errors independent of values.
+fn check_row_permutation(
+    engine: &dyn NumericEngine,
+    a: &CsrMatrix,
+    seed: u64,
+    tol: Tolerance,
+) -> Result<(), String> {
+    let n = a.nrows();
+    // Seeded Fisher-Yates permutation of the rows.
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut rng = sparse::rng::Rng64::new(seed ^ 0x9E3779B9);
+    for i in (1..n).rev() {
+        perm.swap(i, rng.next_range(i + 1));
+    }
+    // P A: row i of PA is row perm[i] of A.
+    let mut coo = CooMatrix::new(n, a.ncols());
+    let mut inv = vec![0usize; n];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    for (r, c, v) in a.iter() {
+        coo.push(inv[r], c, v);
+    }
+    let pa = CsrMatrix::try_from(coo).map_err(|e| ctx(engine, e))?;
+    let x = dense_vector(a.ncols(), seed);
+    let lhs = engine.spmv(&pa, &x).map_err(|e| ctx(engine, e))?;
+    let ax = engine.spmv(a, &x).map_err(|e| ctx(engine, e))?;
+    let rhs: Vec<f64> = perm.iter().map(|&p| ax[p]).collect();
+    compare_slices(&lhs, &rhs, tol).map_err(|m| ctx(engine, m))
+}
+
+/// SpMSpV on a sparse `x` equals SpMV on the densified `x` — the two MV
+/// kernels must agree wherever their domains overlap.
+fn check_spmspv_consistency(
+    engine: &dyn NumericEngine,
+    a: &CsrMatrix,
+    seed: u64,
+    tol: Tolerance,
+) -> Result<(), String> {
+    let sx = sparse_vector(a.ncols(), seed);
+    let ys = engine.spmspv(a, &sx).map_err(|e| ctx(engine, e))?;
+    let yd = engine.spmv(a, &sx.to_dense()).map_err(|e| ctx(engine, e))?;
+    compare_slices(&ys, &yd, tol).map_err(|m| ctx(engine, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::Regime;
+    use crate::oracle::{ScalarOps, UniStcNumeric};
+    use sparse::{DenseMatrix, FormatError, SparseVector};
+
+    #[test]
+    fn at_least_four_laws_exist() {
+        assert!(all_laws().len() >= 4);
+        let mut names: Vec<&str> = all_laws().iter().map(|l| l.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all_laws().len());
+    }
+
+    #[test]
+    fn uni_stc_satisfies_all_laws_on_all_regimes() {
+        let engine = UniStcNumeric::default();
+        for regime in Regime::ALL {
+            for seed in 0..2 {
+                let a = regime.generate(seed);
+                check_all_laws(&engine, &a, seed, Tolerance::FP64_KERNEL)
+                    .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", regime.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_ops_satisfies_all_laws_on_all_regimes() {
+        for regime in Regime::ALL {
+            for seed in 0..2 {
+                let a = regime.generate(seed);
+                check_all_laws(&ScalarOps, &a, seed, Tolerance::FP64_KERNEL)
+                    .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", regime.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_routing_bug_violates_duality() {
+        // An engine that silently transposes its SpMV operand: linearity
+        // holds, the dense oracle would catch it, and so must the
+        // transpose-duality law.
+        struct Transposed;
+        impl NumericEngine for Transposed {
+            fn name(&self) -> &str {
+                "transposed"
+            }
+            fn spmv(&self, a: &CsrMatrix, x: &[f64]) -> Result<Vec<f64>, FormatError> {
+                // Square matrices only in this self-test.
+                crate::oracle::ScalarOps.spmv(&a.transpose(), x)
+            }
+            fn spmspv(&self, a: &CsrMatrix, x: &SparseVector) -> Result<Vec<f64>, FormatError> {
+                crate::oracle::ScalarOps.spmspv(a, x)
+            }
+            fn spmm(&self, a: &CsrMatrix, b: &DenseMatrix) -> Result<DenseMatrix, FormatError> {
+                crate::oracle::ScalarOps.spmm(a, b)
+            }
+            fn spgemm(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<DenseMatrix, FormatError> {
+                crate::oracle::ScalarOps.spgemm(a, b)
+            }
+        }
+        // An asymmetric square matrix.
+        let mut coo = CooMatrix::new(8, 8);
+        coo.push(0, 3, 2.0);
+        coo.push(5, 1, -1.0);
+        coo.push(7, 7, 4.0);
+        let a = CsrMatrix::try_from(coo).unwrap();
+        let err = check_transpose_duality(&Transposed, &a, 3, Tolerance::FP64_KERNEL);
+        assert!(err.is_err());
+    }
+}

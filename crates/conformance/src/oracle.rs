@@ -1,0 +1,276 @@
+//! Dense-oracle equivalence checks.
+//!
+//! The oracle layer computes every kernel a third, maximally boring way —
+//! a densified triple loop with no blocking, no bitmaps and no sparse
+//! bookkeeping — and demands that an engine under test agrees ULP-tightly.
+//! The engine is abstracted behind [`NumericEngine`] so the same checks
+//! pin the Uni-STC dataflow ([`UniStcNumeric`]), the scalar reference path
+//! ([`ScalarOps`]), and deliberately sabotaged engines in self-tests.
+
+use sparse::{BbcMatrix, CsrMatrix, DenseMatrix, FormatError, SparseVector};
+use uni_stc::UniStcConfig;
+
+use crate::compare::{compare_dense, compare_slices, Tolerance};
+use crate::generators::{dense_operand, dense_vector, sparse_vector};
+
+/// A numeric implementation of the four sparse kernels, checkable against
+/// the dense oracle. Sparse outputs are densified so comparisons are
+/// uniform across engines with different output structures.
+pub trait NumericEngine {
+    /// Engine display name (used in failure messages).
+    fn name(&self) -> &str;
+
+    /// `y = A x` with dense `x`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's operand validation errors.
+    fn spmv(&self, a: &CsrMatrix, x: &[f64]) -> Result<Vec<f64>, FormatError>;
+
+    /// `y = A x` with sparse `x`, densified result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's operand validation errors.
+    fn spmspv(&self, a: &CsrMatrix, x: &SparseVector) -> Result<Vec<f64>, FormatError>;
+
+    /// `C = A B` with dense `B`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's operand validation errors.
+    fn spmm(&self, a: &CsrMatrix, b: &DenseMatrix) -> Result<DenseMatrix, FormatError>;
+
+    /// `C = A B` with sparse `B`, densified result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's operand validation errors.
+    fn spgemm(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<DenseMatrix, FormatError>;
+}
+
+/// The Uni-STC dataflow ([`uni_stc::kernels`]) behind a BBC encode per
+/// call — the primary engine under conformance test.
+#[derive(Debug, Clone, Default)]
+pub struct UniStcNumeric {
+    /// Hardware configuration the dataflow runs under.
+    pub cfg: UniStcConfig,
+}
+
+impl NumericEngine for UniStcNumeric {
+    fn name(&self) -> &str {
+        "uni-stc-dataflow"
+    }
+
+    fn spmv(&self, a: &CsrMatrix, x: &[f64]) -> Result<Vec<f64>, FormatError> {
+        let bbc = BbcMatrix::from_csr(a);
+        uni_stc::kernels::spmv(&self.cfg, &bbc, x).map(|(y, _)| y)
+    }
+
+    fn spmspv(&self, a: &CsrMatrix, x: &SparseVector) -> Result<Vec<f64>, FormatError> {
+        let bbc = BbcMatrix::from_csr(a);
+        uni_stc::kernels::spmspv(&self.cfg, &bbc, x).map(|(y, _)| y.to_dense())
+    }
+
+    fn spmm(&self, a: &CsrMatrix, b: &DenseMatrix) -> Result<DenseMatrix, FormatError> {
+        let bbc = BbcMatrix::from_csr(a);
+        uni_stc::kernels::spmm(&self.cfg, &bbc, b).map(|(c, _)| c)
+    }
+
+    fn spgemm(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<DenseMatrix, FormatError> {
+        let ba = BbcMatrix::from_csr(a);
+        let bb = BbcMatrix::from_csr(b);
+        uni_stc::kernels::spgemm(&self.cfg, &ba, &bb).map(|(c, _)| c.to_dense())
+    }
+}
+
+/// The scalar reference path ([`sparse::ops`]) as a [`NumericEngine`], so
+/// the golden CPU kernels are themselves pinned to the dense oracle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarOps;
+
+impl NumericEngine for ScalarOps {
+    fn name(&self) -> &str {
+        "scalar-ops"
+    }
+
+    fn spmv(&self, a: &CsrMatrix, x: &[f64]) -> Result<Vec<f64>, FormatError> {
+        sparse::ops::spmv(a, x)
+    }
+
+    fn spmspv(&self, a: &CsrMatrix, x: &SparseVector) -> Result<Vec<f64>, FormatError> {
+        sparse::ops::spmspv(a, x).map(|y| y.to_dense())
+    }
+
+    fn spmm(&self, a: &CsrMatrix, b: &DenseMatrix) -> Result<DenseMatrix, FormatError> {
+        sparse::ops::spmm(a, b)
+    }
+
+    fn spgemm(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<DenseMatrix, FormatError> {
+        sparse::ops::spgemm(a, b).map(|c| c.to_dense())
+    }
+}
+
+/// Oracle SpMV: entry-by-entry accumulation straight off the CSR iterator.
+pub fn oracle_spmv(a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; a.nrows()];
+    for (r, c, v) in a.iter() {
+        y[r] += v * x[c];
+    }
+    y
+}
+
+/// Oracle SpMM: densified triple loop.
+pub fn oracle_spmm(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let mut c = DenseMatrix::zeros(a.nrows(), b.ncols());
+    for (r, k, v) in a.iter() {
+        let brow = b.row(k);
+        let crow = c.row_mut(r);
+        for (cj, &bj) in crow.iter_mut().zip(brow) {
+            *cj += v * bj;
+        }
+    }
+    c
+}
+
+/// Oracle SpGEMM: `A` against a densified `B`.
+pub fn oracle_spgemm(a: &CsrMatrix, b: &CsrMatrix) -> DenseMatrix {
+    oracle_spmm(a, &b.to_dense())
+}
+
+/// Derives the SpGEMM right operand for a test case: `B = Aᵀ` always
+/// conforms, is structurally distinct from `A`, and keeps rectangular
+/// regimes in play.
+pub fn spgemm_rhs(a: &CsrMatrix) -> CsrMatrix {
+    a.transpose()
+}
+
+/// Checks all four kernels of `engine` against the dense oracle on one
+/// matrix, with operands derived deterministically from `seed`.
+///
+/// # Errors
+///
+/// Returns a message naming the kernel and the worst mismatch.
+pub fn check_dense_oracle(
+    engine: &dyn NumericEngine,
+    a: &CsrMatrix,
+    seed: u64,
+    tol: Tolerance,
+) -> Result<(), String> {
+    let fail = |kernel: &str, m: std::fmt::Arguments<'_>| {
+        Err(format!("dense-oracle/{kernel} on engine `{}`: {m}", engine.name()))
+    };
+
+    // SpMV.
+    let x = dense_vector(a.ncols(), seed);
+    match engine.spmv(a, &x) {
+        Ok(y) => {
+            if let Err(m) = compare_slices(&y, &oracle_spmv(a, &x), tol) {
+                return fail("spmv", format_args!("{m}"));
+            }
+        }
+        Err(e) => return fail("spmv", format_args!("rejected valid operands: {e}")),
+    }
+
+    // SpMSpV: oracle = dense SpMV of the densified sparse vector.
+    let sx = sparse_vector(a.ncols(), seed);
+    match engine.spmspv(a, &sx) {
+        Ok(y) => {
+            if let Err(m) = compare_slices(&y, &oracle_spmv(a, &sx.to_dense()), tol) {
+                return fail("spmspv", format_args!("{m}"));
+            }
+        }
+        Err(e) => return fail("spmspv", format_args!("rejected valid operands: {e}")),
+    }
+
+    // SpMM with a seeded B width crossing tile and block boundaries.
+    let n_cols = 1 + (seed as usize % 21);
+    let b = dense_operand(a.ncols(), n_cols, seed);
+    match engine.spmm(a, &b) {
+        Ok(c) => {
+            if let Err(m) = compare_dense(&c, &oracle_spmm(a, &b), tol) {
+                return fail("spmm", format_args!("{m}"));
+            }
+        }
+        Err(e) => return fail("spmm", format_args!("rejected valid operands: {e}")),
+    }
+
+    // SpGEMM against Aᵀ.
+    let bs = spgemm_rhs(a);
+    match engine.spgemm(a, &bs) {
+        Ok(c) => {
+            if let Err(m) = compare_dense(&c, &oracle_spgemm(a, &bs), tol) {
+                return fail("spgemm", format_args!("{m}"));
+            }
+        }
+        Err(e) => return fail("spgemm", format_args!("rejected valid operands: {e}")),
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::Regime;
+
+    #[test]
+    fn uni_stc_engine_passes_oracle_on_all_regimes() {
+        let engine = UniStcNumeric::default();
+        for regime in Regime::ALL {
+            for seed in 0..3 {
+                let a = regime.generate(seed);
+                check_dense_oracle(&engine, &a, seed, Tolerance::FP64_KERNEL)
+                    .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", regime.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_ops_engine_passes_oracle_on_all_regimes() {
+        for regime in Regime::ALL {
+            for seed in 0..3 {
+                let a = regime.generate(seed);
+                check_dense_oracle(&ScalarOps, &a, seed, Tolerance::FP64_KERNEL)
+                    .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", regime.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_rejects_wrong_answers() {
+        struct OffByOne;
+        impl NumericEngine for OffByOne {
+            fn name(&self) -> &str {
+                "off-by-one"
+            }
+            fn spmv(&self, a: &CsrMatrix, x: &[f64]) -> Result<Vec<f64>, FormatError> {
+                let mut y = oracle_spmv(a, x);
+                if let Some(v) = y.first_mut() {
+                    *v += 1.0;
+                }
+                Ok(y)
+            }
+            fn spmspv(&self, a: &CsrMatrix, x: &SparseVector) -> Result<Vec<f64>, FormatError> {
+                Ok(oracle_spmv(a, &x.to_dense()))
+            }
+            fn spmm(&self, a: &CsrMatrix, b: &DenseMatrix) -> Result<DenseMatrix, FormatError> {
+                Ok(oracle_spmm(a, b))
+            }
+            fn spgemm(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<DenseMatrix, FormatError> {
+                Ok(oracle_spgemm(a, b))
+            }
+        }
+        let a = Regime::Diagonal.generate(1);
+        let err = check_dense_oracle(&OffByOne, &a, 1, Tolerance::FP64_KERNEL).unwrap_err();
+        assert!(err.contains("dense-oracle/spmv"), "{err}");
+        assert!(err.contains("off-by-one"), "{err}");
+    }
+
+    #[test]
+    fn spgemm_rhs_conforms_for_rectangular_inputs() {
+        let a = Regime::PowerLawRows.generate(2);
+        let b = spgemm_rhs(&a);
+        assert_eq!(a.ncols(), b.nrows());
+    }
+}

@@ -1,0 +1,147 @@
+//! The conformance sweep: regimes x seeds x (oracle, laws, counters),
+//! with automatic shrinking of any failure into a [`Counterexample`].
+
+use sparse::CsrMatrix;
+
+use crate::compare::Tolerance;
+use crate::differential::check_counters;
+use crate::generators::Regime;
+use crate::metamorphic::{all_laws, check_all_laws};
+use crate::oracle::{check_dense_oracle, NumericEngine, ScalarOps, UniStcNumeric};
+use crate::shrink::{shrink_matrix, Counterexample};
+
+/// Sweep parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Seeds run per regime (each seed is an independent matrix + operand
+    /// family).
+    pub seeds_per_regime: u64,
+    /// Numeric tolerance for the oracle and law comparisons.
+    pub tol: Tolerance,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig { seeds_per_regime: 3, tol: Tolerance::FP64_KERNEL }
+    }
+}
+
+/// What a clean sweep covered (for reporting, and for tests asserting the
+/// sweep actually ran everything it claims to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Generated `(regime, seed)` cases.
+    pub cases: usize,
+    /// Numeric engines checked against the oracle and the laws.
+    pub numeric_engines: usize,
+    /// Metamorphic laws applied per case per engine.
+    pub laws: usize,
+    /// Counter-model engines checked differentially per case.
+    pub counter_engines: usize,
+}
+
+fn shrunk_failure(
+    regime: Regime,
+    law: &str,
+    seed: u64,
+    detail: String,
+    a: &CsrMatrix,
+    still_fails: &dyn Fn(&CsrMatrix) -> bool,
+) -> Box<Counterexample> {
+    Box::new(Counterexample {
+        regime: regime.name(),
+        law: law.to_owned(),
+        seed,
+        detail,
+        shrunk: shrink_matrix(a, still_fails),
+    })
+}
+
+/// Runs one numeric engine through the full sweep (dense oracle plus every
+/// metamorphic law on every regime/seed).
+///
+/// Returns the number of cases checked.
+///
+/// # Errors
+///
+/// The first failure is shrunk and returned as a [`Counterexample`].
+pub fn sweep_numeric_engine(
+    engine: &dyn NumericEngine,
+    base_seed: u64,
+    cfg: &SweepConfig,
+) -> Result<usize, Box<Counterexample>> {
+    let mut cases = 0usize;
+    for regime in Regime::ALL {
+        for s in 0..cfg.seeds_per_regime {
+            let seed = base_seed.wrapping_add(s);
+            let a = regime.generate(seed);
+            cases += 1;
+            if let Err(detail) = check_dense_oracle(engine, &a, seed, cfg.tol) {
+                return Err(shrunk_failure(regime, "dense-oracle", seed, detail, &a, &|m| {
+                    check_dense_oracle(engine, m, seed, cfg.tol).is_err()
+                }));
+            }
+            if let Err(detail) = check_all_laws(engine, &a, seed, cfg.tol) {
+                return Err(shrunk_failure(regime, "metamorphic", seed, detail, &a, &|m| {
+                    check_all_laws(engine, m, seed, cfg.tol).is_err()
+                }));
+            }
+        }
+    }
+    Ok(cases)
+}
+
+/// Runs the complete conformance sweep: the Uni-STC dataflow and the
+/// scalar reference through [`sweep_numeric_engine`], plus the cross-engine
+/// differential counter check on every case.
+///
+/// # Errors
+///
+/// The first failure is shrunk and returned as a [`Counterexample`].
+pub fn run_sweep(base_seed: u64, cfg: &SweepConfig) -> Result<SweepSummary, Box<Counterexample>> {
+    let numeric: [&dyn NumericEngine; 2] = [&UniStcNumeric { cfg: Default::default() }, &ScalarOps];
+    let mut cases = 0usize;
+    for engine in numeric {
+        cases = sweep_numeric_engine(engine, base_seed, cfg)?;
+    }
+    for regime in Regime::ALL {
+        for s in 0..cfg.seeds_per_regime {
+            let seed = base_seed.wrapping_add(s);
+            let a = regime.generate(seed);
+            if let Err(detail) = check_counters(&a, seed) {
+                return Err(shrunk_failure(regime, "differential", seed, detail, &a, &|m| {
+                    check_counters(m, seed).is_err()
+                }));
+            }
+        }
+    }
+    Ok(SweepSummary {
+        cases,
+        numeric_engines: numeric.len(),
+        laws: all_laws().len(),
+        counter_engines: crate::differential::all_engines().len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sweep_is_clean_and_covers_everything() {
+        let cfg = SweepConfig { seeds_per_regime: 2, ..SweepConfig::default() };
+        let summary = run_sweep(0xC0FFEE, &cfg).unwrap_or_else(|ce| panic!("{ce}"));
+        assert_eq!(summary.cases, Regime::ALL.len() * 2);
+        assert_eq!(summary.numeric_engines, 2);
+        assert!(summary.laws >= 4);
+        assert_eq!(summary.counter_engines, 7);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_in_the_seed() {
+        let cfg = SweepConfig { seeds_per_regime: 1, ..SweepConfig::default() };
+        let a = run_sweep(42, &cfg).unwrap();
+        let b = run_sweep(42, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+}

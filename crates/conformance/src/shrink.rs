@@ -1,0 +1,239 @@
+//! Minimizing shrinker for failing matrices.
+//!
+//! When a property fails on a generated matrix, the raw counterexample is
+//! usually dozens of entries across several blocks — useless for debugging
+//! a dataflow. [`shrink_matrix`] reduces it with a delta-debugging loop
+//! (chunked entry removal, dimension trimming, value canonicalisation)
+//! while re-running the failing predicate, and [`Counterexample`] re-emits
+//! the minimal matrix as a standalone snippet plus the seed that found it.
+
+use sparse::{CooMatrix, CsrMatrix};
+
+/// Hard cap on predicate evaluations per shrink (the predicate runs full
+/// kernel comparisons, so runaway shrinks would dominate test time).
+const MAX_PREDICATE_CALLS: usize = 2_000;
+
+fn rebuild(nrows: usize, ncols: usize, entries: &[(usize, usize, f64)]) -> Option<CsrMatrix> {
+    let mut coo = CooMatrix::new(nrows, ncols);
+    for &(r, c, v) in entries {
+        if r >= nrows || c >= ncols {
+            return None;
+        }
+        coo.push(r, c, v);
+    }
+    CsrMatrix::try_from(coo).ok()
+}
+
+/// Shrinks `matrix` to a (locally) minimal matrix on which `fails` still
+/// returns `true`.
+///
+/// The loop alternates three strategies until a fixpoint (or the predicate
+/// budget runs out):
+///
+/// 1. **ddmin entry removal** — drop chunks of entries, halving the chunk
+///    size from `nnz / 2` down to single entries;
+/// 2. **dimension trimming** — shrink `nrows`/`ncols` to the occupied
+///    bounding box (empty trailing space never matters structurally, but a
+///    kernel bug that *depends* on padding will simply refuse this step);
+/// 3. **value canonicalisation** — replace stored values by `1.0` where
+///    the failure persists, isolating structure-only bugs.
+///
+/// The result always still satisfies `fails` (the input is returned
+/// unchanged if no reduction applies).
+pub fn shrink_matrix(matrix: &CsrMatrix, fails: &dyn Fn(&CsrMatrix) -> bool) -> CsrMatrix {
+    let mut entries: Vec<(usize, usize, f64)> = matrix.iter().collect();
+    let mut nrows = matrix.nrows();
+    let mut ncols = matrix.ncols();
+    let mut best = matrix.clone();
+    let mut calls = 0usize;
+
+    let try_candidate =
+        |nrows: usize, ncols: usize, entries: &[(usize, usize, f64)], calls: &mut usize| {
+            if *calls >= MAX_PREDICATE_CALLS {
+                return None;
+            }
+            *calls += 1;
+            let cand = rebuild(nrows, ncols, entries)?;
+            if fails(&cand) {
+                Some(cand)
+            } else {
+                None
+            }
+        };
+
+    loop {
+        let mut progressed = false;
+
+        // 1. ddmin over entries.
+        let mut chunk = (entries.len() / 2).max(1);
+        while chunk >= 1 && !entries.is_empty() {
+            let mut start = 0;
+            while start < entries.len() {
+                let end = (start + chunk).min(entries.len());
+                let mut reduced = Vec::with_capacity(entries.len() - (end - start));
+                reduced.extend_from_slice(&entries[..start]);
+                reduced.extend_from_slice(&entries[end..]);
+                if let Some(cand) = try_candidate(nrows, ncols, &reduced, &mut calls) {
+                    entries = reduced;
+                    best = cand;
+                    progressed = true;
+                    // Do not advance: the next chunk now occupies `start`.
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // 2. Trim dimensions to the occupied bounding box.
+        let used_rows = entries.iter().map(|&(r, _, _)| r + 1).max().unwrap_or(0);
+        let used_cols = entries.iter().map(|&(_, c, _)| c + 1).max().unwrap_or(0);
+        for (cand_rows, cand_cols) in [
+            (used_rows, used_cols),
+            (used_rows.max(1), ncols),
+            (nrows, used_cols.max(1)),
+        ] {
+            if (cand_rows, cand_cols) != (nrows, ncols)
+                && cand_rows <= nrows
+                && cand_cols <= ncols
+            {
+                if let Some(cand) = try_candidate(cand_rows, cand_cols, &entries, &mut calls) {
+                    nrows = cand_rows;
+                    ncols = cand_cols;
+                    best = cand;
+                    progressed = true;
+                }
+            }
+        }
+
+        // 3. Canonicalise values to 1.0.
+        for i in 0..entries.len() {
+            if entries[i].2 != 1.0 {
+                let saved = entries[i].2;
+                entries[i].2 = 1.0;
+                if let Some(cand) = try_candidate(nrows, ncols, &entries, &mut calls) {
+                    best = cand;
+                    progressed = true;
+                } else {
+                    entries[i].2 = saved;
+                }
+            }
+        }
+
+        if !progressed || calls >= MAX_PREDICATE_CALLS {
+            return best;
+        }
+    }
+}
+
+/// A shrunk, reproducible property failure.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Name of the generator regime that produced the original matrix.
+    pub regime: &'static str,
+    /// Name of the violated property (oracle, law or counter check).
+    pub law: String,
+    /// The seed that reproduces the failure end-to-end.
+    pub seed: u64,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+    /// The minimal failing matrix.
+    pub shrunk: CsrMatrix,
+}
+
+impl std::fmt::Display for Counterexample {
+    /// Re-emits the failure as a standalone snippet: the seed to replay the
+    /// full sweep case, plus the shrunk matrix as `CooMatrix` pushes ready
+    /// to paste into a regression test.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "conformance failure: {} violated on regime `{}`", self.law, self.regime)?;
+        writeln!(f, "  detail: {}", self.detail)?;
+        writeln!(f, "  replay: CONFORMANCE_SEED={} cargo test -p conformance", self.seed)?;
+        writeln!(
+            f,
+            "  shrunk counterexample ({}x{}, {} nnz):",
+            self.shrunk.nrows(),
+            self.shrunk.ncols(),
+            self.shrunk.nnz()
+        )?;
+        writeln!(
+            f,
+            "    let mut coo = CooMatrix::new({}, {});",
+            self.shrunk.nrows(),
+            self.shrunk.ncols()
+        )?;
+        for (r, c, v) in self.shrunk.iter() {
+            writeln!(f, "    coo.push({r}, {c}, {v:?});")?;
+        }
+        write!(f, "    let a = CsrMatrix::try_from(coo).unwrap();")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_with(entries: &[(usize, usize, f64)], n: usize) -> CsrMatrix {
+        rebuild(n, n, entries).unwrap()
+    }
+
+    #[test]
+    fn shrinks_to_single_culprit_entry() {
+        // Predicate: fails whenever the matrix stores something at (5, 7).
+        let a = matrix_with(
+            &[(0, 0, 2.0), (1, 3, -1.0), (5, 7, 4.0), (9, 9, 1.5), (3, 2, 0.25)],
+            12,
+        );
+        let fails = |m: &CsrMatrix| m.get(5, 7).is_some();
+        let s = shrink_matrix(&a, &fails);
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.get(5, 7), Some(1.0)); // value canonicalised too
+        assert_eq!(s.nrows(), 6);
+        assert_eq!(s.ncols(), 8);
+    }
+
+    #[test]
+    fn shrink_preserves_failure() {
+        let a = matrix_with(&[(0, 0, 1.0), (2, 2, 3.0)], 4);
+        let fails = |m: &CsrMatrix| m.nnz() >= 2;
+        let s = shrink_matrix(&a, &fails);
+        assert!(fails(&s));
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn non_reducible_input_returned_unchanged() {
+        let a = matrix_with(&[(0, 0, 1.0)], 1);
+        let fails = |m: &CsrMatrix| m.nnz() == 1;
+        let s = shrink_matrix(&a, &fails);
+        assert_eq!(s, a);
+    }
+
+    #[test]
+    fn counterexample_display_is_standalone() {
+        let ce = Counterexample {
+            regime: "diagonal",
+            law: "dense-oracle/spmv".into(),
+            seed: 42,
+            detail: "index 0: got 1, want 2".into(),
+            shrunk: matrix_with(&[(0, 0, 1.0)], 1),
+        };
+        let text = ce.to_string();
+        assert!(text.contains("CONFORMANCE_SEED=42"));
+        assert!(text.contains("CooMatrix::new(1, 1)"));
+        assert!(text.contains("coo.push(0, 0, 1.0);"));
+        assert!(text.contains("dense-oracle/spmv"));
+    }
+
+    #[test]
+    fn value_canonicalisation_respects_predicate() {
+        // Predicate depends on the value: canonicalisation must not break it.
+        let a = matrix_with(&[(1, 1, 2.5)], 3);
+        let fails = |m: &CsrMatrix| m.get(1, 1) == Some(2.5);
+        let s = shrink_matrix(&a, &fails);
+        assert_eq!(s.get(1, 1), Some(2.5));
+    }
+}

@@ -85,6 +85,26 @@ impl KernelReport {
     pub fn mean_utilisation(&self) -> f64 {
         self.util.mean_utilisation()
     }
+
+    /// A stable one-line signature of the report's deterministic counters,
+    /// suitable for golden-file snapshots: engine, kernel, cycles, useful
+    /// MACs, T1 tasks and the event counters that drive the energy model.
+    /// Floating-point quantities (energy, utilisation) are deliberately
+    /// excluded so the signature is exact across platforms.
+    pub fn counter_signature(&self) -> String {
+        format!(
+            "{} {} cycles={} useful={} t1={} meta={} mac={} sched={} cports={}",
+            self.engine,
+            self.kernel,
+            self.cycles,
+            self.useful,
+            self.t1_tasks,
+            self.events.meta_words,
+            self.events.mac_issued,
+            self.events.sched_ops,
+            self.events.c_ports_cycles,
+        )
+    }
 }
 
 /// Runs a stream of T1 tasks through an engine and aggregates the results.
@@ -190,16 +210,18 @@ pub fn run_spmspv(
 /// SpMM (`C = A B`, dense `B` with `n_cols` columns): `ceil(n_cols / 16)`
 /// MM tasks per stored block of `A`, each against a dense B block.
 ///
-/// # Panics
-///
-/// Panics if `n_cols == 0`.
+/// A zero-column `B` is a degenerate but valid request (the product has
+/// zero columns): the report simply carries no tasks, matching the numeric
+/// dataflow's treatment of an empty `B`.
 pub fn run_spmm(
     engine: &dyn TileEngine,
     energy_model: &EnergyModel,
     a: &BbcMatrix,
     n_cols: usize,
 ) -> KernelReport {
-    assert!(n_cols > 0, "SpMM needs at least one B column");
+    if n_cols == 0 {
+        return run_tasks(engine, energy_model, Kernel::SpMM, std::iter::empty());
+    }
     let col_blocks = n_cols.div_ceil(16);
     let tail = n_cols - (col_blocks - 1) * 16;
     let tasks = a.blocks().flat_map(move |blk| {
@@ -330,6 +352,16 @@ mod tests {
     }
 
     #[test]
+    fn spmm_zero_columns_yields_empty_report() {
+        let a = bbc_from(&[(0, 0), (5, 5)], 16);
+        let rep = run_spmm(&Ideal, &EnergyModel::default(), &a, 0);
+        assert_eq!(rep.t1_tasks, 0);
+        assert_eq!(rep.cycles, 0);
+        assert_eq!(rep.useful, 0);
+        assert_eq!(rep.kernel, Kernel::SpMM);
+    }
+
+    #[test]
     fn spgemm_enumerates_block_pairs() {
         // A = identity-ish blocks at (0,0) and (1,1); squaring it yields one
         // task per diagonal block.
@@ -359,6 +391,17 @@ mod tests {
         assert!(rep.mean_utilisation() > 0.0);
         // Static network scale: 64x256 ports per cycle.
         assert!((rep.avg_c_network_scale() - 16384.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_signature_is_stable_and_exact() {
+        let a = bbc_from(&[(0, 0), (20, 20)], 32);
+        let rep = run_spmv(&Ideal, &EnergyModel::default(), &a);
+        let sig = rep.counter_signature();
+        assert_eq!(sig, rep.counter_signature());
+        assert!(sig.starts_with("ideal SpMV "), "{sig}");
+        assert!(sig.contains("useful=2"), "{sig}");
+        assert!(sig.contains("t1=2"), "{sig}");
     }
 
     #[test]

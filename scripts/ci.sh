@@ -15,4 +15,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== conformance sweep (fixed seed) =="
+cargo test -p conformance -q
+
+echo "== conformance smoke (randomized seed) =="
+# A fresh seed per run widens coverage beyond the fixed sweep. On failure
+# the harness prints `replay: CONFORMANCE_SEED=<n> ...` inside the test
+# output; we echo the seed again here so it survives terse CI logs.
+SMOKE_SEED="${CONFORMANCE_SMOKE_SEED:-$(date +%s)}"
+echo "CONFORMANCE_SEED=${SMOKE_SEED}"
+if ! CONFORMANCE_SEED="${SMOKE_SEED}" cargo test -p conformance -q --test conformance; then
+    echo "conformance smoke FAILED — replay with:" >&2
+    echo "    CONFORMANCE_SEED=${SMOKE_SEED} cargo test -p conformance" >&2
+    exit 1
+fi
+
 echo "CI OK"

@@ -3,6 +3,7 @@
 //! its own throughput bounds.
 
 use bench::{all_engines, MatrixCtx, KERNELS};
+use conformance::compare::Tolerance;
 use simkit::{EnergyModel, Precision};
 use workloads::gen;
 
@@ -65,7 +66,11 @@ fn utilisation_histogram_accounts_every_cycle() {
                 assert_eq!(r.util.useful_ops(), r.useful, "{} {kernel}", e.name());
                 let bands = r.util.quartile_bands();
                 let sum: f64 = bands.iter().sum();
-                assert!((sum - 1.0).abs() < 1e-9, "{} bands sum {sum}", e.name());
+                assert!(
+                    Tolerance::FP64_KERNEL.eq(sum, 1.0),
+                    "{} bands sum {sum}",
+                    e.name()
+                );
             }
         }
     }
@@ -116,7 +121,11 @@ fn energy_is_positive_and_decomposes() {
             assert!(r.energy.total() > 0.0);
             assert!(r.energy.fetch >= 0.0 && r.energy.schedule >= 0.0 && r.energy.compute > 0.0);
             let sum = r.energy.fetch + r.energy.schedule + r.energy.compute;
-            assert!((sum - r.energy.total()).abs() < 1e-9);
+            assert!(
+                Tolerance::FP64_KERNEL.eq(sum, r.energy.total()),
+                "energy components {sum} vs total {}",
+                r.energy.total()
+            );
         }
     }
 }

@@ -2,6 +2,7 @@
 //! matrices, boundary dimensions, rectangular operands and corrupt inputs.
 
 use bench::{all_engines, MatrixCtx, KERNELS};
+use conformance::compare::{assert_dense_close, assert_slices_close, Tolerance};
 use simkit::{driver, EnergyModel, Precision};
 use sparse::{BbcMatrix, CooMatrix, CsrMatrix, SparseVector};
 use uni_stc::{kernels, UniStc, UniStcConfig};
@@ -56,9 +57,8 @@ fn boundary_dimensions_around_block_edges() {
         let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let (y, _) = kernels::spmv(&UniStcConfig::default(), &bbc, &x).unwrap();
         let want = sparse::ops::spmv(&m, &x).unwrap();
-        for (g, w) in y.iter().zip(&want) {
-            assert!((g - w).abs() < 1e-12, "n = {n}");
-        }
+        // One product per row: the dataflow result is bit-exact here.
+        assert_slices_close(&y, &want, Tolerance::EXACT, &format!("n = {n}"));
     }
 }
 
@@ -101,7 +101,12 @@ fn rectangular_spgemm_conforms_by_block_grid() {
     // And numerically through the dataflow kernels.
     let (c, _) = kernels::spgemm(&UniStcConfig::default(), &a, &b).unwrap();
     let want = sparse::ops::spgemm(&a.to_csr(), &b.to_csr()).unwrap();
-    assert!(c.to_dense().max_abs_diff(&want.to_dense()) < 1e-12);
+    assert_dense_close(
+        &c.to_dense(),
+        &want.to_dense(),
+        Tolerance::EXACT,
+        "rectangular spgemm",
+    );
 }
 
 #[test]

@@ -2,6 +2,7 @@
 //! linear algebra on generator outputs, and the AMG solver really solves
 //! its systems.
 
+use conformance::compare::{assert_dense_close, assert_slices_close, Tolerance};
 use sparse::ops::{spgemm, spmm, spmspv, spmv};
 use sparse::{DenseMatrix, SparseVector};
 use workloads::amg::{build_hierarchy, AmgOptions};
@@ -29,10 +30,10 @@ fn spmv_matches_dense_on_generators() {
         let x: Vec<f64> = (0..a.ncols()).map(|i| ((i % 11) as f64) - 5.0).collect();
         let y = spmv(&a, &x).unwrap();
         let ad = a.to_dense();
-        for r in 0..a.nrows() {
-            let want: f64 = (0..a.ncols()).map(|c| ad[(r, c)] * x[c]).sum();
-            assert!((y[r] - want).abs() < 1e-9, "row {r}");
-        }
+        let want: Vec<f64> = (0..a.nrows())
+            .map(|r| (0..a.ncols()).map(|c| ad[(r, c)] * x[c]).sum())
+            .collect();
+        assert_slices_close(&y, &want, Tolerance::FP64_KERNEL, "spmv vs dense");
     }
 }
 
@@ -44,9 +45,7 @@ fn spmspv_consistent_with_spmv() {
     let x = SparseVector::from_dense(&dense_x, 0.0);
     let ys = spmspv(&a, &x).unwrap().to_dense();
     let yd = spmv(&a, &dense_x).unwrap();
-    for (s, d) in ys.iter().zip(&yd) {
-        assert!((s - d).abs() < 1e-9);
-    }
+    assert_slices_close(&ys, &yd, Tolerance::FP64_KERNEL, "spmspv vs spmv");
 }
 
 #[test]
@@ -60,7 +59,7 @@ fn spmm_matches_dense_on_generators() {
     }
     let c = spmm(&a, &b).unwrap();
     let want = dense_matmul(&a.to_dense(), &b);
-    assert!(c.max_abs_diff(&want) < 1e-9);
+    assert_dense_close(&c, &want, Tolerance::FP64_KERNEL, "spmm vs dense");
 }
 
 #[test]
@@ -68,7 +67,7 @@ fn spgemm_squares_match_dense() {
     for a in [gen::poisson_2d(7), gen::block_dense(48, 8, 6, 3), gen::arrow(40, 2, 2, 4)] {
         let c = spgemm(&a, &a).unwrap();
         let want = dense_matmul(&a.to_dense(), &a.to_dense());
-        assert!(c.to_dense().max_abs_diff(&want) < 1e-9);
+        assert_dense_close(&c.to_dense(), &want, Tolerance::FP64_KERNEL, "spgemm vs dense");
     }
 }
 
@@ -81,7 +80,12 @@ fn spgemm_associativity_on_triple_product() {
     let (p, r) = (l.p.as_ref().unwrap(), l.r.as_ref().unwrap());
     let left = spgemm(&spgemm(r, &l.a).unwrap(), p).unwrap();
     let right = spgemm(r, &spgemm(&l.a, p).unwrap()).unwrap();
-    assert!(left.to_dense().max_abs_diff(&right.to_dense()) < 1e-9);
+    assert_dense_close(
+        &left.to_dense(),
+        &right.to_dense(),
+        Tolerance::FP64_KERNEL,
+        "Galerkin triple product associativity",
+    );
 }
 
 #[test]

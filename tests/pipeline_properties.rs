@@ -2,6 +2,7 @@
 //! kernels, over seed-swept block structures and matrices (deterministic,
 //! offline replacements for the old proptest strategies).
 
+use conformance::compare::{assert_dense_close, assert_slices_close, Tolerance};
 use simkit::{Block16, T1Task, TileEngine};
 use sparse::rng::Rng64;
 use sparse::{BbcMatrix, CooMatrix, CsrMatrix};
@@ -133,9 +134,7 @@ fn dataflow_spmv_matches_reference() {
         let x: Vec<f64> = (0..a.ncols()).map(|i| ((i % 7) as f64) - 3.0).collect();
         let (y, _) = kernels::spmv(&UniStcConfig::default(), &bbc, &x).unwrap();
         let want = sparse::ops::spmv(&a, &x).unwrap();
-        for (g, w) in y.iter().zip(&want) {
-            assert!((g - w).abs() < 1e-9, "seed {seed}");
-        }
+        assert_slices_close(&y, &want, Tolerance::FP64_KERNEL, &format!("spmv seed {seed}"));
     }
 }
 
@@ -147,7 +146,12 @@ fn dataflow_spgemm_matches_reference() {
         let bbc = BbcMatrix::from_csr(&a);
         let (c, stats) = kernels::spgemm(&UniStcConfig::default(), &bbc, &bbc).unwrap();
         let want = sparse::ops::spgemm(&a, &a).unwrap();
-        assert!(c.to_dense().max_abs_diff(&want.to_dense()) < 1e-9, "seed {seed}");
+        assert_dense_close(
+            &c.to_dense(),
+            &want.to_dense(),
+            Tolerance::FP64_KERNEL,
+            &format!("spgemm seed {seed}"),
+        );
         assert_eq!(stats.products, sparse::ops::spgemm_flops(&a, &a).unwrap(), "seed {seed}");
     }
 }
