@@ -1,0 +1,36 @@
+//! # ustc-verify: static analysis for Uni-STC streams and sources
+//!
+//! Two independent static-analysis surfaces over the workspace:
+//!
+//! 1. **The stream verifier** ([`Verifier`]) — proves UWMMA lifecycle
+//!    legality, SDPU lane feasibility, Tile/Dot-product queue occupancy
+//!    bounds, TMS write-conflict freedom, routing / power-gating soundness
+//!    and BBC metadata consistency over [`uni_stc::isa::Program`]s,
+//!    [`uni_stc::compiler::CompiledKernel`]s and [`StreamModel`]s —
+//!    *without executing anything*. Findings carry stable `USTC001`..
+//!    diagnostic codes ([`Code`]) with severities and spans, rendered
+//!    human-readable or as JSON ([`Report`]). [`UstcVerifier`] plugs the
+//!    verifier into [`simkit::driver::Driver::verify_before_run`] so
+//!    illegal streams are rejected before a single cycle is simulated.
+//! 2. **The source lint** ([`lint`]) — a dependency-free scanner over the
+//!    workspace's library code enforcing the repo's robustness rules
+//!    (no panicking calls outside tests, no ad-hoc float equality, no
+//!    direct event-counter mutation outside the accounting layers), run in
+//!    CI via `cargo run -p analysis --bin lint`.
+//!
+//! The golden-diagnostics snapshot ([`golden`]) pins the exact rendering
+//! of every code against `golden/diagnostics.txt` (bless with
+//! `ANALYSIS_BLESS=1`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod golden;
+pub mod lint;
+pub mod model;
+pub mod verifier;
+
+pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use model::{StreamModel, T1Node, T3Node, DOT_QUEUE_CAP, TILE_QUEUE_CAP};
+pub use verifier::{UstcVerifier, Verifier};

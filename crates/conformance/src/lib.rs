@@ -24,6 +24,8 @@
 //! Override the sweep seed with `CONFORMANCE_SEED=<n>` to replay a failure
 //! printed by a randomized smoke run.
 
+#![forbid(unsafe_code)]
+
 // The matrix types the whole public API traffics in, re-exported so
 // downstream tests can name them without a direct `sparse` dependency.
 pub use sparse::{CsrMatrix, DenseMatrix, SparseVector};

@@ -10,7 +10,7 @@
 use simkit::Block16;
 use sparse::BbcMatrix;
 
-use crate::isa::{LifecycleError, Program, ProgramStats};
+use crate::isa::{Lifecycle, LifecycleError, Program, ProgramStats, Uwmma};
 use crate::schedule::balance_warps;
 use crate::tms::generate_t3_tasks;
 use crate::UniStcConfig;
@@ -53,6 +53,61 @@ impl CompiledKernel {
     /// Total instructions across all warps.
     pub fn total_instructions(&self) -> usize {
         self.warps.iter().map(|w| w.program.instructions().len()).sum()
+    }
+
+    /// Statically lifecycle-checks every warp's stream without executing
+    /// it, aggregating one diagnostic per offending warp (the first
+    /// illegal instruction of each). A dry-run counterpart of [`run`]:
+    /// `verify().is_ok()` iff `run().is_ok()`, but `verify` reports *all*
+    /// offending warps while `run` stops at the first.
+    ///
+    /// [`run`]: CompiledKernel::run
+    ///
+    /// # Errors
+    ///
+    /// Returns every warp's first [`WarpDiagnostic`] if any stream is
+    /// illegal.
+    pub fn verify(&self) -> Result<(), Vec<WarpDiagnostic>> {
+        let mut diags = Vec::new();
+        for w in &self.warps {
+            let mut lc = Lifecycle::new();
+            for (i, instr) in w.program.instructions().iter().enumerate() {
+                let issued = match instr.op {
+                    Uwmma::LoadMetaMv | Uwmma::LoadMetaMm | Uwmma::LoadA => {
+                        lc.advance(instr.cost.clamp(1, 2));
+                        lc.issue(instr.op, instr.cost)
+                    }
+                    _ => lc.issue(instr.op, instr.cost),
+                };
+                if let Err(error) = issued {
+                    diags.push(WarpDiagnostic { warp: w.warp, instr: i, error });
+                    break;
+                }
+            }
+        }
+        if diags.is_empty() {
+            Ok(())
+        } else {
+            Err(diags)
+        }
+    }
+}
+
+/// One warp-attributed lifecycle violation found by
+/// [`CompiledKernel::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpDiagnostic {
+    /// The offending warp.
+    pub warp: usize,
+    /// Index of the illegal instruction in the warp's listing.
+    pub instr: usize,
+    /// What the lifecycle state machine rejected.
+    pub error: LifecycleError,
+}
+
+impl std::fmt::Display for WarpDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "warp {}, instr {}: {}", self.warp, self.instr, self.error)
     }
 }
 
@@ -193,6 +248,27 @@ mod tests {
         assert!(listing.contains("stc.numeric.mm"));
         assert!(!listing.contains(".mv"));
         k.run().unwrap();
+    }
+
+    #[test]
+    fn verify_agrees_with_run() {
+        let a = bbc(64, (0..64).map(|i| (i, (i * 3) % 64)));
+        let cfg = UniStcConfig::default();
+        let k = compile_spmv(&cfg, &a, 2);
+        assert!(k.verify().is_ok());
+        assert!(k.run().is_ok());
+        // Tamper one warp into an illegal stream: numeric with no batch.
+        let mut bad = k.clone();
+        let mut p = Program::new();
+        p.push(Uwmma::NumericMv, 4);
+        bad.warps[1].program = p;
+        let diags = bad.verify().unwrap_err();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].warp, 1);
+        assert_eq!(diags[0].instr, 0);
+        assert_eq!(diags[0].error.instr(), Uwmma::NumericMv);
+        assert!(diags[0].to_string().contains("warp 1, instr 0"));
+        assert!(bad.run().is_err());
     }
 
     #[test]

@@ -81,6 +81,18 @@ pub struct LifecycleError {
     state: StcState,
 }
 
+impl LifecycleError {
+    /// The instruction that was illegally issued.
+    pub fn instr(&self) -> Uwmma {
+        self.instr
+    }
+
+    /// The state the machine was in when the instruction was issued.
+    pub fn state(&self) -> StcState {
+        self.state
+    }
+}
+
 impl fmt::Display for LifecycleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "instruction {} illegal in state {:?}", self.instr, self.state)
@@ -291,11 +303,21 @@ impl Program {
         })
     }
 
-    /// PTX-style assembly listing.
+    /// PTX-style assembly listing. Each line carries the instruction index
+    /// (the `instr` component of an analysis diagnostic span resolves
+    /// against it), the dynamic cost, and the running issue-cycle offset
+    /// (costs clamped to Table V, as execution clamps them).
     pub fn listing(&self) -> String {
         let mut out = String::new();
+        let mut offset = 0u64;
         for (i, instr) in self.instrs.iter().enumerate() {
-            out.push_str(&format!("{i:4}:  {:<20} // {} cycles\n", instr.op.mnemonic(), instr.cost));
+            out.push_str(&format!(
+                "{i:4}:  {:<20} // {} cycles @ cycle {offset}\n",
+                instr.op.mnemonic(),
+                instr.cost
+            ));
+            let (lo, hi) = instr.op.cycle_range();
+            offset += instr.cost.clamp(lo, hi) as u64;
         }
         out
     }
@@ -446,6 +468,20 @@ mod tests {
         assert!(l.contains("   0:  stc.load.meta_mv"));
         assert!(l.contains("stc.task_gen.mv"));
         assert_eq!(l.lines().count(), 4);
+    }
+
+    #[test]
+    fn listing_carries_running_cycle_offsets() {
+        let p = Program::spmv_block(8, 64);
+        // meta_mv(1) -> task_gen(1) -> load.a(2) -> numeric(1).
+        let l = p.listing();
+        assert!(l.contains("@ cycle 0"));
+        assert!(l.contains("// 2 cycles @ cycle 2")); // stc.load.a
+        assert!(l.contains("// 1 cycles @ cycle 4")); // stc.numeric.mv
+        // Out-of-range costs are clamped in the offsets, as in execution.
+        let mut q = Program::new();
+        q.push(Uwmma::LoadMetaMm, 99).push(Uwmma::LoadA, 2);
+        assert!(q.listing().contains("// 2 cycles @ cycle 1"));
     }
 
     #[test]

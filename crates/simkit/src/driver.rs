@@ -17,6 +17,193 @@ use crate::{
 /// plus pointer words (Meta Buffer traffic of Stage 1).
 const META_WORDS_PER_TASK: u64 = 36;
 
+/// A static-verification rejection: the stream verifier refused to let a
+/// kernel invocation reach the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The stable diagnostic code, e.g. `"USTC012"`.
+    pub code: String,
+    /// The full rendered diagnostic.
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream rejected [{}]: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A static checker the [`Driver`] can consult before simulating a stream.
+///
+/// Implementations prove stream legality without executing anything; the
+/// `analysis` crate provides the canonical implementation
+/// (`analysis::UstcVerifier`). A clean result (`Ok`) means the invocation
+/// may proceed; an error carries the first error-severity diagnostic.
+pub trait StreamVerifier {
+    /// Statically checks an SpMV invocation on `a`.
+    fn verify_spmv(&self, a: &BbcMatrix) -> Result<(), VerifyError>;
+    /// Statically checks an SpMSpV invocation on `a` and `x`.
+    fn verify_spmspv(&self, a: &BbcMatrix, x: &SparseVector) -> Result<(), VerifyError>;
+    /// Statically checks an SpMM invocation on `a` with `n_cols` columns.
+    fn verify_spmm(&self, a: &BbcMatrix, n_cols: usize) -> Result<(), VerifyError>;
+    /// Statically checks an SpGEMM invocation on `a` and `b`.
+    fn verify_spgemm(&self, a: &BbcMatrix, b: &BbcMatrix) -> Result<(), VerifyError>;
+}
+
+/// A kernel driver with an optional verify-before-run gate.
+///
+/// Without a verifier, the methods delegate to the free `run_*` functions.
+/// With one ([`Driver::verify_before_run`]), every invocation is statically
+/// checked first and illegal streams are rejected with their first `USTC`
+/// error code instead of being simulated.
+///
+/// # Example
+///
+/// ```
+/// use simkit::driver::Driver;
+/// use simkit::{EnergyModel, NetworkCosts, T1Result, T1Task, TileEngine};
+/// use sparse::{BbcMatrix, CooMatrix, CsrMatrix};
+///
+/// # struct Ideal;
+/// # impl TileEngine for Ideal {
+/// #     fn name(&self) -> &str { "ideal" }
+/// #     fn lanes(&self) -> usize { 64 }
+/// #     fn execute(&self, task: &T1Task) -> T1Result {
+/// #         let mut r = T1Result::new(64);
+/// #         r.record_cycle(task.products() as usize);
+/// #         r.useful = task.products();
+/// #         r
+/// #     }
+/// #     fn network_costs(&self) -> NetworkCosts { NetworkCosts::flat() }
+/// # }
+/// # fn main() -> Result<(), sparse::FormatError> {
+/// let mut coo = CooMatrix::new(32, 32);
+/// coo.push(0, 0, 1.0);
+/// let a = BbcMatrix::from_csr(&CsrMatrix::try_from(coo)?);
+/// let engine = Ideal;
+/// let energy = EnergyModel::default();
+/// let driver = Driver::new(&engine, &energy);
+/// let report = driver.spmv(&a).expect("no verifier installed: always Ok");
+/// assert_eq!(report.t1_tasks, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Driver<'a> {
+    engine: &'a dyn TileEngine,
+    energy: &'a EnergyModel,
+    verifier: Option<&'a dyn StreamVerifier>,
+}
+
+impl<'a> Driver<'a> {
+    /// A driver with no verification gate.
+    pub fn new(engine: &'a dyn TileEngine, energy: &'a EnergyModel) -> Self {
+        Driver { engine, energy, verifier: None }
+    }
+
+    /// Installs a static verifier: every subsequent kernel call is checked
+    /// before it is simulated.
+    pub fn verify_before_run(mut self, verifier: &'a dyn StreamVerifier) -> Self {
+        self.verifier = Some(verifier);
+        self
+    }
+
+    /// SpMV with the optional static gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's first error-severity diagnostic if the stream
+    /// is illegal.
+    pub fn spmv(&self, a: &BbcMatrix) -> Result<KernelReport, VerifyError> {
+        if let Some(v) = self.verifier {
+            v.verify_spmv(a)?;
+        }
+        Ok(run_spmv(self.engine, self.energy, a))
+    }
+
+    /// SpMSpV with the optional static gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's first error-severity diagnostic if the stream
+    /// is illegal.
+    pub fn spmspv(&self, a: &BbcMatrix, x: &SparseVector) -> Result<KernelReport, VerifyError> {
+        if let Some(v) = self.verifier {
+            v.verify_spmspv(a, x)?;
+        }
+        Ok(run_spmspv(self.engine, self.energy, a, x))
+    }
+
+    /// SpMM with the optional static gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's first error-severity diagnostic if the stream
+    /// is illegal.
+    pub fn spmm(&self, a: &BbcMatrix, n_cols: usize) -> Result<KernelReport, VerifyError> {
+        if let Some(v) = self.verifier {
+            v.verify_spmm(a, n_cols)?;
+        }
+        Ok(run_spmm(self.engine, self.energy, a, n_cols))
+    }
+
+    /// SpGEMM with the optional static gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's first error-severity diagnostic if the stream
+    /// is illegal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block grids do not conform and no verifier is
+    /// installed (with one, non-conforming grids are a verifier rejection).
+    pub fn spgemm(&self, a: &BbcMatrix, b: &BbcMatrix) -> Result<KernelReport, VerifyError> {
+        if let Some(v) = self.verifier {
+            v.verify_spgemm(a, b)?;
+            if a.block_cols() != b.block_rows() {
+                return Err(VerifyError {
+                    code: "USTC012".to_owned(),
+                    message: format!(
+                        "SpGEMM block grids do not conform ({}x{} blocks vs {}x{})",
+                        a.block_rows(),
+                        a.block_cols(),
+                        b.block_rows(),
+                        b.block_cols()
+                    ),
+                });
+            }
+        }
+        Ok(run_spgemm(self.engine, self.energy, a, b))
+    }
+
+    /// SpMV under a fault plan, with the static gate applied to the
+    /// *corrupted* matrix: a verifier turns silent metadata corruption into
+    /// an up-front `USTC012` rejection, before any cycle is simulated.
+    /// Without a verifier this is exactly [`run_spmv_faulted`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's rejection of the corrupted stream (the
+    /// caller decides whether to re-read from protected storage and retry).
+    pub fn spmv_faulted(
+        &self,
+        a: &BbcMatrix,
+        plan: &crate::fault::FaultPlan,
+    ) -> Result<KernelReport, VerifyError> {
+        let Some(v) = self.verifier else {
+            return Ok(run_spmv_faulted(self.engine, self.energy, a, plan));
+        };
+        let (corrupted, outcome) = plan.inject_into(a);
+        v.verify_spmv(&corrupted)?;
+        let mut rep = run_spmv(self.engine, self.energy, &corrupted);
+        rep.events.faults_injected = outcome.log.injected();
+        rep.events.faults_detected = outcome.detected;
+        Ok(rep)
+    }
+}
+
 /// The four sparse kernels (Fig. 2 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Kernel {

@@ -19,7 +19,7 @@ use crate::{CsrMatrix, FormatError, StorageSize, VALUE_BYTES};
 /// let csr = CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0])?;
 /// let bm = BitmapMatrix::from_csr(&csr);
 /// assert_eq!(bm.get(0, 0), Some(1.0));
-/// assert_eq!(bm.to_csr(), csr);
+/// assert_eq!(bm.to_csr()?, csr);
 /// # Ok(())
 /// # }
 /// ```
@@ -130,7 +130,13 @@ impl BitmapMatrix {
     }
 
     /// Converts back to CSR form.
-    pub fn to_csr(&self) -> CsrMatrix {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] if the CSR constructor rejects the emitted
+    /// coordinates — impossible for a structurally valid bitmap, but
+    /// surfaced as a typed error rather than a panic.
+    pub fn to_csr(&self) -> Result<CsrMatrix, FormatError> {
         let mut coo = crate::CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
         let mut vi = 0usize;
         for r in 0..self.nrows {
@@ -141,7 +147,7 @@ impl BitmapMatrix {
                 }
             }
         }
-        CsrMatrix::try_from(coo).expect("bitmap coordinates are always in range")
+        CsrMatrix::try_from(coo)
     }
 }
 
@@ -188,7 +194,14 @@ mod tests {
     #[test]
     fn roundtrip_preserves_matrix() {
         let csr = fig1_matrix();
-        assert_eq!(BitmapMatrix::from_csr(&csr).to_csr(), csr);
+        assert_eq!(BitmapMatrix::from_csr(&csr).to_csr().unwrap(), csr);
+    }
+
+    #[test]
+    fn to_csr_returns_typed_result() {
+        // Degenerate shapes convert without panicking.
+        let empty = BitmapMatrix::from_csr(&CsrMatrix::identity(0));
+        assert_eq!(empty.to_csr().unwrap().nnz(), 0);
     }
 
     #[test]

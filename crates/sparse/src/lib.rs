@@ -66,6 +66,10 @@ pub use dense::DenseMatrix;
 pub use error::FormatError;
 pub use sparsevec::SparseVector;
 
+/// The crate's error type under its conventional name: every fallible
+/// sparse operation returns `Result<_, SparseError>`.
+pub use error::FormatError as SparseError;
+
 /// Number of bytes used by one column/row index in compressed formats.
 ///
 /// All formats in this crate use 32-bit indices, matching the accounting of

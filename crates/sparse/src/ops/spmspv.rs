@@ -40,18 +40,23 @@ pub fn spmspv(a: &CsrMatrix, x: &SparseVector) -> Result<SparseVector, FormatErr
     // Column-driven: transpose once, then accumulate the selected columns.
     let at: CscMatrix = a.to_csc();
     let mut acc = vec![0.0; a.nrows()];
+    // Structural touch marks: value-independent, so entries that cancel to
+    // an exact 0.0 stay structurally present (hardware-accumulator
+    // semantics) without any float comparison.
+    let mut is_touched = vec![false; a.nrows()];
     let mut touched = Vec::new();
     for (col, xv) in x.iter() {
         let (rows, vals) = at.col(col);
         for (&r, &v) in rows.iter().zip(vals) {
-            if acc[r as usize] == 0.0 {
+            let ri = r as usize;
+            if !is_touched[ri] {
+                is_touched[ri] = true;
                 touched.push(r);
             }
-            acc[r as usize] += v * xv;
+            acc[ri] += v * xv;
         }
     }
     touched.sort_unstable();
-    touched.dedup();
     let mut idx = Vec::with_capacity(touched.len());
     let mut values = Vec::with_capacity(touched.len());
     for &r in &touched {
@@ -96,6 +101,22 @@ mod tests {
         let a = CsrMatrix::identity(3);
         let x = SparseVector::zeros(2);
         assert!(spmspv(&a, &x).is_err());
+    }
+
+    #[test]
+    fn cancellation_keeps_structural_nonzero() {
+        // Row 0 receives +5 and -5: the entry cancels to an exact 0.0 but
+        // stays structurally present, as in the hardware accumulator.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, -1.0);
+        coo.push(1, 1, 2.0);
+        let a = CsrMatrix::try_from(coo).unwrap();
+        let x = SparseVector::try_new(2, vec![0, 1], vec![5.0, 5.0]).unwrap();
+        let y = spmspv(&a, &x).unwrap();
+        assert_eq!(y.get(0), Some(0.0), "cancelled entry stays structural");
+        assert_eq!(y.get(1), Some(10.0));
+        assert_eq!(y.nnz(), 2);
     }
 
     #[test]

@@ -12,6 +12,16 @@ export CARGO_NET_OFFLINE=true
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== workspace source lint =="
+# Robustness rules over library code (no-unwrap/no-panic/float-eq/...),
+# with stable per-rule allowlists; see crates/analysis/src/lint.rs.
+cargo run -p analysis --bin lint
+
+echo "== golden diagnostics snapshot =="
+# The USTC diagnostic renderings are pinned; re-bless deliberate changes
+# with ANALYSIS_BLESS=1 cargo test -p analysis.
+cargo test -p analysis -q
+
 echo "== cargo test =="
 cargo test --workspace -q
 

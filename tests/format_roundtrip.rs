@@ -61,7 +61,7 @@ fn bitmap_roundtrip() {
     for seed in 0..CASES {
         let csr = random_matrix(seed);
         let bm = BitmapMatrix::from_csr(&csr);
-        assert_eq!(bm.to_csr(), csr, "seed {seed}");
+        assert_eq!(bm.to_csr().expect("bitmap coordinates in range"), csr, "seed {seed}");
     }
 }
 
