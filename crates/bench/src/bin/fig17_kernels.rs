@@ -7,8 +7,11 @@
 //! DS-STC reaches 5.21x (SpMV) and 5.25x (SpMSpV) speedup; over RM-STC
 //! 2.74x / 5.50x; energy-efficiency gains over RM-STC of 1.74x (SpMV-ish
 //! tier) up to 2.21x (SpGEMM).
+//!
+//! Pass `--json` for the machine-readable rendering.
 
-use bench::{headline_engines, print_table, MatrixCtx, KERNELS};
+use bench::output::{Report, Section};
+use bench::{headline_engines, MatrixCtx, KERNELS};
 use simkit::driver::Kernel;
 use simkit::metrics::{geomean, Comparison};
 use simkit::{EnergyModel, Precision};
@@ -32,9 +35,24 @@ fn rectangular_random(rows: usize, cols: usize, density: f64, seed: u64) -> spar
     sparse::CsrMatrix::try_from(coo).expect("coordinates in range")
 }
 
+fn comparison_cell(c: &Comparison) -> String {
+    format!("P={:.2} E={:.2} ExP={:.2}", c.speedup, c.energy_reduction, c.efficiency())
+}
+
+fn geomean_note(name: &str, cs: &[Comparison]) -> String {
+    format!(
+        "geomean {name}: P={:.2} E={:.2} ExP={:.2}",
+        geomean(cs.iter().map(|c| c.speedup)).unwrap_or(0.0),
+        geomean(cs.iter().map(|c| c.energy_reduction)).unwrap_or(0.0),
+        geomean(cs.iter().map(|c| c.efficiency())).unwrap_or(0.0),
+    )
+}
+
 fn main() {
     let em = EnergyModel::default();
-    println!("Fig. 17 (kernels): representative matrices, normalised to DS-STC, 64 MAC@FP64\n");
+    let mut report = Report::new(
+        "Fig. 17: representative matrices (64 MAC@FP64) and DNN inference (128 MAC@FP32), normalised to DS-STC",
+    );
 
     let reps: Vec<MatrixCtx> = representative_matrices()
         .into_iter()
@@ -42,8 +60,8 @@ fn main() {
         .collect();
 
     for kernel in KERNELS {
-        println!("--- {kernel} ---");
-        let mut rows = Vec::new();
+        let mut section =
+            Section::new(kernel.to_string(), &["matrix", "RM-STC vs DS", "Uni-STC vs DS"]);
         let mut per_engine: Vec<(String, Vec<Comparison>)> = Vec::new();
         for ctx in &reps {
             let engines = headline_engines(Precision::Fp64);
@@ -52,34 +70,25 @@ fn main() {
             for e in &engines[1..] {
                 let r = ctx.run(e.as_ref(), &em, kernel);
                 let c = Comparison::of(&r, &baseline);
-                row.push(format!(
-                    "P={:.2} E={:.2} ExP={:.2}",
-                    c.speedup,
-                    c.energy_reduction,
-                    c.efficiency()
-                ));
+                row.push(comparison_cell(&c));
                 match per_engine.iter_mut().find(|(n, _)| n == e.name()) {
                     Some((_, v)) => v.push(c),
                     None => per_engine.push((e.name().to_owned(), vec![c])),
                 }
             }
-            rows.push(row);
+            section.row(row);
         }
-        print_table(&["matrix", "RM-STC vs DS", "Uni-STC vs DS"], &rows);
         for (name, cs) in &per_engine {
-            println!(
-                "  geomean {name}: P={:.2} E={:.2} ExP={:.2}",
-                geomean(cs.iter().map(|c| c.speedup)).unwrap_or(0.0),
-                geomean(cs.iter().map(|c| c.energy_reduction)).unwrap_or(0.0),
-                geomean(cs.iter().map(|c| c.efficiency())).unwrap_or(0.0),
-            );
+            section.note(geomean_note(name, cs));
         }
-        println!();
+        report.push(section);
     }
 
-    println!("Fig. 17 (DNN inference): DLMC-like layers, 128 MAC@FP32, normalised to DS-STC\n");
     for model in [DnnModel::ResNet50, DnnModel::Transformer] {
-        let mut rows = Vec::new();
+        let mut section = Section::new(
+            format!("DNN inference: {model}"),
+            &["layer", "RM-STC vs DS", "Uni-STC vs DS"],
+        );
         let mut uni_cs = Vec::new();
         // ResNet-50 activations are "usually sparse after preprocessing";
         // Transformer activations are dense-ish (Section VI-C.2).
@@ -118,26 +127,17 @@ fn main() {
                 for e in &engines[1..] {
                     let r = run(e.as_ref());
                     let c = Comparison::of(&r, &baseline);
-                    row.push(format!(
-                        "P={:.2} E={:.2} ExP={:.2}",
-                        c.speedup,
-                        c.energy_reduction,
-                        c.efficiency()
-                    ));
+                    row.push(comparison_cell(&c));
                     if e.name() == "Uni-STC" {
                         uni_cs.push(c);
                     }
                 }
-                rows.push(row);
+                section.row(row);
             }
         }
-        println!("--- {model} ---");
-        print_table(&["layer", "RM-STC vs DS", "Uni-STC vs DS"], &rows);
-        println!(
-            "  geomean Uni-STC: P={:.2} E={:.2} ExP={:.2}\n",
-            geomean(uni_cs.iter().map(|c| c.speedup)).unwrap_or(0.0),
-            geomean(uni_cs.iter().map(|c| c.energy_reduction)).unwrap_or(0.0),
-            geomean(uni_cs.iter().map(|c| c.efficiency())).unwrap_or(0.0),
-        );
+        section.note(geomean_note("Uni-STC", &uni_cs));
+        report.push(section);
     }
+
+    report.emit();
 }

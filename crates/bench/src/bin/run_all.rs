@@ -1,8 +1,13 @@
 //! Runs the entire experiment suite — the reproduction's equivalent of the
 //! paper artifact's `qrun` workflow automation. Each table/figure binary is
-//! executed in sequence; pass `--full` to forward full-corpus mode.
+//! executed in sequence; pass `--full` to forward full-corpus mode and
+//! `--json` for a machine-readable summary (also forwarded to every
+//! binary). Exits nonzero if any experiment fails.
 
 use std::process::Command;
+use std::time::Instant;
+
+use bench::output::{json_mode, Report, Section};
 
 const BINARIES: &[&str] = &[
     "table03_06_geometry",
@@ -33,29 +38,48 @@ fn main() {
     let exe = std::env::current_exe().expect("current executable path");
     let dir = exe.parent().expect("target directory").to_path_buf();
     let forward: Vec<String> = std::env::args().skip(1).collect();
+    // In `--json` mode the children's stdout is the payload; keep the
+    // banners out of it.
+    let quiet = json_mode();
 
+    let mut summary = Section::new("", &["binary", "status", "wall_s"]);
     let mut failures = Vec::new();
     for bin in BINARIES {
-        println!("\n================ {bin} ================\n");
+        if !quiet {
+            println!("\n================ {bin} ================\n");
+        }
         let path = dir.join(bin);
+        let started = Instant::now();
         let status = Command::new(&path).args(&forward).status();
-        match status {
-            Ok(s) if s.success() => {}
+        let wall = started.elapsed().as_secs_f64();
+        let outcome = match status {
+            Ok(s) if s.success() => "ok".to_owned(),
             Ok(s) => {
                 eprintln!("{bin} exited with {s}");
                 failures.push(*bin);
+                format!("{s}")
             }
             Err(e) => {
                 eprintln!("failed to launch {} ({e}); build with `cargo build --release -p bench`", path.display());
                 failures.push(*bin);
+                "launch failed".to_owned()
             }
-        }
+        };
+        summary.row(vec![(*bin).to_owned(), outcome, format!("{wall:.2}")]);
     }
-    println!("\n================ summary ================");
+
     if failures.is_empty() {
-        println!("all {} experiments completed", BINARIES.len());
+        summary.note(format!("all {} experiments completed", BINARIES.len()));
     } else {
-        println!("failed: {failures:?}");
+        summary.note(format!("failed: {failures:?}"));
+    }
+    let mut report = Report::new("run_all summary");
+    report.push(summary);
+    if !quiet {
+        println!("\n================ summary ================");
+    }
+    report.emit();
+    if !failures.is_empty() {
         std::process::exit(1);
     }
 }

@@ -7,9 +7,11 @@
 //! SpMSpV 3.39, SpMM 2.52, SpGEMM 1.45. Maximum speedups reach 16x
 //! (SpMV/SpGEMM) and 28.76x (SpMSpV).
 //!
-//! Run with `--full` for the whole corpus.
+//! Run with `--full` for the whole corpus, `--json` for the
+//! machine-readable rendering.
 
-use bench::{corpus_contexts, headline_engines, print_table, spgemm_within_cap, KERNELS};
+use bench::output::{Report, Section};
+use bench::{corpus_contexts, headline_engines, spgemm_within_cap, KERNELS};
 use simkit::driver::Kernel;
 use simkit::metrics::{Comparison, CorpusSummary};
 use simkit::{EnergyModel, Precision};
@@ -17,9 +19,17 @@ use simkit::{EnergyModel, Precision};
 fn main() {
     let em = EnergyModel::default();
     let contexts = corpus_contexts();
-    println!("Table VIII: Uni-STC vs DS-STC / RM-STC over {} corpus matrices\n", contexts.len());
+    let mut report = Report::new(format!(
+        "Table VIII: Uni-STC vs DS-STC / RM-STC over {} corpus matrices",
+        contexts.len()
+    ));
+    let mut section = Section::new(
+        "",
+        &[
+            "kernel", "vs", "P geo", "P max", "E geo", "E max", "ExP geo", "ExP max", "#mats",
+        ],
+    );
 
-    let mut rows = Vec::new();
     for kernel in KERNELS {
         let mut vs_ds: Vec<Comparison> = Vec::new();
         let mut vs_rm: Vec<Comparison> = Vec::new();
@@ -39,7 +49,7 @@ fn main() {
         }
         for (baseline, cs) in [("DS-STC", &vs_ds), ("RM-STC", &vs_rm)] {
             if let Some(s) = CorpusSummary::from_comparisons(cs) {
-                rows.push(vec![
+                section.row(vec![
                     kernel.to_string(),
                     baseline.to_owned(),
                     format!("{:.2}", s.geo_speedup),
@@ -53,12 +63,8 @@ fn main() {
             }
         }
     }
-    print_table(
-        &[
-            "kernel", "vs", "P geo", "P max", "E geo", "E max", "ExP geo", "ExP max", "#mats",
-        ],
-        &rows,
-    );
-    println!("\npaper geomeans vs DS-STC: P = 3.76 / 4.18 / 3.07 / 2.40 per kernel;");
-    println!("vs RM-STC: P = 1.47 / 3.39 / 2.52 / 1.45; headline 3.35x / 2.21x overall.");
+    section.note("paper geomeans vs DS-STC: P = 3.76 / 4.18 / 3.07 / 2.40 per kernel;");
+    section.note("vs RM-STC: P = 1.47 / 3.39 / 2.52 / 1.45; headline 3.35x / 2.21x overall.");
+    report.push(section);
+    report.emit();
 }

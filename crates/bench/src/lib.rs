@@ -8,6 +8,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod output;
+pub mod perf;
+
 use baselines::{DsStc, Gamma, NvDtc, RmStc, Sigma, Trapezoid};
 use simkit::driver::{self, Kernel, KernelReport};
 use simkit::{EnergyModel, Precision, TileEngine};

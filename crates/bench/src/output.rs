@@ -1,0 +1,167 @@
+//! Shared output serialization for the experiment binaries.
+//!
+//! Every binary renders its results through a [`Report`]: aligned text
+//! tables on stdout by default, or one machine-readable JSON document when
+//! `--json` is passed. A single serializer keeps the JSON shape identical
+//! across all figures, so downstream tooling parses one schema
+//! (`title` / `sections[] { title, headers, rows[], notes[] }` with each
+//! row an object keyed by header).
+
+use obs::json::Value;
+
+/// Whether `--json` was passed: binaries emit one JSON document on stdout
+/// instead of text tables.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// One titled table plus free-form note lines (geomeans, paper reference
+/// points, caveats).
+#[derive(Debug, Clone)]
+pub struct Section {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Section {
+    /// A new section with the given column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Section {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one table row (cells beyond the header count are dropped in
+    /// the JSON rendering; keep rows and headers aligned).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Appends a free-form note line below the table.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    fn to_json(&self) -> Value {
+        let rows: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Value::Object(
+                    self.headers
+                        .iter()
+                        .zip(r.iter())
+                        .map(|(h, c)| (h.clone(), Value::Str(c.clone())))
+                        .collect(),
+                )
+            })
+            .collect();
+        Value::object(vec![
+            ("title", Value::Str(self.title.clone())),
+            (
+                "headers",
+                Value::Array(self.headers.iter().map(|h| Value::Str(h.clone())).collect()),
+            ),
+            ("rows", Value::Array(rows)),
+            (
+                "notes",
+                Value::Array(self.notes.iter().map(|n| Value::Str(n.clone())).collect()),
+            ),
+        ])
+    }
+
+    fn emit_text(&self) {
+        if !self.title.is_empty() {
+            println!("--- {} ---", self.title);
+        }
+        let headers: Vec<&str> = self.headers.iter().map(String::as_str).collect();
+        crate::print_table(&headers, &self.rows);
+        for note in &self.notes {
+            println!("  {note}");
+        }
+        println!();
+    }
+}
+
+/// A whole binary's output: a title plus one or more [`Section`]s.
+#[derive(Debug, Clone)]
+pub struct Report {
+    title: String,
+    sections: Vec<Section>,
+}
+
+impl Report {
+    /// A new report with the given overall title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report { title: title.into(), sections: Vec::new() }
+    }
+
+    /// Appends a finished section.
+    pub fn push(&mut self, section: Section) {
+        self.sections.push(section);
+    }
+
+    /// The machine-readable rendering (stable across all binaries).
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("title", Value::Str(self.title.clone())),
+            (
+                "sections",
+                Value::Array(self.sections.iter().map(Section::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Prints the report: JSON if `--json` was passed, text tables
+    /// otherwise.
+    pub fn emit(&self) {
+        if json_mode() {
+            println!("{}", self.to_json().to_json_pretty());
+        } else {
+            println!("{}\n", self.title);
+            for s in &self.sections {
+                s.emit_text();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serialises_rows_keyed_by_header() {
+        let mut s = Section::new("k", &["matrix", "cycles"]);
+        s.row(vec!["m1".into(), "42".into()]);
+        s.note("geomean 1.0");
+        let mut r = Report::new("t");
+        r.push(s);
+        let v = r.to_json();
+        assert_eq!(v.get("title").and_then(Value::as_str), Some("t"));
+        let sections = v.get("sections").and_then(Value::as_array).expect("sections");
+        assert_eq!(sections.len(), 1);
+        let rows = sections[0].get("rows").and_then(Value::as_array).expect("rows");
+        assert_eq!(rows[0].get("matrix").and_then(Value::as_str), Some("m1"));
+        assert_eq!(rows[0].get("cycles").and_then(Value::as_str), Some("42"));
+        let notes = sections[0].get("notes").and_then(Value::as_array).expect("notes");
+        assert_eq!(notes.len(), 1);
+        // Round-trips through the parser.
+        assert!(obs::json::parse(&v.to_json_pretty()).is_ok());
+    }
+
+    #[test]
+    fn short_rows_serialise_partially() {
+        let mut s = Section::new("", &["a", "b", "c"]);
+        s.row(vec!["1".into()]);
+        let v = s.to_json();
+        let rows = v.get("rows").and_then(Value::as_array).expect("rows");
+        assert!(rows[0].get("a").is_some());
+        assert!(rows[0].get("b").is_none());
+    }
+}

@@ -1,0 +1,332 @@
+//! The perf-regression corpus runner behind `cargo run -p bench --bin
+//! perf_regression`.
+//!
+//! [`collect`] runs the eight representative matrices across the headline
+//! engines and all four kernels, recording simulated cycles, MAC
+//! utilisation, wall-clock time and the deterministic counter signature of
+//! every run into a [`BenchDoc`]. The document serialises to
+//! `BENCH_<label>.json` (schema [`SCHEMA`]) and [`compare`] diffs two such
+//! documents, flagging entries whose simulated cycle count regressed by
+//! more than a threshold. Cycle counts are deterministic, so any cycle
+//! regression is a real scheduling change — wall-clock numbers are
+//! recorded for trend-watching but never gated on.
+
+use obs::json::Value;
+use obs::{MetricsRegistry, WallSpan};
+use simkit::{EnergyModel, Precision};
+use workloads::representative::representative_matrices;
+
+use crate::{headline_engines, MatrixCtx, KERNELS};
+
+/// Schema identifier written into every `BENCH_*.json` document.
+pub const SCHEMA: &str = "ustc-bench-v1";
+
+/// Histogram bounds (cycles per T1 task) for the `t1/avg_cycles_per_task`
+/// metric.
+const T1_CYCLE_BOUNDS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// One (matrix, engine, kernel) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Matrix display name.
+    pub matrix: String,
+    /// Engine display name.
+    pub engine: String,
+    /// Kernel display name.
+    pub kernel: String,
+    /// Simulated cycles (deterministic — the regression gate).
+    pub cycles: u64,
+    /// Useful MAC operations.
+    pub useful: u64,
+    /// Issued T1 tasks.
+    pub t1_tasks: u64,
+    /// Mean MAC utilisation in `[0, 1]`.
+    pub mac_utilisation: f64,
+    /// Host wall-clock milliseconds for this run (informational only).
+    pub wall_ms: f64,
+    /// The report's deterministic counter signature.
+    pub signature: String,
+}
+
+impl BenchEntry {
+    /// The comparison key: entries match across documents when matrix,
+    /// engine and kernel all agree.
+    pub fn key(&self) -> String {
+        format!("{} / {} / {}", self.matrix, self.engine, self.kernel)
+    }
+
+    fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("matrix", Value::Str(self.matrix.clone())),
+            ("engine", Value::Str(self.engine.clone())),
+            ("kernel", Value::Str(self.kernel.clone())),
+            ("cycles", Value::from(self.cycles)),
+            ("useful", Value::from(self.useful)),
+            ("t1_tasks", Value::from(self.t1_tasks)),
+            ("mac_utilisation", Value::from(self.mac_utilisation)),
+            ("wall_ms", Value::from(self.wall_ms)),
+            ("signature", Value::Str(self.signature.clone())),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<BenchEntry, String> {
+        let str_field = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("entry is missing string field `{name}`"))
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("entry is missing integer field `{name}`"))
+        };
+        let f64_field = |name: &str| -> Result<f64, String> {
+            v.get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("entry is missing number field `{name}`"))
+        };
+        Ok(BenchEntry {
+            matrix: str_field("matrix")?,
+            engine: str_field("engine")?,
+            kernel: str_field("kernel")?,
+            cycles: u64_field("cycles")?,
+            useful: u64_field("useful")?,
+            t1_tasks: u64_field("t1_tasks")?,
+            mac_utilisation: f64_field("mac_utilisation")?,
+            wall_ms: f64_field("wall_ms")?,
+            signature: str_field("signature")?,
+        })
+    }
+}
+
+/// A full perf-regression document: label, per-run entries and the
+/// aggregated metrics-registry export.
+#[derive(Debug, Clone)]
+pub struct BenchDoc {
+    /// Run label (becomes the `BENCH_<label>.json` filename).
+    pub label: String,
+    /// One entry per (matrix, engine, kernel).
+    pub entries: Vec<BenchEntry>,
+    /// The [`MetricsRegistry`] export of the collection run.
+    pub metrics: Value,
+}
+
+impl BenchDoc {
+    /// Serialises the document (schema [`SCHEMA`]).
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("schema", Value::from(SCHEMA)),
+            ("label", Value::Str(self.label.clone())),
+            (
+                "entries",
+                Value::Array(self.entries.iter().map(BenchEntry::to_json).collect()),
+            ),
+            ("metrics", self.metrics.clone()),
+        ])
+    }
+
+    /// Parses a document previously written by [`BenchDoc::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem: wrong
+    /// schema, missing fields, or mistyped entries.
+    pub fn from_json(v: &Value) -> Result<BenchDoc, String> {
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "document has no `schema` field".to_owned())?;
+        if schema != SCHEMA {
+            return Err(format!("schema mismatch: expected `{SCHEMA}`, found `{schema}`"));
+        }
+        let label = v
+            .get("label")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "document has no `label` field".to_owned())?
+            .to_owned();
+        let entries = v
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "document has no `entries` array".to_owned())?
+            .iter()
+            .map(BenchEntry::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let metrics = v.get("metrics").cloned().unwrap_or(Value::Null);
+        Ok(BenchDoc { label, entries, metrics })
+    }
+
+}
+
+impl std::str::FromStr for BenchDoc {
+    type Err = String;
+
+    /// Parses a document from its JSON text, reporting the first
+    /// syntactic or structural problem.
+    fn from_str(text: &str) -> Result<BenchDoc, String> {
+        let v = obs::json::parse(text).map_err(|e| e.to_string())?;
+        BenchDoc::from_json(&v)
+    }
+}
+
+/// Runs the representative corpus (eight matrices, headline engines, four
+/// kernels) and collects the perf document.
+pub fn collect(label: &str) -> BenchDoc {
+    let em = EnergyModel::default();
+    let mut reg = MetricsRegistry::new();
+    let contexts: Vec<MatrixCtx> = representative_matrices()
+        .into_iter()
+        .map(|r| MatrixCtx::new(r.name, r.matrix, 5))
+        .collect();
+    reg.set_gauge("corpus/matrices", contexts.len() as f64);
+
+    let mut entries = Vec::new();
+    for ctx in &contexts {
+        for engine in headline_engines(Precision::Fp64) {
+            for kernel in KERNELS {
+                let span = WallSpan::start();
+                let rep = ctx.run(engine.as_ref(), &em, kernel);
+                let wall = span.elapsed();
+                reg.record_span(&format!("kernel/{kernel}"), wall);
+                reg.inc_counter("driver/t1_tasks", rep.t1_tasks);
+                reg.inc_counter("driver/useful_macs", rep.useful);
+                reg.inc_counter("driver/sim_cycles", rep.cycles);
+                if let Some(avg) = rep.cycles.checked_div(rep.t1_tasks) {
+                    reg.observe("t1/avg_cycles_per_task", &T1_CYCLE_BOUNDS, avg);
+                }
+                entries.push(BenchEntry {
+                    matrix: ctx.name.clone(),
+                    engine: engine.name().to_owned(),
+                    kernel: kernel.to_string(),
+                    cycles: rep.cycles,
+                    useful: rep.useful,
+                    t1_tasks: rep.t1_tasks,
+                    mac_utilisation: rep.mean_utilisation(),
+                    wall_ms: wall.as_secs_f64() * 1e3,
+                    signature: rep.counter_signature(),
+                });
+            }
+        }
+    }
+    BenchDoc { label: label.to_owned(), entries, metrics: reg.to_json() }
+}
+
+/// One flagged cycle regression from [`compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The entry's comparison key (`matrix / engine / kernel`).
+    pub key: String,
+    /// Cycles in the previous document.
+    pub prev_cycles: u64,
+    /// Cycles in the new document.
+    pub new_cycles: u64,
+    /// Relative slowdown in percent (positive = slower).
+    pub pct: f64,
+}
+
+/// Diffs `new` against `prev`, returning every entry whose simulated cycle
+/// count grew by more than `threshold_pct` percent. Entries present in
+/// only one document are ignored (corpus membership changes are not
+/// regressions), as are wall-clock and energy numbers.
+pub fn compare(prev: &BenchDoc, new: &BenchDoc, threshold_pct: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for entry in &new.entries {
+        let key = entry.key();
+        let Some(old) = prev.entries.iter().find(|e| e.key() == key) else {
+            continue;
+        };
+        if old.cycles == 0 {
+            continue;
+        }
+        let pct = (entry.cycles as f64 / old.cycles as f64 - 1.0) * 100.0;
+        if pct > threshold_pct {
+            out.push(Regression {
+                key,
+                prev_cycles: old.cycles,
+                new_cycles: entry.cycles,
+                pct,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::str::FromStr;
+
+    use super::*;
+
+    fn entry(matrix: &str, cycles: u64) -> BenchEntry {
+        BenchEntry {
+            matrix: matrix.to_owned(),
+            engine: "Uni-STC".to_owned(),
+            kernel: "SpMV".to_owned(),
+            cycles,
+            useful: 10,
+            t1_tasks: 2,
+            mac_utilisation: 0.5,
+            wall_ms: 0.1,
+            signature: format!("sig {cycles}"),
+        }
+    }
+
+    fn doc(label: &str, entries: Vec<BenchEntry>) -> BenchDoc {
+        BenchDoc { label: label.to_owned(), entries, metrics: Value::Null }
+    }
+
+    #[test]
+    fn document_round_trips_through_json() {
+        let d = doc("t", vec![entry("m1", 100), entry("m2", 250)]);
+        let text = d.to_json().to_json_pretty();
+        let back = BenchDoc::from_str(&text).expect("round-trip parses");
+        assert_eq!(back.label, "t");
+        assert_eq!(back.entries, d.entries);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let d = doc("t", vec![]);
+        let text = d.to_json().to_json().replace(SCHEMA, "other-schema");
+        let err = BenchDoc::from_str(&text).expect_err("wrong schema must fail");
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn compare_flags_ten_percent_slowdown() {
+        let prev = doc("prev", vec![entry("m1", 100), entry("m2", 200)]);
+        let mut slow = prev.clone();
+        slow.entries[1].cycles = 220; // +10 %
+        let regs = compare(&prev, &slow, 5.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].prev_cycles, 200);
+        assert_eq!(regs[0].new_cycles, 220);
+        assert!((regs[0].pct - 10.0).abs() < 1e-9);
+        // A looser threshold lets it pass.
+        assert!(compare(&prev, &slow, 15.0).is_empty());
+        // Identical documents never regress.
+        assert!(compare(&prev, &prev, 5.0).is_empty());
+    }
+
+    #[test]
+    fn compare_ignores_membership_changes_and_speedups() {
+        let prev = doc("prev", vec![entry("m1", 100)]);
+        let new = doc("new", vec![entry("m1", 50), entry("m-new", 9999)]);
+        assert!(compare(&prev, &new, 5.0).is_empty());
+    }
+
+    #[test]
+    fn collect_is_cycle_deterministic() {
+        let a = collect("a");
+        let b = collect("b");
+        assert!(!a.entries.is_empty());
+        assert_eq!(a.entries.len(), b.entries.len());
+        for (ea, eb) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(ea.key(), eb.key());
+            assert_eq!(ea.cycles, eb.cycles, "{}", ea.key());
+            assert_eq!(ea.signature, eb.signature, "{}", ea.key());
+        }
+        // 8 matrices x 3 engines x 4 kernels.
+        assert_eq!(a.entries.len(), 8 * 3 * 4);
+    }
+}

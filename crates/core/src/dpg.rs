@@ -111,6 +111,27 @@ pub fn expand_t3(a_tile: u16, b_tile: u16, fill: FillOrder) -> Vec<T4Code> {
     out
 }
 
+/// [`expand_t3`] with instrumentation: records one
+/// [`DpgExpand`](obs::TraceEvent::DpgExpand) event carrying the segment
+/// count and total intermediate products of the expansion.
+pub fn expand_t3_traced(
+    a_tile: u16,
+    b_tile: u16,
+    fill: FillOrder,
+    sink: &mut dyn obs::TraceSink,
+) -> Vec<T4Code> {
+    let codes = expand_t3(a_tile, b_tile, fill);
+    if sink.enabled() {
+        let products: u32 = codes.iter().map(|c| u32::from(c.len())).sum();
+        sink.record(obs::TraceEvent::DpgExpand {
+            cycle: 0,
+            segments: codes.len() as u32,
+            products,
+        });
+    }
+    codes
+}
+
 /// Maximum distance (in queue positions) between two T4 codes that share
 /// an operand, for broadcast-range analysis.
 ///

@@ -111,6 +111,10 @@ impl TileEngine for UniStc {
         pipeline::execute_t1(&self.config, task)
     }
 
+    fn execute_traced(&self, task: &T1Task, sink: &mut dyn obs::TraceSink) -> T1Result {
+        pipeline::execute_t1_with_sink(&self.config, task, sink)
+    }
+
     fn network_costs(&self) -> NetworkCosts {
         NetworkCosts::uni_stc()
     }

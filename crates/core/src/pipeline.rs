@@ -21,8 +21,8 @@ use std::collections::VecDeque;
 
 use simkit::{T1Result, T1Task};
 
-use crate::dpg::expand_t3;
-use crate::tms::{generate_t3_tasks, T3Task};
+use crate::dpg::expand_t3_traced;
+use crate::tms::{generate_t3_tasks_traced, T3Task};
 use crate::UniStcConfig;
 
 /// A T3 task in flight on a DPG: its output-tile id and remaining T4
@@ -47,44 +47,92 @@ pub struct CycleTrace {
     pub tasks_in_flight: usize,
 }
 
-/// Per-cycle trace sink; the no-op instance compiles away in the hot path.
-trait TraceSink {
-    fn record(&mut self, t: CycleTrace);
+/// The pipeline's internal trace fan-out: a per-cycle [`CycleTrace`] lane
+/// (the original debugging trace) plus an [`obs::TraceSink`] lane for the
+/// observability subsystem. The no-op instance compiles away in the hot
+/// path.
+trait PipeSink {
+    fn cycle_trace(&mut self, t: CycleTrace);
+    fn obs(&mut self) -> &mut dyn obs::TraceSink;
 }
 
-struct NoTrace;
-
-impl TraceSink for NoTrace {
+impl PipeSink for obs::NoopSink {
     #[inline(always)]
-    fn record(&mut self, _t: CycleTrace) {}
+    fn cycle_trace(&mut self, _t: CycleTrace) {}
+    fn obs(&mut self) -> &mut dyn obs::TraceSink {
+        self
+    }
 }
 
-impl TraceSink for Vec<CycleTrace> {
-    fn record(&mut self, t: CycleTrace) {
-        self.push(t);
+/// Collects per-cycle traces for [`execute_t1_traced`]; obs events are
+/// dropped (its disabled obs lane keeps event emission compiled out).
+struct CycleVec(Vec<CycleTrace>);
+
+impl obs::TraceSink for CycleVec {
+    #[inline(always)]
+    fn record(&mut self, _ev: obs::TraceEvent) {}
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+impl PipeSink for CycleVec {
+    fn cycle_trace(&mut self, t: CycleTrace) {
+        self.0.push(t);
+    }
+    fn obs(&mut self) -> &mut dyn obs::TraceSink {
+        self
+    }
+}
+
+/// Forwards obs events to an external sink for [`execute_t1_with_sink`];
+/// the per-cycle [`CycleTrace`] lane is dropped.
+struct ObsForward<'a>(&'a mut dyn obs::TraceSink);
+
+impl PipeSink for ObsForward<'_> {
+    #[inline(always)]
+    fn cycle_trace(&mut self, _t: CycleTrace) {}
+    fn obs(&mut self) -> &mut dyn obs::TraceSink {
+        self.0
     }
 }
 
 /// Executes one T1 task through the three-stage pipeline, returning the
 /// cycle-accurate result.
 pub fn execute_t1(cfg: &UniStcConfig, task: &T1Task) -> T1Result {
-    execute_impl(cfg, task, &mut NoTrace)
+    execute_impl(cfg, task, &mut obs::NoopSink)
 }
 
 /// Like [`execute_t1`], but also returns a per-cycle trace — used by the
 /// `spgemm_pipeline` example and for debugging schedules.
 pub fn execute_t1_traced(cfg: &UniStcConfig, task: &T1Task) -> (T1Result, Vec<CycleTrace>) {
-    let mut trace = Vec::new();
+    let mut trace = CycleVec(Vec::new());
     let res = execute_impl(cfg, task, &mut trace);
-    (res, trace)
+    (res, trace.0)
 }
 
-fn execute_impl(cfg: &UniStcConfig, task: &T1Task, sink: &mut impl TraceSink) -> T1Result {
+/// Like [`execute_t1`], streaming [`obs::TraceEvent`]s into `sink`: TMS
+/// batch generation, per-T3 DPG expansion, and per-cycle SDPU packing,
+/// power-gate state, queue depths and arbitration stalls (task-local
+/// timestamps; kernel drivers re-base them onto the global timeline).
+///
+/// The returned result is identical to `execute_t1`'s — tracing observes
+/// the schedule without altering it.
+pub fn execute_t1_with_sink(
+    cfg: &UniStcConfig,
+    task: &T1Task,
+    sink: &mut dyn obs::TraceSink,
+) -> T1Result {
+    execute_impl(cfg, task, &mut ObsForward(sink))
+}
+
+fn execute_impl(cfg: &UniStcConfig, task: &T1Task, sink: &mut impl PipeSink) -> T1Result {
     let lanes = cfg.lanes();
     let mut res = T1Result::new(lanes);
 
     // ---- Stage 1: TMS ----
-    let t3_tasks: Vec<T3Task> = generate_t3_tasks(&task.a, &task.b, cfg.ordering);
+    let t3_tasks: Vec<T3Task> =
+        generate_t3_tasks_traced(&task.a, &task.b, cfg.ordering, sink.obs());
     if t3_tasks.is_empty() {
         return res;
     }
@@ -111,7 +159,7 @@ fn execute_impl(cfg: &UniStcConfig, task: &T1Task, sink: &mut impl TraceSink) ->
     let mut queue: VecDeque<InFlight> = t3_tasks
         .iter()
         .map(|t| {
-            let codes = expand_t3(t.a_tile, t.b_tile, cfg.fill_order);
+            let codes = expand_t3_traced(t.a_tile, t.b_tile, cfg.fill_order, sink.obs());
             res.events.sched_ops += codes.len() as u64;
             InFlight {
                 output_id: t.output_id(),
@@ -130,6 +178,7 @@ fn execute_impl(cfg: &UniStcConfig, task: &T1Task, sink: &mut impl TraceSink) ->
     // not contend for an accumulator bank; write-conflict arbitration only
     // guards the accumulation-buffer path of MM tasks (Fig. 8 (3)).
     let check_conflicts = task.n_cols > 1;
+    let mut cycle = 0u64;
 
     loop {
         // Refill empty DPG slots from the tile queue.
@@ -142,11 +191,24 @@ fn execute_impl(cfg: &UniStcConfig, task: &T1Task, sink: &mut impl TraceSink) ->
             break;
         }
 
+        if sink.obs().enabled() {
+            // Sample queue occupancy at cycle start: T3 tasks still in the
+            // Tile queue, T4 segments resident in DPG slots (Dot queue).
+            let dot: u32 =
+                slots.iter().flatten().map(|infl| infl.segments.len() as u32).sum();
+            sink.obs().record(obs::TraceEvent::QueueDepth {
+                cycle,
+                tile: queue.len() as u32,
+                dot,
+            });
+        }
+
         let tasks_in_flight = slots.iter().filter(|s| s.is_some()).count();
         let mut used = 0usize;
         let mut outputs_claimed: u16 = 0;
         let mut active_dpgs = 0u64;
         let mut stalled_dpgs = 0usize;
+        let mut segments_emitted = 0u32;
         for off in 0..n_dpg {
             if used >= lanes {
                 break;
@@ -169,6 +231,7 @@ fn execute_impl(cfg: &UniStcConfig, task: &T1Task, sink: &mut impl TraceSink) ->
                 infl.segments.pop_front();
                 used += len;
                 emitted += len;
+                segments_emitted += 1;
                 // One pre-merged partial write per segment (SDPU merge).
                 res.events.partial_updates += 1;
             }
@@ -181,7 +244,26 @@ fn execute_impl(cfg: &UniStcConfig, task: &T1Task, sink: &mut impl TraceSink) ->
             }
         }
         debug_assert!(used > 0, "pipeline must make progress every cycle");
-        sink.record(CycleTrace {
+        if sink.obs().enabled() {
+            sink.obs().record(obs::TraceEvent::SdpuPack {
+                cycle,
+                segments: segments_emitted,
+                lanes_used: used.min(lanes) as u32,
+                lanes: lanes as u32,
+            });
+            sink.obs().record(obs::TraceEvent::DpgPowerGate {
+                cycle,
+                active: active_dpgs as u32,
+                total: n_dpg as u32,
+            });
+            if stalled_dpgs > 0 {
+                sink.obs().record(obs::TraceEvent::Stall {
+                    cycle,
+                    dpgs: stalled_dpgs as u32,
+                });
+            }
+        }
+        sink.cycle_trace(CycleTrace {
             used_lanes: used.min(lanes),
             active_dpgs: active_dpgs as usize,
             stalled_dpgs,
@@ -193,6 +275,7 @@ fn execute_impl(cfg: &UniStcConfig, task: &T1Task, sink: &mut impl TraceSink) ->
         res.events.unit_cycles += powered;
         res.events.c_ports_cycles += powered * 256; // 16x16 net per DPG
         rr = (rr + 1) % n_dpg;
+        cycle += 1;
     }
 
     // Final write-back: the accumulation buffer holds tile C partials
@@ -344,6 +427,53 @@ mod tests {
         let b = Block16::from_fn(|_, c| c == 0);
         let (_, trace) = execute_t1_traced(&cfg(), &T1Task::mm(a, b));
         assert!(trace.iter().any(|c| c.stalled_dpgs > 0));
+    }
+
+    #[test]
+    fn sink_run_matches_untraced_and_covers_all_stages() {
+        let a = Block16::from_fn(|r, c| (r * 3 + c) % 4 < 2);
+        let b = Block16::from_fn(|r, c| (r + c * 7) % 5 < 3);
+        let t = T1Task::mm(a, b);
+        let plain = execute_t1(&cfg(), &t);
+        let mut events: Vec<obs::TraceEvent> = Vec::new();
+        let traced = execute_t1_with_sink(&cfg(), &t, &mut events);
+        assert_eq!(plain, traced);
+
+        let count = |k: &str| events.iter().filter(|e| e.kind() == k).count() as u64;
+        assert_eq!(count("tms_generate"), 1);
+        assert!(count("dpg_expand") > 0);
+        // One pack + one power-gate sample + one queue sample per cycle.
+        assert_eq!(count("sdpu_pack"), traced.cycles);
+        assert_eq!(count("dpg_power_gate"), traced.cycles);
+        assert_eq!(count("queue_depth"), traced.cycles);
+
+        // The per-cycle pack events reconstruct the segment total.
+        let segments: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                obs::TraceEvent::SdpuPack { segments, .. } => Some(u64::from(*segments)),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(segments, traced.events.partial_updates);
+        // And the power-gate samples reconstruct unit_cycles.
+        let active: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                obs::TraceEvent::DpgPowerGate { active, .. } => Some(u64::from(*active)),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(active, traced.events.unit_cycles);
+    }
+
+    #[test]
+    fn sink_run_reports_stalls_on_conflicting_mm() {
+        let a = Block16::from_fn(|r, c| r % 4 == c % 4);
+        let b = Block16::from_fn(|_, c| c == 0);
+        let mut events: Vec<obs::TraceEvent> = Vec::new();
+        execute_t1_with_sink(&cfg(), &T1Task::mm(a, b), &mut events);
+        assert!(events.iter().any(|e| e.kind() == "stall"));
     }
 
     #[test]

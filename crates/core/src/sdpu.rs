@@ -102,22 +102,52 @@ impl PackStats {
 /// (first-fit without reordering — the hardware consumes the dot-product
 /// queue in fill order).
 pub fn pack_segments<I: IntoIterator<Item = u8>>(segments: I, lanes: usize) -> PackStats {
+    pack_segments_traced(segments, lanes, &mut obs::NoopSink)
+}
+
+/// [`pack_segments`] with instrumentation: records one
+/// [`SdpuPack`](obs::TraceEvent::SdpuPack) event per packed cycle with the
+/// segment count and lane occupancy of that cycle.
+pub fn pack_segments_traced<I: IntoIterator<Item = u8>>(
+    segments: I,
+    lanes: usize,
+    sink: &mut dyn obs::TraceSink,
+) -> PackStats {
     let mut alloc = LaneAllocator::new(lanes);
     let mut stats = PackStats::default();
     let mut open = false;
+    let mut cycle_segments = 0u32;
     for seg in segments {
         let len = seg as usize;
         if !alloc.try_place(len) {
+            if sink.enabled() {
+                sink.record(obs::TraceEvent::SdpuPack {
+                    cycle: stats.cycles,
+                    segments: cycle_segments,
+                    lanes_used: alloc.used() as u32,
+                    lanes: lanes as u32,
+                });
+            }
             stats.cycles += 1;
             alloc.reset();
+            cycle_segments = 0;
             let placed = alloc.try_place(len);
             debug_assert!(placed, "segment must fit in an empty cycle");
         }
         open = true;
+        cycle_segments += 1;
         stats.useful_lanes += len as u64;
         stats.merged_writes += 1;
     }
     if open {
+        if sink.enabled() {
+            sink.record(obs::TraceEvent::SdpuPack {
+                cycle: stats.cycles,
+                segments: cycle_segments,
+                lanes_used: alloc.used() as u32,
+                lanes: lanes as u32,
+            });
+        }
         stats.cycles += 1;
     }
     stats
@@ -178,6 +208,25 @@ mod tests {
         assert_eq!(stats.merged_writes, 4);
         assert_eq!(stats.useful_lanes, 11);
         assert_eq!(stats.cycles, 1);
+    }
+
+    #[test]
+    fn traced_pack_emits_one_event_per_cycle() {
+        let mut events: Vec<obs::TraceEvent> = Vec::new();
+        let stats = pack_segments_traced([3u8, 3, 3], 8, &mut events);
+        assert_eq!(stats, pack_segments([3u8, 3, 3], 8));
+        assert_eq!(events.len() as u64, stats.cycles);
+        let (used, segs): (u64, u64) = events
+            .iter()
+            .filter_map(|e| match e {
+                obs::TraceEvent::SdpuPack { segments, lanes_used, .. } => {
+                    Some((u64::from(*lanes_used), u64::from(*segments)))
+                }
+                _ => None,
+            })
+            .fold((0, 0), |(u, s), (du, ds)| (u + du, s + ds));
+        assert_eq!(used, stats.useful_lanes);
+        assert_eq!(segs, stats.merged_writes);
     }
 
     #[test]

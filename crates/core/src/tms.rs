@@ -142,6 +142,23 @@ pub fn generate_t3_tasks(a: &Block16, b: &Block16, ordering: TaskOrdering) -> Ve
     out
 }
 
+/// [`generate_t3_tasks`] with instrumentation: records one
+/// [`TmsGenerate`](obs::TraceEvent::TmsGenerate) event carrying the batch
+/// size (timestamp 0 — generation latency is hidden by the asynchronous
+/// `stc.task_gen` lifecycle, so the batch materialises at task start).
+pub fn generate_t3_tasks_traced(
+    a: &Block16,
+    b: &Block16,
+    ordering: TaskOrdering,
+    sink: &mut dyn obs::TraceSink,
+) -> Vec<T3Task> {
+    let tasks = generate_t3_tasks(a, b, ordering);
+    if sink.enabled() {
+        sink.record(obs::TraceEvent::TmsGenerate { cycle: 0, t3_tasks: tasks.len() as u32 });
+    }
+    tasks
+}
+
 /// The four intermediate-product bitmap layers of Fig. 8 (1): bit
 /// `i * 4 + j` of `layers[k]` marks T3 task `C(i,j) += A(i,k) x B(k,j)`
 /// as present (both tiles structurally nonzero with a nonzero product).

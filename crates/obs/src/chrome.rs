@@ -1,0 +1,232 @@
+//! Chrome-trace-event JSON export.
+//!
+//! Converts a recorded [`TraceEvent`] stream into the [Trace Event
+//! Format] consumed by Perfetto and `chrome://tracing`: one microsecond of
+//! trace time per simulated cycle. T1 tasks become complete (`"X"`) slices
+//! on a "T1 tasks" thread; TMS generation and DPG expansion become instant
+//! (`"i"`) events on a "TMS / DPG" thread; power-gate state, SDPU lane
+//! occupancy, queue depths and arbitration stalls become counter (`"C"`)
+//! tracks, which Perfetto renders as stacked area charts.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! The export is deterministic for a deterministic event stream (cycle
+//! timestamps only, no wall clock), which is what allows the golden
+//! snapshot test (`OBS_BLESS=1` to re-bless).
+
+use crate::json::Value;
+use crate::TraceEvent;
+
+const PID: u64 = 0;
+const TID_TASKS: u64 = 0;
+const TID_SCHED: u64 = 1;
+
+fn meta_thread_name(tid: u64, name: &str) -> Value {
+    Value::object(vec![
+        ("name", Value::from("thread_name")),
+        ("ph", Value::from("M")),
+        ("pid", Value::from(PID)),
+        ("tid", Value::from(tid)),
+        ("args", Value::object(vec![("name", Value::from(name))])),
+    ])
+}
+
+fn counter(name: &str, ts: u64, args: Vec<(&str, Value)>) -> Value {
+    Value::object(vec![
+        ("name", Value::from(name)),
+        ("ph", Value::from("C")),
+        ("pid", Value::from(PID)),
+        ("ts", Value::from(ts)),
+        ("args", Value::object(args)),
+    ])
+}
+
+fn instant(name: String, tid: u64, ts: u64, args: Vec<(&str, Value)>) -> Value {
+    Value::object(vec![
+        ("name", Value::Str(name)),
+        ("ph", Value::from("i")),
+        ("s", Value::from("t")),
+        ("pid", Value::from(PID)),
+        ("tid", Value::from(tid)),
+        ("ts", Value::from(ts)),
+        ("args", Value::object(args)),
+    ])
+}
+
+/// Builds the full Chrome trace document for an event stream.
+///
+/// The result serialises with [`Value::to_json`] (compact) or
+/// [`Value::to_json_pretty`] (golden snapshots).
+pub fn trace_document(events: &[TraceEvent]) -> Value {
+    let mut out: Vec<Value> = vec![
+        meta_thread_name(TID_TASKS, "T1 tasks"),
+        meta_thread_name(TID_SCHED, "TMS / DPG"),
+    ];
+    for ev in events {
+        match *ev {
+            TraceEvent::TaskIssue { .. } => {
+                // The retire event carries the full slice; issues need no
+                // separate mark (they coincide with the slice start).
+            }
+            TraceEvent::TaskRetire { task, cycle, cycles, useful } => {
+                out.push(Value::object(vec![
+                    ("name", Value::Str(format!("T1 #{task}"))),
+                    ("ph", Value::from("X")),
+                    ("pid", Value::from(PID)),
+                    ("tid", Value::from(TID_TASKS)),
+                    ("ts", Value::from(cycle.saturating_sub(cycles))),
+                    ("dur", Value::from(cycles)),
+                    ("args", Value::object(vec![("useful", Value::from(useful))])),
+                ]));
+            }
+            TraceEvent::TmsGenerate { cycle, t3_tasks } => {
+                out.push(instant(
+                    "TMS generate".to_owned(),
+                    TID_SCHED,
+                    cycle,
+                    vec![("t3_tasks", Value::from(u64::from(t3_tasks)))],
+                ));
+            }
+            TraceEvent::DpgExpand { cycle, segments, products } => {
+                out.push(instant(
+                    "DPG expand".to_owned(),
+                    TID_SCHED,
+                    cycle,
+                    vec![
+                        ("segments", Value::from(u64::from(segments))),
+                        ("products", Value::from(u64::from(products))),
+                    ],
+                ));
+            }
+            TraceEvent::DpgPowerGate { cycle, active, total } => {
+                out.push(counter(
+                    "active DPGs",
+                    cycle,
+                    vec![
+                        ("active", Value::from(u64::from(active))),
+                        ("gated", Value::from(u64::from(total.saturating_sub(active)))),
+                    ],
+                ));
+            }
+            TraceEvent::SdpuPack { cycle, segments, lanes_used, lanes } => {
+                out.push(counter(
+                    "SDPU lanes",
+                    cycle,
+                    vec![
+                        ("used", Value::from(u64::from(lanes_used))),
+                        ("idle", Value::from(u64::from(lanes.saturating_sub(lanes_used)))),
+                        ("segments", Value::from(u64::from(segments))),
+                    ],
+                ));
+            }
+            TraceEvent::QueueDepth { cycle, tile, dot } => {
+                out.push(counter(
+                    "queues",
+                    cycle,
+                    vec![
+                        ("tile", Value::from(u64::from(tile))),
+                        ("dot", Value::from(u64::from(dot))),
+                    ],
+                ));
+            }
+            TraceEvent::Stall { cycle, dpgs } => {
+                out.push(counter(
+                    "stalled DPGs",
+                    cycle,
+                    vec![("stalled", Value::from(u64::from(dpgs)))],
+                ));
+            }
+        }
+    }
+    Value::object(vec![
+        ("traceEvents", Value::Array(out)),
+        ("displayTimeUnit", Value::from("ms")),
+        (
+            "metadata",
+            Value::object(vec![
+                ("tool", Value::from("uni-stc obs")),
+                ("time_unit", Value::from("1 trace us = 1 simulated cycle")),
+            ]),
+        ),
+    ])
+}
+
+/// Pretty-printed Chrome trace JSON (the golden-snapshot rendering).
+pub fn export_pretty(events: &[TraceEvent]) -> String {
+    trace_document(events).to_json_pretty()
+}
+
+/// Compact Chrome trace JSON (what gets written next to BENCH files).
+pub fn export(events: &[TraceEvent]) -> String {
+    trace_document(events).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::TaskIssue { task: 0, cycle: 0, products: 12 },
+            TraceEvent::TmsGenerate { cycle: 0, t3_tasks: 3 },
+            TraceEvent::DpgExpand { cycle: 0, segments: 4, products: 12 },
+            TraceEvent::DpgPowerGate { cycle: 0, active: 2, total: 8 },
+            TraceEvent::SdpuPack { cycle: 0, segments: 4, lanes_used: 12, lanes: 64 },
+            TraceEvent::QueueDepth { cycle: 0, tile: 1, dot: 4 },
+            TraceEvent::Stall { cycle: 1, dpgs: 1 },
+            TraceEvent::TaskRetire { task: 0, cycle: 2, cycles: 2, useful: 12 },
+        ]
+    }
+
+    #[test]
+    fn export_is_valid_json_with_trace_events() {
+        let doc = json::parse(&export(&sample())).expect("valid JSON");
+        let evs = doc.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+        // 2 thread-name metadata + 7 payload events (issue folds into X).
+        assert_eq!(evs.len(), 9);
+        for ev in evs {
+            assert!(ev.get("ph").and_then(Value::as_str).is_some(), "{ev:?}");
+            assert!(ev.get("name").and_then(Value::as_str).is_some(), "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn task_slice_spans_issue_to_retire() {
+        let doc = trace_document(&sample());
+        let evs = doc.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+        let slice = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .expect("one X slice");
+        assert_eq!(slice.get("ts").and_then(Value::as_u64), Some(0));
+        assert_eq!(slice.get("dur").and_then(Value::as_u64), Some(2));
+        assert_eq!(slice.get("name").and_then(Value::as_str), Some("T1 #0"));
+    }
+
+    #[test]
+    fn counters_carry_their_series() {
+        let doc = trace_document(&sample());
+        let evs = doc.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+        let gate = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("active DPGs"))
+            .expect("power-gate counter");
+        let args = gate.get("args").expect("args");
+        assert_eq!(args.get("active").and_then(Value::as_u64), Some(2));
+        assert_eq!(args.get("gated").and_then(Value::as_u64), Some(6));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        assert_eq!(export(&sample()), export(&sample()));
+        assert_eq!(export_pretty(&sample()), export_pretty(&sample()));
+    }
+
+    #[test]
+    fn empty_stream_still_valid() {
+        let doc = json::parse(&export(&[])).expect("valid JSON");
+        let evs = doc.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+        assert_eq!(evs.len(), 2); // just the thread names
+    }
+}

@@ -1,0 +1,181 @@
+//! The trace-event vocabulary emitted by instrumented components.
+//!
+//! Every event carries a timestamp in **simulated cycles** (not wall
+//! clock): traces are therefore fully deterministic for a fixed workload,
+//! which is what lets the repo pin a golden Chrome-trace snapshot.
+
+/// One timestamped observation from an instrumented component.
+///
+/// Emitters and their events:
+///
+/// | Component | Events |
+/// |---|---|
+/// | `simkit::driver` | [`TaskIssue`](TraceEvent::TaskIssue), [`TaskRetire`](TraceEvent::TaskRetire) |
+/// | `uni_stc::tms` | [`TmsGenerate`](TraceEvent::TmsGenerate) |
+/// | `uni_stc::dpg` | [`DpgExpand`](TraceEvent::DpgExpand) |
+/// | `uni_stc::sdpu` | [`SdpuPack`](TraceEvent::SdpuPack) |
+/// | `uni_stc::pipeline` | [`DpgPowerGate`](TraceEvent::DpgPowerGate), [`QueueDepth`](TraceEvent::QueueDepth), [`Stall`](TraceEvent::Stall) (plus the three above) |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A T1 task entered an engine at `cycle` on the driver's global
+    /// timeline.
+    TaskIssue {
+        /// Sequential task number within the kernel run.
+        task: u64,
+        /// Global issue cycle.
+        cycle: u64,
+        /// Intermediate products the task carries.
+        products: u64,
+    },
+    /// A T1 task left the engine at `cycle` (global timeline).
+    TaskRetire {
+        /// Sequential task number within the kernel run.
+        task: u64,
+        /// Global retire cycle.
+        cycle: u64,
+        /// Execution cycles the task took.
+        cycles: u64,
+        /// Useful MAC operations it performed.
+        useful: u64,
+    },
+    /// The TMS generated the T3 task batch for one T1 task (stage 1).
+    TmsGenerate {
+        /// Task-local cycle (0: generation latency is hidden by the
+        /// asynchronous `stc.task_gen` lifecycle).
+        cycle: u64,
+        /// Number of T3 tasks generated.
+        t3_tasks: u32,
+    },
+    /// A DPG expanded one T3 task into T4 segments (stage 2).
+    DpgExpand {
+        /// Task-local cycle.
+        cycle: u64,
+        /// Number of T4 segments produced.
+        segments: u32,
+        /// Total intermediate products across those segments.
+        products: u32,
+    },
+    /// Per-cycle DPG power-gate state: `active` of `total` DPGs powered.
+    DpgPowerGate {
+        /// Task-local execution cycle.
+        cycle: u64,
+        /// DPGs that emitted this cycle (powered under dynamic gating).
+        active: u32,
+        /// Total DPGs in the configuration.
+        total: u32,
+    },
+    /// Per-cycle SDPU packing outcome.
+    SdpuPack {
+        /// Task-local execution cycle.
+        cycle: u64,
+        /// T4 segments packed onto the lane array this cycle.
+        segments: u32,
+        /// Lanes carrying useful products.
+        lanes_used: u32,
+        /// Total MAC lanes.
+        lanes: u32,
+    },
+    /// Per-cycle queue occupancy sample.
+    QueueDepth {
+        /// Task-local execution cycle.
+        cycle: u64,
+        /// T3 tasks waiting in the Tile queue (not yet on a DPG).
+        tile: u32,
+        /// T4 segments resident in DPG slots (the Dot-product queue).
+        dot: u32,
+    },
+    /// One or more DPGs stalled by write-conflict arbitration this cycle.
+    Stall {
+        /// Task-local execution cycle.
+        cycle: u64,
+        /// Number of stalled DPGs.
+        dpgs: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp in simulated cycles.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::TaskIssue { cycle, .. }
+            | TraceEvent::TaskRetire { cycle, .. }
+            | TraceEvent::TmsGenerate { cycle, .. }
+            | TraceEvent::DpgExpand { cycle, .. }
+            | TraceEvent::DpgPowerGate { cycle, .. }
+            | TraceEvent::SdpuPack { cycle, .. }
+            | TraceEvent::QueueDepth { cycle, .. }
+            | TraceEvent::Stall { cycle, .. } => cycle,
+        }
+    }
+
+    /// The same event shifted onto a global timeline starting at `base`.
+    pub fn at_offset(mut self, base: u64) -> Self {
+        match &mut self {
+            TraceEvent::TaskIssue { cycle, .. }
+            | TraceEvent::TaskRetire { cycle, .. }
+            | TraceEvent::TmsGenerate { cycle, .. }
+            | TraceEvent::DpgExpand { cycle, .. }
+            | TraceEvent::DpgPowerGate { cycle, .. }
+            | TraceEvent::SdpuPack { cycle, .. }
+            | TraceEvent::QueueDepth { cycle, .. }
+            | TraceEvent::Stall { cycle, .. } => *cycle += base,
+        }
+        self
+    }
+
+    /// A short stable kind label, used by exporters and counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::TaskIssue { .. } => "task_issue",
+            TraceEvent::TaskRetire { .. } => "task_retire",
+            TraceEvent::TmsGenerate { .. } => "tms_generate",
+            TraceEvent::DpgExpand { .. } => "dpg_expand",
+            TraceEvent::DpgPowerGate { .. } => "dpg_power_gate",
+            TraceEvent::SdpuPack { .. } => "sdpu_pack",
+            TraceEvent::QueueDepth { .. } => "queue_depth",
+            TraceEvent::Stall { .. } => "stall",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_and_offset_agree_for_every_variant() {
+        let evs = [
+            TraceEvent::TaskIssue { task: 1, cycle: 10, products: 5 },
+            TraceEvent::TaskRetire { task: 1, cycle: 12, cycles: 2, useful: 5 },
+            TraceEvent::TmsGenerate { cycle: 0, t3_tasks: 4 },
+            TraceEvent::DpgExpand { cycle: 0, segments: 3, products: 9 },
+            TraceEvent::DpgPowerGate { cycle: 2, active: 2, total: 8 },
+            TraceEvent::SdpuPack { cycle: 2, segments: 5, lanes_used: 17, lanes: 64 },
+            TraceEvent::QueueDepth { cycle: 2, tile: 4, dot: 11 },
+            TraceEvent::Stall { cycle: 2, dpgs: 1 },
+        ];
+        for ev in evs {
+            let shifted = ev.at_offset(100);
+            assert_eq!(shifted.cycle(), ev.cycle() + 100, "{}", ev.kind());
+            assert_eq!(shifted.kind(), ev.kind());
+        }
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            TraceEvent::TaskIssue { task: 0, cycle: 0, products: 0 }.kind(),
+            TraceEvent::TaskRetire { task: 0, cycle: 0, cycles: 0, useful: 0 }.kind(),
+            TraceEvent::TmsGenerate { cycle: 0, t3_tasks: 0 }.kind(),
+            TraceEvent::DpgExpand { cycle: 0, segments: 0, products: 0 }.kind(),
+            TraceEvent::DpgPowerGate { cycle: 0, active: 0, total: 0 }.kind(),
+            TraceEvent::SdpuPack { cycle: 0, segments: 0, lanes_used: 0, lanes: 0 }.kind(),
+            TraceEvent::QueueDepth { cycle: 0, tile: 0, dot: 0 }.kind(),
+            TraceEvent::Stall { cycle: 0, dpgs: 0 }.kind(),
+        ];
+        let mut sorted = kinds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), kinds.len());
+    }
+}

@@ -1,0 +1,173 @@
+//! A bounded ring-buffer trace sink.
+
+use crate::{TraceEvent, TraceSink};
+
+/// A bounded trace sink that keeps the **most recent** `capacity` events.
+///
+/// When the buffer is full, each new event overwrites the oldest one and
+/// bumps [`RingSink::overwritten`] — long runs stay bounded in memory and
+/// the tail of the trace (usually the interesting part) survives.
+///
+/// # Example
+///
+/// ```
+/// use obs::{RingSink, TraceEvent, TraceSink};
+///
+/// let mut ring = RingSink::new(2);
+/// ring.record(TraceEvent::Stall { cycle: 0, dpgs: 1 });
+/// ring.record(TraceEvent::Stall { cycle: 1, dpgs: 2 });
+/// ring.record(TraceEvent::Stall { cycle: 2, dpgs: 3 });
+/// let cycles: Vec<u64> = ring.events().iter().map(|e| e.cycle()).collect();
+/// assert_eq!(cycles, [1, 2]);
+/// assert_eq!(ring.overwritten(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    capacity: usize,
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the buffer has wrapped.
+    next: usize,
+    overwritten: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSink { capacity, buf: Vec::new(), next: 0, overwritten: 0 }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events dropped to make room (total recorded = `len + overwritten`).
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Total events ever recorded into this ring.
+    pub fn recorded(&self) -> u64 {
+        self.buf.len() as u64 + self.overwritten
+    }
+
+    /// The retained events in chronological (recording) order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+
+    /// Drops all retained events and resets the overwrite counter.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+        self.overwritten = 0;
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.capacity;
+            self.overwritten += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stall(cycle: u64) -> TraceEvent {
+        TraceEvent::Stall { cycle, dpgs: 1 }
+    }
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut r = RingSink::new(3);
+        assert!(r.is_empty());
+        for c in 0..3 {
+            r.record(stall(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.overwritten(), 0);
+        let cycles: Vec<u64> = r.events().iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, [0, 1, 2]);
+
+        r.record(stall(3)); // overwrites cycle 0
+        let cycles: Vec<u64> = r.events().iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, [1, 2, 3]);
+        assert_eq!(r.overwritten(), 1);
+        assert_eq!(r.recorded(), 4);
+    }
+
+    #[test]
+    fn wraparound_is_stable_over_many_generations() {
+        let mut r = RingSink::new(4);
+        for c in 0..103 {
+            r.record(stall(c));
+        }
+        let cycles: Vec<u64> = r.events().iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, [99, 100, 101, 102]);
+        assert_eq!(r.overwritten(), 99);
+        assert_eq!(r.recorded(), 103);
+        assert_eq!(r.len(), r.capacity());
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_latest() {
+        let mut r = RingSink::new(1);
+        for c in 0..10 {
+            r.record(stall(c));
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].cycle(), 9);
+        assert_eq!(r.overwritten(), 9);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut r = RingSink::new(2);
+        r.record(stall(0));
+        r.record(stall(1));
+        r.record(stall(2));
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.overwritten(), 0);
+        assert_eq!(r.recorded(), 0);
+        r.record(stall(7));
+        assert_eq!(r.events()[0].cycle(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        RingSink::new(0);
+    }
+
+    #[test]
+    fn sink_is_enabled() {
+        assert!(RingSink::new(1).enabled());
+    }
+}

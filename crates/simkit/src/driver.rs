@@ -307,6 +307,30 @@ pub fn run_tasks<I>(
 where
     I: IntoIterator<Item = T1Task>,
 {
+    run_tasks_traced(engine, energy_model, kernel, tasks, &mut obs::NoopSink)
+}
+
+/// [`run_tasks`] with tracing: streams [`obs::TraceEvent`]s into `sink` as
+/// the task stream executes.
+///
+/// The driver maintains a global cycle cursor (tasks retire back-to-back,
+/// matching the synchronous UWMMA lifecycle the cycle totals assume) and
+/// re-bases each task's task-local engine trace onto it, bracketing it with
+/// [`TaskIssue`](obs::TraceEvent::TaskIssue) /
+/// [`TaskRetire`](obs::TraceEvent::TaskRetire) markers. With a disabled
+/// sink ([`obs::NoopSink`]) this is exactly `run_tasks`: same arithmetic on
+/// the same path, so reports are bit-identical whether or not a trace is
+/// attached.
+pub fn run_tasks_traced<I>(
+    engine: &dyn TileEngine,
+    energy_model: &EnergyModel,
+    kernel: Kernel,
+    tasks: I,
+    sink: &mut dyn obs::TraceSink,
+) -> KernelReport
+where
+    I: IntoIterator<Item = T1Task>,
+{
     let mut cycles = 0u64;
     let mut useful = 0u64;
     let mut t1_tasks = 0u64;
@@ -316,7 +340,17 @@ where
         if task.is_trivial() {
             continue;
         }
-        let mut r = engine.execute(&task);
+        if sink.enabled() {
+            sink.record(obs::TraceEvent::TaskIssue {
+                task: t1_tasks,
+                cycle: cycles,
+                products: task.products(),
+            });
+        }
+        let mut r = {
+            let mut shifted = obs::OffsetSink::new(sink, cycles);
+            engine.execute_traced(&task, &mut shifted)
+        };
         r.events.meta_words += META_WORDS_PER_TASK;
         if r.events.c_ports_cycles == 0 {
             // Engines without dynamic gating pay their static network scale.
@@ -324,6 +358,14 @@ where
         }
         cycles += r.cycles;
         useful += r.useful;
+        if sink.enabled() {
+            sink.record(obs::TraceEvent::TaskRetire {
+                task: t1_tasks,
+                cycle: cycles,
+                cycles: r.cycles,
+                useful: r.useful,
+            });
+        }
         t1_tasks += 1;
         util.merge(&r.util);
         events += r.events;
@@ -347,8 +389,18 @@ pub fn run_spmv(
     energy_model: &EnergyModel,
     a: &BbcMatrix,
 ) -> KernelReport {
+    run_spmv_traced(engine, energy_model, a, &mut obs::NoopSink)
+}
+
+/// [`run_spmv`] streaming trace events into `sink`.
+pub fn run_spmv_traced(
+    engine: &dyn TileEngine,
+    energy_model: &EnergyModel,
+    a: &BbcMatrix,
+    sink: &mut dyn obs::TraceSink,
+) -> KernelReport {
     let tasks = a.blocks().map(|blk| T1Task::mv(Block16::from_bbc(&blk), u16::MAX));
-    run_tasks(engine, energy_model, Kernel::SpMV, tasks)
+    run_tasks_traced(engine, energy_model, Kernel::SpMV, tasks, sink)
 }
 
 /// SpMV under a fault plan: injects bit flips into a copy of `a`, checks
@@ -383,6 +435,17 @@ pub fn run_spmspv(
     a: &BbcMatrix,
     x: &SparseVector,
 ) -> KernelReport {
+    run_spmspv_traced(engine, energy_model, a, x, &mut obs::NoopSink)
+}
+
+/// [`run_spmspv`] streaming trace events into `sink`.
+pub fn run_spmspv_traced(
+    engine: &dyn TileEngine,
+    energy_model: &EnergyModel,
+    a: &BbcMatrix,
+    x: &SparseVector,
+    sink: &mut dyn obs::TraceSink,
+) -> KernelReport {
     let tasks = a.blocks().filter_map(|blk| {
         let mask = x.segment_mask16(blk.block_col);
         if mask == 0 {
@@ -391,7 +454,7 @@ pub fn run_spmspv(
             Some(T1Task::mv(Block16::from_bbc(&blk), mask))
         }
     });
-    run_tasks(engine, energy_model, Kernel::SpMSpV, tasks)
+    run_tasks_traced(engine, energy_model, Kernel::SpMSpV, tasks, sink)
 }
 
 /// SpMM (`C = A B`, dense `B` with `n_cols` columns): `ceil(n_cols / 16)`
@@ -406,8 +469,19 @@ pub fn run_spmm(
     a: &BbcMatrix,
     n_cols: usize,
 ) -> KernelReport {
+    run_spmm_traced(engine, energy_model, a, n_cols, &mut obs::NoopSink)
+}
+
+/// [`run_spmm`] streaming trace events into `sink`.
+pub fn run_spmm_traced(
+    engine: &dyn TileEngine,
+    energy_model: &EnergyModel,
+    a: &BbcMatrix,
+    n_cols: usize,
+    sink: &mut dyn obs::TraceSink,
+) -> KernelReport {
     if n_cols == 0 {
-        return run_tasks(engine, energy_model, Kernel::SpMM, std::iter::empty());
+        return run_tasks_traced(engine, energy_model, Kernel::SpMM, std::iter::empty(), sink);
     }
     let col_blocks = n_cols.div_ceil(16);
     let tail = n_cols - (col_blocks - 1) * 16;
@@ -418,7 +492,7 @@ pub fn run_spmm(
             T1Task::mm(a_bits, Block16::dense().keep_cols(width))
         })
     });
-    run_tasks(engine, energy_model, Kernel::SpMM, tasks)
+    run_tasks_traced(engine, energy_model, Kernel::SpMM, tasks, sink)
 }
 
 /// SpGEMM (`C = A B`, both sparse): the block-level outer-product walk of
@@ -436,6 +510,22 @@ pub fn run_spgemm(
     a: &BbcMatrix,
     b: &BbcMatrix,
 ) -> KernelReport {
+    run_spgemm_traced(engine, energy_model, a, b, &mut obs::NoopSink)
+}
+
+/// [`run_spgemm`] streaming trace events into `sink`.
+///
+/// # Panics
+///
+/// Panics if the block grids do not conform (`a.block_cols() !=
+/// b.block_rows()`).
+pub fn run_spgemm_traced(
+    engine: &dyn TileEngine,
+    energy_model: &EnergyModel,
+    a: &BbcMatrix,
+    b: &BbcMatrix,
+    sink: &mut dyn obs::TraceSink,
+) -> KernelReport {
     assert_eq!(
         a.block_cols(),
         b.block_rows(),
@@ -452,7 +542,7 @@ pub fn run_spgemm(
             })
         })
     });
-    run_tasks(engine, energy_model, Kernel::SpGEMM, tasks)
+    run_tasks_traced(engine, energy_model, Kernel::SpGEMM, tasks, sink)
 }
 
 #[cfg(test)]
@@ -589,6 +679,38 @@ mod tests {
         assert!(sig.starts_with("ideal SpMV "), "{sig}");
         assert!(sig.contains("useful=2"), "{sig}");
         assert!(sig.contains("t1=2"), "{sig}");
+    }
+
+    #[test]
+    fn traced_run_brackets_every_task() {
+        let a = bbc_from(&[(0, 0), (20, 20), (40, 0)], 48);
+        let mut trace: Vec<obs::TraceEvent> = Vec::new();
+        let rep = run_spmv_traced(&Ideal, &EnergyModel::default(), &a, &mut trace);
+        let issues = trace
+            .iter()
+            .filter(|e| matches!(e, obs::TraceEvent::TaskIssue { .. }))
+            .count();
+        let retires: Vec<u64> = trace
+            .iter()
+            .filter_map(|e| match e {
+                obs::TraceEvent::TaskRetire { cycle, .. } => Some(*cycle),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(issues as u64, rep.t1_tasks);
+        assert_eq!(retires.len() as u64, rep.t1_tasks);
+        // The last retire lands exactly on the report's cycle total.
+        assert_eq!(retires.last().copied(), Some(rep.cycles));
+        // Retires are on the monotone global timeline.
+        assert!(retires.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn noop_sink_report_matches_untraced_run() {
+        let a = bbc_from(&[(0, 0), (0, 1), (20, 20)], 32);
+        let plain = run_spmv(&Ideal, &EnergyModel::default(), &a);
+        let traced = run_spmv_traced(&Ideal, &EnergyModel::default(), &a, &mut obs::NoopSink);
+        assert_eq!(plain, traced);
     }
 
     #[test]

@@ -61,6 +61,20 @@ pub trait TileEngine {
     /// Schedules and executes one T1 task.
     fn execute(&self, task: &T1Task) -> T1Result;
 
+    /// Like [`TileEngine::execute`], additionally streaming pipeline trace
+    /// events into `sink` (timestamps are task-local cycles; the kernel
+    /// drivers re-base them onto the global timeline).
+    ///
+    /// The default implementation ignores the sink, so engines without
+    /// internal instrumentation still work with the traced drivers; the
+    /// Uni-STC engine overrides this to emit its full pipeline trace. An
+    /// implementation must produce exactly the same [`T1Result`] as
+    /// `execute` — tracing observes the schedule, it never alters it.
+    fn execute_traced(&self, task: &T1Task, sink: &mut dyn obs::TraceSink) -> T1Result {
+        let _ = sink;
+        self.execute(task)
+    }
+
     /// The engine's per-element network transfer costs.
     fn network_costs(&self) -> NetworkCosts;
 

@@ -40,4 +40,14 @@ if ! CONFORMANCE_SEED="${SMOKE_SEED}" cargo test -p conformance -q --test confor
     exit 1
 fi
 
+echo "== perf smoke =="
+# Runs the representative corpus across the headline engines, writes
+# BENCH_ci-smoke.json at the repo root, then re-runs and gates on >5 %
+# simulated-cycle regressions against that fresh baseline. Cycle counts
+# are deterministic, so a self-compare failure means nondeterminism
+# crept into the pipeline.
+cargo run --release -p bench --bin perf_regression -- --label ci-smoke
+cargo run --release -p bench --bin perf_regression -- \
+    --label ci-check --compare BENCH_ci-smoke.json
+
 echo "CI OK"
