@@ -8,10 +8,12 @@
 //! 2.74x / 5.50x; energy-efficiency gains over RM-STC of 1.74x (SpMV-ish
 //! tier) up to 2.21x (SpGEMM).
 //!
-//! Pass `--json` for the machine-readable rendering.
+//! Pass `--json` for the machine-readable rendering and `--threads N` to
+//! shard the kernel runs over the resilient parallel runtime (reports are
+//! bit-identical at any thread count).
 
 use bench::output::{Report, Section};
-use bench::{headline_engines, MatrixCtx, KERNELS};
+use bench::{headline_engines, threads_arg, MatrixCtx, KERNELS};
 use simkit::driver::Kernel;
 use simkit::metrics::{geomean, Comparison};
 use simkit::{EnergyModel, Precision};
@@ -50,6 +52,7 @@ fn geomean_note(name: &str, cs: &[Comparison]) -> String {
 
 fn main() {
     let em = EnergyModel::default();
+    let threads = threads_arg();
     let mut report = Report::new(
         "Fig. 17: representative matrices (64 MAC@FP64) and DNN inference (128 MAC@FP32), normalised to DS-STC",
     );
@@ -65,10 +68,10 @@ fn main() {
         let mut per_engine: Vec<(String, Vec<Comparison>)> = Vec::new();
         for ctx in &reps {
             let engines = headline_engines(Precision::Fp64);
-            let baseline = ctx.run(engines[0].as_ref(), &em, kernel);
+            let baseline = ctx.run_threaded(engines[0].as_ref(), &em, kernel, threads);
             let mut row = vec![ctx.name.clone()];
             for e in &engines[1..] {
-                let r = ctx.run(e.as_ref(), &em, kernel);
+                let r = ctx.run_threaded(e.as_ref(), &em, kernel, threads);
                 let c = Comparison::of(&r, &baseline);
                 row.push(comparison_cell(&c));
                 match per_engine.iter_mut().find(|(n, _)| n == e.name()) {
@@ -113,14 +116,32 @@ fn main() {
                 );
                 let act_bbc = sparse::BbcMatrix::from_csr(&act);
                 let engines = headline_engines(Precision::Fp32);
-                let run = |e: &dyn simkit::TileEngine| match kernel {
-                    // Weight x dense activation block (dense inference).
-                    Kernel::SpMM => {
-                        simkit::driver::run_spmm(e, &em, &w_bbc, layer.batch_cols)
+                let run = |e: &(dyn simkit::TileEngine + Sync)| {
+                    if threads <= 1 {
+                        match kernel {
+                            // Weight x dense activation block (dense inference).
+                            Kernel::SpMM => {
+                                simkit::driver::run_spmm(e, &em, &w_bbc, layer.batch_cols)
+                            }
+                            // Conv treated as SpGEMM: sparse weight x sparse
+                            // activation matrix.
+                            _ => simkit::driver::run_spgemm(e, &em, &w_bbc, &act_bbc),
+                        }
+                    } else {
+                        let cfg = runtime::RuntimeConfig::with_threads(threads);
+                        match kernel {
+                            Kernel::SpMM => runtime::run_spmm_sharded(
+                                &cfg,
+                                e,
+                                &em,
+                                &w_bbc,
+                                layer.batch_cols,
+                            ),
+                            _ => runtime::run_spgemm_sharded(&cfg, e, &em, &w_bbc, &act_bbc),
+                        }
+                        .expect("production engines never fail a shard")
+                        .report
                     }
-                    // Conv treated as SpGEMM: sparse weight x sparse
-                    // activation matrix.
-                    _ => simkit::driver::run_spgemm(e, &em, &w_bbc, &act_bbc),
                 };
                 let baseline = run(engines[0].as_ref());
                 let mut row = vec![format!("{} {label} s={sparsity:.2}", layer.label())];

@@ -36,6 +36,7 @@ struct Args {
     compare: Option<PathBuf>,
     threshold: f64,
     trace: Option<PathBuf>,
+    threads: usize,
 }
 
 fn parse_args() -> Args {
@@ -44,6 +45,7 @@ fn parse_args() -> Args {
         compare: None,
         threshold: 5.0,
         trace: None,
+        threads: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -62,10 +64,18 @@ fn parse_args() -> Args {
             "--trace" => {
                 args.trace = Some(PathBuf::from(it.next().expect("--trace needs a path")))
             }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse::<usize>()
+                    .expect("--threads must be a number")
+                    .max(1)
+            }
             "--json" | "--full" => {} // shared-mode flags, handled by the serializer
             other => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: perf_regression [--label L] [--compare PREV.json] [--threshold PCT] [--trace OUT.json] [--json]");
+                eprintln!("usage: perf_regression [--label L] [--compare PREV.json] [--threshold PCT] [--trace OUT.json] [--threads N] [--json]");
                 std::process::exit(2);
             }
         }
@@ -102,7 +112,7 @@ fn write_chrome_trace(path: &Path) {
 
 fn main() -> ExitCode {
     let args = parse_args();
-    let doc = perf::collect(&args.label);
+    let doc = perf::collect_threaded(&args.label, args.threads);
 
     let out_path = repo_root().join(format!("BENCH_{}.json", args.label));
     std::fs::write(&out_path, doc.to_json().to_json_pretty()).expect("write BENCH json");
@@ -112,7 +122,12 @@ fn main() -> ExitCode {
         write_chrome_trace(trace_path);
     }
 
-    let mut report = Report::new(format!("perf_regression — label `{}`", args.label));
+    let mut report = Report::new(format!(
+        "perf_regression — label `{}` ({} thread{})",
+        args.label,
+        args.threads,
+        if args.threads == 1 { "" } else { "s" }
+    ));
     let mut summary = Section::new(
         "corpus summary (simulated cycles, Uni-STC)",
         &["matrix", "kernel", "cycles", "util", "wall_ms"],

@@ -1,11 +1,16 @@
 //! Runs the entire experiment suite — the reproduction's equivalent of the
 //! paper artifact's `qrun` workflow automation. Each table/figure binary is
-//! executed in sequence; pass `--full` to forward full-corpus mode and
-//! `--json` for a machine-readable summary (also forwarded to every
-//! binary). Exits nonzero if any experiment fails.
+//! executed in sequence; pass `--full` to forward full-corpus mode,
+//! `--json` for a machine-readable summary, and `--threads N` to shard
+//! kernel runs over the parallel runtime (all forwarded to every binary).
+//!
+//! Every child gets a wall-clock budget (`--timeout-secs N`, default 600,
+//! consumed here and *not* forwarded): a child that exceeds it is killed
+//! and reported as `timeout` in the final summary table. Exits nonzero if
+//! any experiment fails or times out.
 
-use std::process::Command;
-use std::time::Instant;
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
 
 use bench::output::{json_mode, Report, Section};
 
@@ -34,10 +39,68 @@ const BINARIES: &[&str] = &[
     "validate_dataflow",
 ];
 
+/// Default per-child wall-clock budget, generous enough for `--full`
+/// sweeps on slow machines while still catching a hung child.
+const DEFAULT_TIMEOUT_SECS: u64 = 600;
+
+/// How often a running child is polled for exit or deadline.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Splits the forwarded argument list from the `--timeout-secs` budget,
+/// which is consumed here rather than passed to children.
+fn split_args(args: impl Iterator<Item = String>) -> (Vec<String>, Duration) {
+    let mut forward = Vec::new();
+    let mut timeout = Duration::from_secs(DEFAULT_TIMEOUT_SECS);
+    let mut it = args;
+    while let Some(a) = it.next() {
+        if a == "--timeout-secs" {
+            let v = it.next().expect("--timeout-secs needs a value");
+            let secs: u64 = v.parse().expect("--timeout-secs must be an integer");
+            timeout = Duration::from_secs(secs.max(1));
+        } else if let Some(v) = a.strip_prefix("--timeout-secs=") {
+            let secs: u64 = v.parse().expect("--timeout-secs must be an integer");
+            timeout = Duration::from_secs(secs.max(1));
+        } else {
+            forward.push(a);
+        }
+    }
+    (forward, timeout)
+}
+
+enum ChildResult {
+    Ok,
+    Failed(String),
+    TimedOut,
+}
+
+/// Waits for `child` until it exits or `deadline` passes; on timeout the
+/// child is killed (and reaped, so no zombie outlives the suite).
+fn supervise(mut child: Child, deadline: Instant) -> ChildResult {
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) if status.success() => return ChildResult::Ok,
+            Ok(Some(status)) => return ChildResult::Failed(status.to_string()),
+            Ok(None) => {
+                if Instant::now() >= deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return ChildResult::TimedOut;
+                }
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return ChildResult::Failed(format!("wait failed: {e}"));
+            }
+        }
+    }
+}
+
 fn main() {
     let exe = std::env::current_exe().expect("current executable path");
     let dir = exe.parent().expect("target directory").to_path_buf();
-    let forward: Vec<String> = std::env::args().skip(1).collect();
+    let (forward, timeout) = split_args(std::env::args().skip(1));
     // In `--json` mode the children's stdout is the payload; keep the
     // banners out of it.
     let quiet = json_mode();
@@ -50,26 +113,42 @@ fn main() {
         }
         let path = dir.join(bin);
         let started = Instant::now();
-        let status = Command::new(&path).args(&forward).status();
-        let wall = started.elapsed().as_secs_f64();
-        let outcome = match status {
-            Ok(s) if s.success() => "ok".to_owned(),
-            Ok(s) => {
-                eprintln!("{bin} exited with {s}");
-                failures.push(*bin);
-                format!("{s}")
-            }
+        let outcome = match Command::new(&path).args(&forward).spawn() {
+            Ok(child) => match supervise(child, started + timeout) {
+                ChildResult::Ok => "ok".to_owned(),
+                ChildResult::Failed(status) => {
+                    eprintln!("{bin} exited with {status}");
+                    failures.push(*bin);
+                    status
+                }
+                ChildResult::TimedOut => {
+                    eprintln!(
+                        "{bin} exceeded the {}s budget and was killed",
+                        timeout.as_secs()
+                    );
+                    failures.push(*bin);
+                    "timeout".to_owned()
+                }
+            },
             Err(e) => {
-                eprintln!("failed to launch {} ({e}); build with `cargo build --release -p bench`", path.display());
+                eprintln!(
+                    "failed to launch {} ({e}); build with `cargo build --release -p bench`",
+                    path.display()
+                );
                 failures.push(*bin);
                 "launch failed".to_owned()
             }
         };
+        let wall = started.elapsed().as_secs_f64();
         summary.row(vec![(*bin).to_owned(), outcome, format!("{wall:.2}")]);
     }
 
     if failures.is_empty() {
-        summary.note(format!("all {} experiments completed", BINARIES.len()));
+        summary.note(format!(
+            "all {} experiments completed within the {}s per-child budget",
+            BINARIES.len(),
+            timeout.as_secs()
+        ));
     } else {
         summary.note(format!("failed: {failures:?}"));
     }

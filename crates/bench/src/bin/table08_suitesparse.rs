@@ -8,16 +8,19 @@
 //! (SpMV/SpGEMM) and 28.76x (SpMSpV).
 //!
 //! Run with `--full` for the whole corpus, `--json` for the
-//! machine-readable rendering.
+//! machine-readable rendering, and `--threads N` to shard the corpus
+//! sweep over the resilient parallel runtime (cycle counts are
+//! bit-identical at any thread count).
 
 use bench::output::{Report, Section};
-use bench::{corpus_contexts, headline_engines, spgemm_within_cap, KERNELS};
+use bench::{corpus_contexts, headline_engines, spgemm_within_cap, threads_arg, KERNELS};
 use simkit::driver::Kernel;
 use simkit::metrics::{Comparison, CorpusSummary};
 use simkit::{EnergyModel, Precision};
 
 fn main() {
     let em = EnergyModel::default();
+    let threads = threads_arg();
     let contexts = corpus_contexts();
     let mut report = Report::new(format!(
         "Table VIII: Uni-STC vs DS-STC / RM-STC over {} corpus matrices",
@@ -38,12 +41,12 @@ fn main() {
                 continue;
             }
             let engines = headline_engines(Precision::Fp64);
-            let ds = ctx.run(engines[0].as_ref(), &em, kernel);
+            let ds = ctx.run_threaded(engines[0].as_ref(), &em, kernel, threads);
             if ds.t1_tasks == 0 {
                 continue;
             }
-            let rm = ctx.run(engines[1].as_ref(), &em, kernel);
-            let uni = ctx.run(engines[2].as_ref(), &em, kernel);
+            let rm = ctx.run_threaded(engines[1].as_ref(), &em, kernel, threads);
+            let uni = ctx.run_threaded(engines[2].as_ref(), &em, kernel, threads);
             vs_ds.push(Comparison::of(&uni, &ds));
             vs_rm.push(Comparison::of(&uni, &rm));
         }

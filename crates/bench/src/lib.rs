@@ -24,7 +24,11 @@ pub const SPMSPV_X_SPARSITY: f64 = 0.5;
 pub const SPMM_N_COLS: usize = 64;
 
 /// The three STCs of the paper's headline comparison (Figs. 17, 18, 20).
-pub fn headline_engines(precision: Precision) -> Vec<Box<dyn TileEngine>> {
+///
+/// Engines carry no interior mutability, so the roster is `Send + Sync`
+/// and a single boxed engine can be shared across the parallel runtime's
+/// workers.
+pub fn headline_engines(precision: Precision) -> Vec<Box<dyn TileEngine + Send + Sync>> {
     vec![
         Box::new(DsStc::new(precision)),
         Box::new(RmStc::new(precision)),
@@ -34,7 +38,7 @@ pub fn headline_engines(precision: Precision) -> Vec<Box<dyn TileEngine>> {
 
 /// All seven engines (Fig. 16 and the AMG study add GAMMA, SIGMA,
 /// Trapezoid and NV-DTC).
-pub fn all_engines(precision: Precision) -> Vec<Box<dyn TileEngine>> {
+pub fn all_engines(precision: Precision) -> Vec<Box<dyn TileEngine + Send + Sync>> {
     vec![
         Box::new(NvDtc::new(precision)),
         Box::new(Gamma::new(precision)),
@@ -74,6 +78,52 @@ impl MatrixCtx {
             Kernel::SpMSpV => driver::run_spmspv(engine, em, &self.bbc, &self.x_sparse),
             Kernel::SpMM => driver::run_spmm(engine, em, &self.bbc, SPMM_N_COLS),
             Kernel::SpGEMM => driver::run_spgemm(engine, em, &self.bbc, &self.bbc),
+        }
+    }
+
+    /// Runs one kernel through the resilient parallel runtime, sharded
+    /// under `cfg`. The merged report is bit-identical to [`MatrixCtx::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`uni_stc::multi::DegradedError::RetriesExhausted`] if a
+    /// shard failed intrinsically past the retry budget (only possible
+    /// with a panicking engine).
+    pub fn run_sharded(
+        &self,
+        cfg: &runtime::RuntimeConfig,
+        engine: &(dyn TileEngine + Sync),
+        em: &EnergyModel,
+        kernel: Kernel,
+    ) -> Result<runtime::ShardedRun, uni_stc::multi::DegradedError> {
+        match kernel {
+            Kernel::SpMV => runtime::run_spmv_sharded(cfg, engine, em, &self.bbc),
+            Kernel::SpMSpV => {
+                runtime::run_spmspv_sharded(cfg, engine, em, &self.bbc, &self.x_sparse)
+            }
+            Kernel::SpMM => runtime::run_spmm_sharded(cfg, engine, em, &self.bbc, SPMM_N_COLS),
+            Kernel::SpGEMM => runtime::run_spgemm_sharded(cfg, engine, em, &self.bbc, &self.bbc),
+        }
+    }
+
+    /// Runs one kernel on `threads` workers — the serial driver at 1
+    /// thread (the default path, byte-for-byte the pre-runtime behavior),
+    /// the sharded runtime above that. Reports are bit-identical across
+    /// all thread counts.
+    pub fn run_threaded(
+        &self,
+        engine: &(dyn TileEngine + Sync),
+        em: &EnergyModel,
+        kernel: Kernel,
+        threads: usize,
+    ) -> KernelReport {
+        if threads <= 1 {
+            self.run(engine, em, kernel)
+        } else {
+            let cfg = runtime::RuntimeConfig::with_threads(threads);
+            self.run_sharded(&cfg, engine, em, kernel)
+                .expect("production engines never fail a shard intrinsically")
+                .report
         }
     }
 }
@@ -125,6 +175,29 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 /// Whether `--full` was passed (full corpus instead of the fast sample).
 pub fn full_mode() -> bool {
     std::env::args().any(|a| a == "--full")
+}
+
+/// Worker count from `--threads N` (default 1 — the serial driver path).
+///
+/// A missing or malformed value keeps the serial default rather than
+/// aborting, matching the loose flag handling of the other shared modes;
+/// `0` is clamped to 1.
+pub fn threads_arg() -> usize {
+    threads_from(std::env::args())
+}
+
+/// [`threads_arg`] over an explicit argument stream (testable core).
+pub fn threads_from(args: impl Iterator<Item = String>) -> usize {
+    let mut it = args;
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            return it.next().and_then(|v| v.parse::<usize>().ok()).map_or(1, |n| n.max(1));
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return v.parse::<usize>().ok().map_or(1, |n| n.max(1));
+        }
+    }
+    1
 }
 
 /// Corpus stride for the current mode: 1 in `--full`, 5 otherwise.
@@ -192,6 +265,40 @@ mod tests {
                 let rep = ctx.run(engine.as_ref(), &em, kernel);
                 assert!(rep.cycles > 0, "{} {}", engine.name(), kernel);
                 assert!(rep.energy.total() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn threads_flag_parses_loosely() {
+        let parse = |args: &[&str]| threads_from(args.iter().map(|s| (*s).to_owned()));
+        assert_eq!(parse(&[]), 1);
+        assert_eq!(parse(&["--full"]), 1);
+        assert_eq!(parse(&["--threads", "8"]), 8);
+        assert_eq!(parse(&["--threads=4"]), 4);
+        assert_eq!(parse(&["--threads", "zero"]), 1, "malformed keeps the serial default");
+        assert_eq!(parse(&["--threads", "0"]), 1, "clamped");
+        assert_eq!(parse(&["--threads"]), 1, "dangling flag keeps the default");
+    }
+
+    #[test]
+    fn run_threaded_is_bit_identical_to_serial() {
+        let csr = workloads::gen::poisson_2d(10);
+        let ctx = MatrixCtx::new("p2d-10", csr, 2);
+        let em = EnergyModel::default();
+        for engine in headline_engines(Precision::Fp64) {
+            for kernel in KERNELS {
+                let serial = ctx.run(engine.as_ref(), &em, kernel);
+                for threads in [1, 2, 8] {
+                    let threaded = ctx.run_threaded(engine.as_ref(), &em, kernel, threads);
+                    assert_eq!(
+                        threaded.counter_signature(),
+                        serial.counter_signature(),
+                        "{} {} threads={threads}",
+                        engine.name(),
+                        kernel
+                    );
+                }
             }
         }
     }

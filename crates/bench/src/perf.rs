@@ -170,8 +170,17 @@ impl std::str::FromStr for BenchDoc {
 }
 
 /// Runs the representative corpus (eight matrices, headline engines, four
-/// kernels) and collects the perf document.
+/// kernels) and collects the perf document on the serial driver path.
 pub fn collect(label: &str) -> BenchDoc {
+    collect_threaded(label, 1)
+}
+
+/// [`collect`] over `threads` runtime workers. Simulated cycle counts and
+/// counter signatures are bit-identical to the serial collection at any
+/// thread count (the regression gate depends on this); only the wall-clock
+/// numbers move. The metrics export records the worker count and total
+/// collection wall time under `runtime/`.
+pub fn collect_threaded(label: &str, threads: usize) -> BenchDoc {
     let em = EnergyModel::default();
     let mut reg = MetricsRegistry::new();
     let contexts: Vec<MatrixCtx> = representative_matrices()
@@ -179,13 +188,15 @@ pub fn collect(label: &str) -> BenchDoc {
         .map(|r| MatrixCtx::new(r.name, r.matrix, 5))
         .collect();
     reg.set_gauge("corpus/matrices", contexts.len() as f64);
+    reg.set_gauge("runtime/threads", threads.max(1) as f64);
+    let total_span = WallSpan::start();
 
     let mut entries = Vec::new();
     for ctx in &contexts {
         for engine in headline_engines(Precision::Fp64) {
             for kernel in KERNELS {
                 let span = WallSpan::start();
-                let rep = ctx.run(engine.as_ref(), &em, kernel);
+                let rep = ctx.run_threaded(engine.as_ref(), &em, kernel, threads);
                 let wall = span.elapsed();
                 reg.record_span(&format!("kernel/{kernel}"), wall);
                 reg.inc_counter("driver/t1_tasks", rep.t1_tasks);
@@ -208,6 +219,7 @@ pub fn collect(label: &str) -> BenchDoc {
             }
         }
     }
+    reg.set_gauge("runtime/total_wall_ms", total_span.elapsed().as_secs_f64() * 1e3);
     BenchDoc { label: label.to_owned(), entries, metrics: reg.to_json() }
 }
 
@@ -313,6 +325,18 @@ mod tests {
         let prev = doc("prev", vec![entry("m1", 100)]);
         let new = doc("new", vec![entry("m1", 50), entry("m-new", 9999)]);
         assert!(compare(&prev, &new, 5.0).is_empty());
+    }
+
+    #[test]
+    fn threaded_collection_matches_serial_signatures() {
+        let serial = collect("serial");
+        let threaded = collect_threaded("threaded", 2);
+        assert_eq!(serial.entries.len(), threaded.entries.len());
+        for (a, b) in serial.entries.iter().zip(&threaded.entries) {
+            assert_eq!(a.key(), b.key());
+            assert_eq!(a.signature, b.signature, "{}", a.key());
+            assert_eq!(a.cycles, b.cycles, "{}", a.key());
+        }
     }
 
     #[test]

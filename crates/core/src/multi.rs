@@ -78,6 +78,18 @@ pub enum DegradedError {
         /// Number of units lost.
         faulty: usize,
     },
+    /// A task kept failing intrinsically (panicking or returning an error
+    /// on every attempt) until its bounded retry budget ran out. Used by
+    /// the `runtime` crate's supervised scheduler: infrastructure faults
+    /// (worker crashes, stalls, injected flakes) are drained onto the
+    /// supervisor instead, so this variant always points at the task
+    /// itself.
+    RetriesExhausted {
+        /// Index of the failing task within the sharded stream.
+        task: u64,
+        /// Attempts made before giving up (initial try + retries).
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for DegradedError {
@@ -85,6 +97,9 @@ impl std::fmt::Display for DegradedError {
         match self {
             DegradedError::NoHealthyUnits { faulty } => {
                 write!(f, "all {faulty} units lost to uncorrected faults")
+            }
+            DegradedError::RetriesExhausted { task, attempts } => {
+                write!(f, "task {task} failed on all {attempts} attempts; retry budget exhausted")
             }
         }
     }
@@ -464,6 +479,21 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, DegradedError::NoHealthyUnits { .. }));
         assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn degraded_error_implements_error_and_display() {
+        let errs = [
+            DegradedError::NoHealthyUnits { faulty: 4 },
+            DegradedError::RetriesExhausted { task: 17, attempts: 3 },
+        ];
+        for err in errs {
+            let dyn_err: &dyn std::error::Error = &err;
+            assert!(!dyn_err.to_string().is_empty());
+        }
+        let msg = DegradedError::RetriesExhausted { task: 17, attempts: 3 }.to_string();
+        assert!(msg.contains("task 17"), "{msg}");
+        assert!(msg.contains("3 attempts"), "{msg}");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::TraceEvent;
 const PID: u64 = 0;
 const TID_TASKS: u64 = 0;
 const TID_SCHED: u64 = 1;
+const TID_RUNTIME: u64 = 2;
 
 fn meta_thread_name(tid: u64, name: &str) -> Value {
     Value::object(vec![
@@ -62,6 +63,22 @@ pub fn trace_document(events: &[TraceEvent]) -> Value {
         meta_thread_name(TID_TASKS, "T1 tasks"),
         meta_thread_name(TID_SCHED, "TMS / DPG"),
     ];
+    // The runtime track only appears when a scheduler actually traced
+    // something, so purely simulated streams (and their golden snapshots)
+    // are unaffected.
+    let has_runtime = events.iter().any(|e| {
+        matches!(
+            e,
+            TraceEvent::WorkerSpawn { .. }
+                | TraceEvent::WorkerSteal { .. }
+                | TraceEvent::TaskRetry { .. }
+                | TraceEvent::WorkerCrash { .. }
+                | TraceEvent::RuntimeDegrade { .. }
+        )
+    });
+    if has_runtime {
+        out.push(meta_thread_name(TID_RUNTIME, "runtime scheduler"));
+    }
     for ev in events {
         match *ev {
             TraceEvent::TaskIssue { .. } => {
@@ -134,6 +151,55 @@ pub fn trace_document(events: &[TraceEvent]) -> Value {
                     "stalled DPGs",
                     cycle,
                     vec![("stalled", Value::from(u64::from(dpgs)))],
+                ));
+            }
+            TraceEvent::WorkerSpawn { cycle, worker } => {
+                out.push(instant(
+                    format!("spawn w{worker}"),
+                    TID_RUNTIME,
+                    cycle,
+                    vec![("worker", Value::from(u64::from(worker)))],
+                ));
+            }
+            TraceEvent::WorkerSteal { cycle, worker, victim } => {
+                out.push(instant(
+                    format!("steal w{worker}<-w{victim}"),
+                    TID_RUNTIME,
+                    cycle,
+                    vec![
+                        ("worker", Value::from(u64::from(worker))),
+                        ("victim", Value::from(u64::from(victim))),
+                    ],
+                ));
+            }
+            TraceEvent::TaskRetry { cycle, task, attempt } => {
+                out.push(instant(
+                    format!("retry #{task}"),
+                    TID_RUNTIME,
+                    cycle,
+                    vec![
+                        ("task", Value::from(task)),
+                        ("attempt", Value::from(u64::from(attempt))),
+                    ],
+                ));
+            }
+            TraceEvent::WorkerCrash { cycle, worker } => {
+                out.push(instant(
+                    format!("crash w{worker}"),
+                    TID_RUNTIME,
+                    cycle,
+                    vec![("worker", Value::from(u64::from(worker)))],
+                ));
+            }
+            TraceEvent::RuntimeDegrade { cycle, live, quorum } => {
+                out.push(instant(
+                    "degrade to serial".to_owned(),
+                    TID_RUNTIME,
+                    cycle,
+                    vec![
+                        ("live", Value::from(u64::from(live))),
+                        ("quorum", Value::from(u64::from(quorum))),
+                    ],
                 ));
             }
         }
@@ -228,5 +294,43 @@ mod tests {
         let doc = json::parse(&export(&[])).expect("valid JSON");
         let evs = doc.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
         assert_eq!(evs.len(), 2); // just the thread names
+    }
+
+    #[test]
+    fn runtime_events_land_on_their_own_track() {
+        let events = [
+            TraceEvent::WorkerSpawn { cycle: 0, worker: 0 },
+            TraceEvent::WorkerSteal { cycle: 5, worker: 1, victim: 0 },
+            TraceEvent::TaskRetry { cycle: 9, task: 3, attempt: 1 },
+            TraceEvent::WorkerCrash { cycle: 12, worker: 1 },
+            TraceEvent::RuntimeDegrade { cycle: 13, live: 1, quorum: 2 },
+        ];
+        let doc = json::parse(&export(&events)).expect("valid JSON");
+        let evs = doc.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+        // 3 thread-name metadata (runtime track appears) + 5 instants.
+        assert_eq!(evs.len(), 8);
+        // Track names live in the metadata events' args, instant names at
+        // the top level — collect both.
+        let name_of = |e: &Value| -> Option<String> {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .or_else(|| e.get("name"))
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+        };
+        let named: Vec<String> = evs.iter().filter_map(name_of).collect();
+        assert!(named.iter().any(|n| n == "runtime scheduler"), "{named:?}");
+        assert!(named.iter().any(|n| n == "degrade to serial"), "{named:?}");
+        // Non-runtime streams must not grow the extra track (golden
+        // snapshots depend on this).
+        let plain = json::parse(&export(&sample())).expect("valid JSON");
+        let plain_names: Vec<String> = plain
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents")
+            .iter()
+            .filter_map(name_of)
+            .collect();
+        assert!(!plain_names.iter().any(|n| n == "runtime scheduler"));
     }
 }

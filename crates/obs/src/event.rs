@@ -15,6 +15,12 @@
 /// | `uni_stc::dpg` | [`DpgExpand`](TraceEvent::DpgExpand) |
 /// | `uni_stc::sdpu` | [`SdpuPack`](TraceEvent::SdpuPack) |
 /// | `uni_stc::pipeline` | [`DpgPowerGate`](TraceEvent::DpgPowerGate), [`QueueDepth`](TraceEvent::QueueDepth), [`Stall`](TraceEvent::Stall) (plus the three above) |
+/// | `runtime::pool` | [`WorkerSpawn`](TraceEvent::WorkerSpawn), [`WorkerSteal`](TraceEvent::WorkerSteal), [`TaskRetry`](TraceEvent::TaskRetry), [`WorkerCrash`](TraceEvent::WorkerCrash), [`RuntimeDegrade`](TraceEvent::RuntimeDegrade) |
+///
+/// Simulator events are timestamped in simulated cycles; the `runtime`
+/// scheduler events reuse the `cycle` field for **microseconds since pool
+/// start** (1 trace µs ≙ 1 cycle in the Chrome export, so both land on a
+/// sensible timeline in Perfetto — just on different tracks).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A T1 task entered an engine at `cycle` on the driver's global
@@ -91,6 +97,49 @@ pub enum TraceEvent {
         /// Number of stalled DPGs.
         dpgs: u32,
     },
+    /// The parallel runtime spawned a worker thread.
+    WorkerSpawn {
+        /// Microseconds since pool start.
+        cycle: u64,
+        /// Worker index.
+        worker: u32,
+    },
+    /// A worker stole queued work from another worker's deque.
+    WorkerSteal {
+        /// Microseconds since pool start.
+        cycle: u64,
+        /// The stealing worker.
+        worker: u32,
+        /// The worker stolen from.
+        victim: u32,
+    },
+    /// A task attempt failed (crash, stall timeout, transient fault or
+    /// panic) and was requeued for another attempt.
+    TaskRetry {
+        /// Microseconds since pool start.
+        cycle: u64,
+        /// Task index within the run.
+        task: u64,
+        /// The attempt number being scheduled (1 = first retry).
+        attempt: u32,
+    },
+    /// A worker thread crashed (chaos-injected or real) and left the pool.
+    WorkerCrash {
+        /// Microseconds since pool start.
+        cycle: u64,
+        /// The crashed worker.
+        worker: u32,
+    },
+    /// Live workers fell below quorum: the runtime degraded to serial
+    /// execution on the supervisor thread.
+    RuntimeDegrade {
+        /// Microseconds since pool start.
+        cycle: u64,
+        /// Workers still alive at the degrade decision.
+        live: u32,
+        /// The configured quorum.
+        quorum: u32,
+    },
 }
 
 impl TraceEvent {
@@ -104,7 +153,12 @@ impl TraceEvent {
             | TraceEvent::DpgPowerGate { cycle, .. }
             | TraceEvent::SdpuPack { cycle, .. }
             | TraceEvent::QueueDepth { cycle, .. }
-            | TraceEvent::Stall { cycle, .. } => cycle,
+            | TraceEvent::Stall { cycle, .. }
+            | TraceEvent::WorkerSpawn { cycle, .. }
+            | TraceEvent::WorkerSteal { cycle, .. }
+            | TraceEvent::TaskRetry { cycle, .. }
+            | TraceEvent::WorkerCrash { cycle, .. }
+            | TraceEvent::RuntimeDegrade { cycle, .. } => cycle,
         }
     }
 
@@ -118,7 +172,12 @@ impl TraceEvent {
             | TraceEvent::DpgPowerGate { cycle, .. }
             | TraceEvent::SdpuPack { cycle, .. }
             | TraceEvent::QueueDepth { cycle, .. }
-            | TraceEvent::Stall { cycle, .. } => *cycle += base,
+            | TraceEvent::Stall { cycle, .. }
+            | TraceEvent::WorkerSpawn { cycle, .. }
+            | TraceEvent::WorkerSteal { cycle, .. }
+            | TraceEvent::TaskRetry { cycle, .. }
+            | TraceEvent::WorkerCrash { cycle, .. }
+            | TraceEvent::RuntimeDegrade { cycle, .. } => *cycle += base,
         }
         self
     }
@@ -134,6 +193,11 @@ impl TraceEvent {
             TraceEvent::SdpuPack { .. } => "sdpu_pack",
             TraceEvent::QueueDepth { .. } => "queue_depth",
             TraceEvent::Stall { .. } => "stall",
+            TraceEvent::WorkerSpawn { .. } => "worker_spawn",
+            TraceEvent::WorkerSteal { .. } => "worker_steal",
+            TraceEvent::TaskRetry { .. } => "task_retry",
+            TraceEvent::WorkerCrash { .. } => "worker_crash",
+            TraceEvent::RuntimeDegrade { .. } => "runtime_degrade",
         }
     }
 }
@@ -153,6 +217,11 @@ mod tests {
             TraceEvent::SdpuPack { cycle: 2, segments: 5, lanes_used: 17, lanes: 64 },
             TraceEvent::QueueDepth { cycle: 2, tile: 4, dot: 11 },
             TraceEvent::Stall { cycle: 2, dpgs: 1 },
+            TraceEvent::WorkerSpawn { cycle: 3, worker: 0 },
+            TraceEvent::WorkerSteal { cycle: 4, worker: 1, victim: 0 },
+            TraceEvent::TaskRetry { cycle: 5, task: 9, attempt: 1 },
+            TraceEvent::WorkerCrash { cycle: 6, worker: 1 },
+            TraceEvent::RuntimeDegrade { cycle: 7, live: 1, quorum: 2 },
         ];
         for ev in evs {
             let shifted = ev.at_offset(100);
@@ -172,6 +241,11 @@ mod tests {
             TraceEvent::SdpuPack { cycle: 0, segments: 0, lanes_used: 0, lanes: 0 }.kind(),
             TraceEvent::QueueDepth { cycle: 0, tile: 0, dot: 0 }.kind(),
             TraceEvent::Stall { cycle: 0, dpgs: 0 }.kind(),
+            TraceEvent::WorkerSpawn { cycle: 0, worker: 0 }.kind(),
+            TraceEvent::WorkerSteal { cycle: 0, worker: 0, victim: 0 }.kind(),
+            TraceEvent::TaskRetry { cycle: 0, task: 0, attempt: 0 }.kind(),
+            TraceEvent::WorkerCrash { cycle: 0, worker: 0 }.kind(),
+            TraceEvent::RuntimeDegrade { cycle: 0, live: 0, quorum: 0 }.kind(),
         ];
         let mut sorted = kinds.to_vec();
         sorted.sort_unstable();

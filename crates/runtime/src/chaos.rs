@@ -1,0 +1,186 @@
+//! Deterministic chaos injection for the parallel runtime.
+//!
+//! [`ChaosPlan`] mirrors `simkit::fault::FaultPlan` one layer up the
+//! stack: where a `FaultPlan` flips bits in operand storage, a `ChaosPlan`
+//! breaks the *machinery executing the work* — it crashes worker threads,
+//! stalls them past their watchdog deadline, and makes task attempts fail
+//! transiently. Every decision is a pure function of
+//! `(seed, task, attempt)`, never of wall clock or thread identity, so a
+//! chaos campaign is exactly reproducible from its seed even though the
+//! thread schedule is not.
+//!
+//! The determinism contract the runtime builds on: chaos decides *which
+//! attempts* are sabotaged, the scheduler decides *when and where* they
+//! run, and neither may influence task results — a sabotaged attempt is
+//! retried or drained, and the task function itself is pure.
+
+use sparse::rng::Rng64;
+
+/// A rejected chaos-rate parameter: rates are probabilities in
+/// `[0.0, 1.0]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidChaosRate {
+    /// Which rate was rejected (`"crash"`, `"stall"` or `"flake"`).
+    pub which: &'static str,
+    /// The offending value (possibly NaN).
+    pub rate: f64,
+}
+
+impl std::fmt::Display for InvalidChaosRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chaos {} rate {} is outside [0.0, 1.0]", self.which, self.rate)
+    }
+}
+
+impl std::error::Error for InvalidChaosRate {}
+
+/// A seeded, rate-parameterised plan for sabotaging the runtime.
+///
+/// Rates are per-attempt probabilities: each `(task, attempt)` pair gets
+/// one independent deterministic draw per failure class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPlan {
+    /// Seed; the same seed yields the same sabotage set for the same task
+    /// stream.
+    pub seed: u64,
+    /// Probability that the worker executing an attempt crashes (its
+    /// thread leaves the pool; the attempt is requeued).
+    pub crash_rate: f64,
+    /// Probability that an attempt stalls for [`ChaosPlan::stall_micros`]
+    /// before executing (exercising the watchdog).
+    pub stall_rate: f64,
+    /// Probability that an attempt fails transiently (a retry with a
+    /// fresh attempt number draws again).
+    pub flake_rate: f64,
+    /// How long an injected stall lasts, in microseconds.
+    pub stall_micros: u64,
+}
+
+impl ChaosPlan {
+    /// A plan that injects nothing.
+    pub fn none(seed: u64) -> Self {
+        ChaosPlan { seed, crash_rate: 0.0, stall_rate: 0.0, flake_rate: 0.0, stall_micros: 0 }
+    }
+
+    /// A validated plan; rates must be probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidChaosRate`] naming the first out-of-range rate.
+    pub fn new(
+        seed: u64,
+        crash_rate: f64,
+        stall_rate: f64,
+        flake_rate: f64,
+        stall_micros: u64,
+    ) -> Result<Self, InvalidChaosRate> {
+        for (which, rate) in
+            [("crash", crash_rate), ("stall", stall_rate), ("flake", flake_rate)]
+        {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(InvalidChaosRate { which, rate });
+            }
+        }
+        Ok(ChaosPlan { seed, crash_rate, stall_rate, flake_rate, stall_micros })
+    }
+
+    /// Whether this plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.crash_rate > 0.0 || self.stall_rate > 0.0 || self.flake_rate > 0.0
+    }
+
+    /// One deterministic draw for `(task, attempt)` in failure class
+    /// `salt`.
+    fn roll(&self, salt: u64, task: u64, attempt: u32, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        // Mix the coordinates into one seed; Rng64::new applies a SplitMix
+        // scramble, so nearby coordinates produce uncorrelated draws.
+        let mixed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt.rotate_left(24))
+            .wrapping_add(task.wrapping_mul(0xD134_2543_DE82_EF95))
+            .wrapping_add(u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        Rng64::new(mixed).next_f64() < rate
+    }
+
+    /// Whether the worker executing `(task, attempt)` crashes.
+    pub fn crashes(&self, task: u64, attempt: u32) -> bool {
+        self.roll(1, task, attempt, self.crash_rate)
+    }
+
+    /// Whether `(task, attempt)` stalls before executing.
+    pub fn stalls(&self, task: u64, attempt: u32) -> bool {
+        self.roll(2, task, attempt, self.stall_rate)
+    }
+
+    /// Whether `(task, attempt)` fails transiently.
+    pub fn flakes(&self, task: u64, attempt: u32) -> bool {
+        self.roll(3, task, attempt, self.flake_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fires() {
+        let plan = ChaosPlan::none(42);
+        assert!(!plan.is_active());
+        for task in 0..100 {
+            for attempt in 0..4 {
+                assert!(!plan.crashes(task, attempt));
+                assert!(!plan.stalls(task, attempt));
+                assert!(!plan.flakes(task, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_seed_sensitive() {
+        let a = ChaosPlan::new(1, 0.3, 0.3, 0.3, 10).unwrap();
+        let b = ChaosPlan::new(1, 0.3, 0.3, 0.3, 10).unwrap();
+        let c = ChaosPlan::new(2, 0.3, 0.3, 0.3, 10).unwrap();
+        let fire = |p: &ChaosPlan| -> Vec<bool> {
+            (0..200).map(|t| p.crashes(t, 0)).collect()
+        };
+        assert_eq!(fire(&a), fire(&b));
+        assert_ne!(fire(&a), fire(&c), "different seeds must differ");
+    }
+
+    #[test]
+    fn classes_draw_independently() {
+        let p = ChaosPlan::new(9, 0.5, 0.5, 0.5, 10).unwrap();
+        let crashes: Vec<bool> = (0..200).map(|t| p.crashes(t, 0)).collect();
+        let stalls: Vec<bool> = (0..200).map(|t| p.stalls(t, 0)).collect();
+        assert_ne!(crashes, stalls, "classes must not share a draw");
+    }
+
+    #[test]
+    fn attempts_redraw() {
+        let p = ChaosPlan::new(3, 0.5, 0.0, 0.0, 0).unwrap();
+        let per_attempt: Vec<bool> = (0..64).map(|a| p.crashes(7, a)).collect();
+        assert!(per_attempt.iter().any(|&x| x));
+        assert!(per_attempt.iter().any(|&x| !x), "an attempt must eventually pass");
+    }
+
+    #[test]
+    fn rates_approximate_their_probability() {
+        let p = ChaosPlan::new(5, 0.1, 0.0, 0.0, 0).unwrap();
+        let fired = (0..10_000).filter(|&t| p.crashes(t, 0)).count();
+        assert!((800..1200).contains(&fired), "10 % of 10k draws, got {fired}");
+    }
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        assert!(ChaosPlan::new(1, -0.1, 0.0, 0.0, 0).is_err());
+        assert!(ChaosPlan::new(1, 0.0, 1.5, 0.0, 0).is_err());
+        assert!(ChaosPlan::new(1, 0.0, 0.0, f64::NAN, 0).is_err());
+        let err = ChaosPlan::new(1, 0.0, 2.0, 0.0, 0).unwrap_err();
+        assert_eq!(err.which, "stall");
+        assert!(err.to_string().contains("stall"), "{err}");
+    }
+}

@@ -1,0 +1,333 @@
+//! Sharded kernel execution with bit-identical report merging.
+//!
+//! Every quantity in a [`KernelReport`] is an order-independent
+//! aggregate: `cycles`, `useful` and `t1_tasks` are sums over tasks,
+//! [`EventCounts`](simkit::EventCounts) adds field-wise,
+//! [`UtilHistogram`](simkit::UtilHistogram) merges by adding bucket
+//! counts, and energy is a *function of the merged events*, recomputed
+//! once at the end rather than summed. Sharding a task stream, running
+//! each shard through the untouched serial driver
+//! ([`simkit::driver::run_tasks`]), and folding the shard reports in
+//! shard order therefore reproduces the serial report **bit for bit** —
+//! the conformance golden counter snapshots pin this.
+//!
+//! The shards execute on the [`pool`](crate::pool), so they inherit its
+//! resilience: a shard whose execution panics is retried and, past the
+//! budget, surfaces as
+//! [`DegradedError::RetriesExhausted`](uni_stc::multi::DegradedError);
+//! injected chaos can never change the merged counters, only how long the
+//! run takes.
+
+use simkit::driver::{self, Kernel, KernelReport};
+use simkit::{EnergyModel, T1Task, TileEngine};
+use sparse::{BbcMatrix, SparseVector};
+use uni_stc::multi::DegradedError;
+
+use crate::pool::{self, RuntimeConfig, TaskOutcome};
+
+/// A sharded kernel run: the merged report plus what the scheduler saw.
+#[derive(Debug, Clone)]
+pub struct ShardedRun {
+    /// The merged kernel report — bit-identical to the serial driver's.
+    pub report: KernelReport,
+    /// Scheduler statistics (steals, retries, crashes, ...).
+    pub stats: pool::RunStats,
+    /// Present iff the pool fell below quorum and finished serially.
+    pub degraded: Option<pool::DegradedReport>,
+    /// Scheduler lifecycle trace (µs timestamps since the run started).
+    pub trace: Vec<obs::TraceEvent>,
+}
+
+/// Shard length targeting ~4 shards per worker, so steals have something
+/// to rebalance without shrinking shards into scheduling overhead.
+pub fn shard_len(tasks: usize, threads: usize) -> usize {
+    (tasks / (threads.max(1) * 4)).max(1)
+}
+
+/// Folds `next` into `acc`: plain sums, in shard order. Energy is *not*
+/// merged here — it is recomputed from the merged events by the caller.
+fn fold_report(acc: &mut KernelReport, next: &KernelReport) {
+    acc.cycles += next.cycles;
+    acc.useful += next.useful;
+    acc.t1_tasks += next.t1_tasks;
+    acc.util.merge(&next.util);
+    acc.events += next.events;
+}
+
+/// Runs a materialised task stream sharded across the pool and merges a
+/// report bit-identical to `driver::run_tasks` over the same stream.
+///
+/// # Errors
+///
+/// Returns [`DegradedError::RetriesExhausted`] if any shard kept failing
+/// intrinsically (the engine panicked on it) beyond the retry budget; the
+/// error names the first failed shard and its attempt count.
+pub fn run_tasks_sharded(
+    cfg: &RuntimeConfig,
+    engine: &(dyn TileEngine + Sync),
+    energy_model: &EnergyModel,
+    kernel: Kernel,
+    tasks: Vec<T1Task>,
+) -> Result<ShardedRun, DegradedError> {
+    let chunk = shard_len(tasks.len(), cfg.threads);
+    let shards: Vec<&[T1Task]> = tasks.chunks(chunk).collect();
+    let run = pool::run(cfg, &shards, |_, shard: &&[T1Task]| {
+        Ok(driver::run_tasks(engine, energy_model, kernel, shard.iter().copied()))
+    });
+    // Seed the accumulator with the empty-stream report so the engine
+    // name, kernel tag, lane count and zero counters match the serial
+    // driver even when there are no tasks at all.
+    let mut report = driver::run_tasks(engine, energy_model, kernel, std::iter::empty());
+    for (index, outcome) in run.outcomes.iter().enumerate() {
+        match outcome {
+            TaskOutcome::Done(shard_report) => fold_report(&mut report, shard_report),
+            TaskOutcome::Failed { attempts, .. } => {
+                return Err(DegradedError::RetriesExhausted {
+                    task: index as u64,
+                    attempts: *attempts,
+                })
+            }
+        }
+    }
+    report.energy = energy_model.energy(&report.events, &engine.network_costs());
+    Ok(ShardedRun {
+        report,
+        stats: run.stats,
+        degraded: run.degraded,
+        trace: run.trace,
+    })
+}
+
+/// Sharded SpMV — same task stream as [`driver::run_spmv`].
+///
+/// # Errors
+///
+/// See [`run_tasks_sharded`].
+pub fn run_spmv_sharded(
+    cfg: &RuntimeConfig,
+    engine: &(dyn TileEngine + Sync),
+    energy_model: &EnergyModel,
+    a: &BbcMatrix,
+) -> Result<ShardedRun, DegradedError> {
+    run_tasks_sharded(cfg, engine, energy_model, Kernel::SpMV, driver::spmv_tasks(a))
+}
+
+/// Sharded SpMSpV — same task stream as [`driver::run_spmspv`].
+///
+/// # Errors
+///
+/// See [`run_tasks_sharded`].
+pub fn run_spmspv_sharded(
+    cfg: &RuntimeConfig,
+    engine: &(dyn TileEngine + Sync),
+    energy_model: &EnergyModel,
+    a: &BbcMatrix,
+    x: &SparseVector,
+) -> Result<ShardedRun, DegradedError> {
+    run_tasks_sharded(cfg, engine, energy_model, Kernel::SpMSpV, driver::spmspv_tasks(a, x))
+}
+
+/// Sharded SpMM — same task stream as [`driver::run_spmm`].
+///
+/// # Errors
+///
+/// See [`run_tasks_sharded`].
+pub fn run_spmm_sharded(
+    cfg: &RuntimeConfig,
+    engine: &(dyn TileEngine + Sync),
+    energy_model: &EnergyModel,
+    a: &BbcMatrix,
+    n_cols: usize,
+) -> Result<ShardedRun, DegradedError> {
+    run_tasks_sharded(cfg, engine, energy_model, Kernel::SpMM, driver::spmm_tasks(a, n_cols))
+}
+
+/// Sharded SpGEMM — same task stream as [`driver::run_spgemm`].
+///
+/// # Errors
+///
+/// See [`run_tasks_sharded`].
+///
+/// # Panics
+///
+/// Panics if the block grids do not conform, exactly as
+/// [`driver::spgemm_tasks`] does.
+pub fn run_spgemm_sharded(
+    cfg: &RuntimeConfig,
+    engine: &(dyn TileEngine + Sync),
+    energy_model: &EnergyModel,
+    a: &BbcMatrix,
+    b: &BbcMatrix,
+) -> Result<ShardedRun, DegradedError> {
+    run_tasks_sharded(cfg, engine, energy_model, Kernel::SpGEMM, driver::spgemm_tasks(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::{NetworkCosts, T1Result};
+
+    /// The reference engine from the driver tests: perfect packing.
+    struct Ideal;
+
+    impl TileEngine for Ideal {
+        fn name(&self) -> &str {
+            "ideal"
+        }
+        fn lanes(&self) -> usize {
+            64
+        }
+        fn execute(&self, task: &T1Task) -> T1Result {
+            let mut r = T1Result::new(64);
+            let mut left = task.products();
+            while left > 0 {
+                let used = left.min(64) as usize;
+                r.record_cycle(used);
+                left -= used as u64;
+            }
+            r.useful = task.products();
+            r
+        }
+        fn network_costs(&self) -> NetworkCosts {
+            NetworkCosts::flat()
+        }
+    }
+
+    fn demo_matrix(seed: u64) -> BbcMatrix {
+        BbcMatrix::from_csr(&workloads::gen::random_uniform(96, 0.08, seed))
+    }
+
+    fn demo_vector(dim: usize, density: f64, seed: u64) -> SparseVector {
+        let mut rng = sparse::rng::Rng64::new(seed);
+        let mut idx = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..dim {
+            if rng.next_f64() < density {
+                idx.push(i as u32);
+                vals.push(rng.next_f64());
+            }
+        }
+        SparseVector::try_new(dim, idx, vals).expect("indices sorted by construction")
+    }
+
+    #[test]
+    fn sharded_spmv_matches_serial_bit_for_bit() {
+        let a = demo_matrix(1);
+        let em = EnergyModel::default();
+        let serial = driver::run_spmv(&Ideal, &em, &a);
+        for threads in [1, 2, 8] {
+            let cfg = RuntimeConfig::with_threads(threads);
+            let sharded = run_spmv_sharded(&cfg, &Ideal, &em, &a).expect("no failures");
+            assert_eq!(
+                sharded.report.counter_signature(),
+                serial.counter_signature(),
+                "threads={threads}"
+            );
+            assert_eq!(sharded.report, serial, "full report, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn all_four_kernels_match_serial() {
+        let a = demo_matrix(2);
+        let b = demo_matrix(3);
+        let x = demo_vector(96, 0.25, 9);
+        let em = EnergyModel::default();
+        let cfg = RuntimeConfig::with_threads(4);
+        let pairs = [
+            (
+                driver::run_spmv(&Ideal, &em, &a).counter_signature(),
+                run_spmv_sharded(&cfg, &Ideal, &em, &a).expect("spmv").report.counter_signature(),
+            ),
+            (
+                driver::run_spmspv(&Ideal, &em, &a, &x).counter_signature(),
+                run_spmspv_sharded(&cfg, &Ideal, &em, &a, &x)
+                    .expect("spmspv")
+                    .report
+                    .counter_signature(),
+            ),
+            (
+                driver::run_spmm(&Ideal, &em, &a, 40).counter_signature(),
+                run_spmm_sharded(&cfg, &Ideal, &em, &a, 40)
+                    .expect("spmm")
+                    .report
+                    .counter_signature(),
+            ),
+            (
+                driver::run_spgemm(&Ideal, &em, &a, &b).counter_signature(),
+                run_spgemm_sharded(&cfg, &Ideal, &em, &a, &b)
+                    .expect("spgemm")
+                    .report
+                    .counter_signature(),
+            ),
+        ];
+        for (serial, sharded) in pairs {
+            assert_eq!(serial, sharded);
+        }
+    }
+
+    #[test]
+    fn empty_stream_matches_serial() {
+        let em = EnergyModel::default();
+        let cfg = RuntimeConfig::with_threads(2);
+        let sharded =
+            run_tasks_sharded(&cfg, &Ideal, &em, Kernel::SpMM, Vec::new()).expect("empty");
+        let serial = driver::run_tasks(&Ideal, &em, Kernel::SpMM, std::iter::empty());
+        assert_eq!(sharded.report, serial);
+        assert_eq!(sharded.report.t1_tasks, 0);
+    }
+
+    #[test]
+    fn chaos_does_not_change_the_merged_counters() {
+        let a = demo_matrix(4);
+        let em = EnergyModel::default();
+        let serial = driver::run_spmv(&Ideal, &em, &a);
+        let chaos = crate::chaos::ChaosPlan::new(77, 0.05, 0.0, 0.1, 0).expect("valid rates");
+        let cfg = RuntimeConfig {
+            backoff: crate::pool::Backoff::none(),
+            ..RuntimeConfig::with_threads(2).with_chaos(chaos)
+        };
+        let sharded = run_spmv_sharded(&cfg, &Ideal, &em, &a).expect("chaos is survivable");
+        assert_eq!(sharded.report, serial);
+    }
+
+    #[test]
+    fn panicking_engine_surfaces_retries_exhausted() {
+        struct Grenade;
+        impl TileEngine for Grenade {
+            fn name(&self) -> &str {
+                "grenade"
+            }
+            fn lanes(&self) -> usize {
+                64
+            }
+            fn execute(&self, _task: &T1Task) -> T1Result {
+                panic!("engine exploded")
+            }
+            fn network_costs(&self) -> NetworkCosts {
+                NetworkCosts::flat()
+            }
+        }
+        let a = demo_matrix(5);
+        let em = EnergyModel::default();
+        let cfg = RuntimeConfig {
+            max_retries: 1,
+            backoff: crate::pool::Backoff::none(),
+            ..RuntimeConfig::with_threads(2)
+        };
+        match run_spmv_sharded(&cfg, &Grenade, &em, &a) {
+            Err(DegradedError::RetriesExhausted { attempts, .. }) => {
+                assert_eq!(attempts, 2, "first try + one retry");
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_len_scales_with_threads() {
+        assert_eq!(shard_len(0, 4), 1);
+        assert_eq!(shard_len(100, 1), 25);
+        assert_eq!(shard_len(1000, 8), 31);
+        assert!(shard_len(3, 8) >= 1);
+    }
+}

@@ -383,6 +383,16 @@ where
     }
 }
 
+/// The T1 task stream of an SpMV invocation, in stored-block order: one MV
+/// task per stored 16x16 block of `A`.
+///
+/// This is the exact stream [`run_spmv`] executes; materialising it lets a
+/// scheduler shard the same tasks across workers and still merge a
+/// bit-identical [`KernelReport`] (the stream order is the merge order).
+pub fn spmv_tasks(a: &BbcMatrix) -> Vec<T1Task> {
+    a.blocks().map(|blk| T1Task::mv(Block16::from_bbc(&blk), u16::MAX)).collect()
+}
+
 /// SpMV (`y = A x`, dense `x`): one MV task per stored 16x16 block of `A`.
 pub fn run_spmv(
     engine: &dyn TileEngine,
@@ -399,8 +409,7 @@ pub fn run_spmv_traced(
     a: &BbcMatrix,
     sink: &mut dyn obs::TraceSink,
 ) -> KernelReport {
-    let tasks = a.blocks().map(|blk| T1Task::mv(Block16::from_bbc(&blk), u16::MAX));
-    run_tasks_traced(engine, energy_model, Kernel::SpMV, tasks, sink)
+    run_tasks_traced(engine, energy_model, Kernel::SpMV, spmv_tasks(a), sink)
 }
 
 /// SpMV under a fault plan: injects bit flips into a copy of `a`, checks
@@ -438,6 +447,21 @@ pub fn run_spmspv(
     run_spmspv_traced(engine, energy_model, a, x, &mut obs::NoopSink)
 }
 
+/// The T1 task stream of an SpMSpV invocation (see [`spmv_tasks`]): stored
+/// blocks whose 16-element x-segment holds at least one nonzero.
+pub fn spmspv_tasks(a: &BbcMatrix, x: &SparseVector) -> Vec<T1Task> {
+    a.blocks()
+        .filter_map(|blk| {
+            let mask = x.segment_mask16(blk.block_col);
+            if mask == 0 {
+                None
+            } else {
+                Some(T1Task::mv(Block16::from_bbc(&blk), mask))
+            }
+        })
+        .collect()
+}
+
 /// [`run_spmspv`] streaming trace events into `sink`.
 pub fn run_spmspv_traced(
     engine: &dyn TileEngine,
@@ -446,15 +470,7 @@ pub fn run_spmspv_traced(
     x: &SparseVector,
     sink: &mut dyn obs::TraceSink,
 ) -> KernelReport {
-    let tasks = a.blocks().filter_map(|blk| {
-        let mask = x.segment_mask16(blk.block_col);
-        if mask == 0 {
-            None
-        } else {
-            Some(T1Task::mv(Block16::from_bbc(&blk), mask))
-        }
-    });
-    run_tasks_traced(engine, energy_model, Kernel::SpMSpV, tasks, sink)
+    run_tasks_traced(engine, energy_model, Kernel::SpMSpV, spmspv_tasks(a, x), sink)
 }
 
 /// SpMM (`C = A B`, dense `B` with `n_cols` columns): `ceil(n_cols / 16)`
@@ -472,6 +488,26 @@ pub fn run_spmm(
     run_spmm_traced(engine, energy_model, a, n_cols, &mut obs::NoopSink)
 }
 
+/// The T1 task stream of an SpMM invocation (see [`spmv_tasks`]):
+/// `ceil(n_cols / 16)` MM tasks per stored block of `A`. Empty when
+/// `n_cols == 0`.
+pub fn spmm_tasks(a: &BbcMatrix, n_cols: usize) -> Vec<T1Task> {
+    if n_cols == 0 {
+        return Vec::new();
+    }
+    let col_blocks = n_cols.div_ceil(16);
+    let tail = n_cols - (col_blocks - 1) * 16;
+    a.blocks()
+        .flat_map(move |blk| {
+            let a_bits = Block16::from_bbc(&blk);
+            (0..col_blocks).map(move |cb| {
+                let width = if cb + 1 == col_blocks { tail } else { 16 };
+                T1Task::mm(a_bits, Block16::dense().keep_cols(width))
+            })
+        })
+        .collect()
+}
+
 /// [`run_spmm`] streaming trace events into `sink`.
 pub fn run_spmm_traced(
     engine: &dyn TileEngine,
@@ -480,19 +516,7 @@ pub fn run_spmm_traced(
     n_cols: usize,
     sink: &mut dyn obs::TraceSink,
 ) -> KernelReport {
-    if n_cols == 0 {
-        return run_tasks_traced(engine, energy_model, Kernel::SpMM, std::iter::empty(), sink);
-    }
-    let col_blocks = n_cols.div_ceil(16);
-    let tail = n_cols - (col_blocks - 1) * 16;
-    let tasks = a.blocks().flat_map(move |blk| {
-        let a_bits = Block16::from_bbc(&blk);
-        (0..col_blocks).map(move |cb| {
-            let width = if cb + 1 == col_blocks { tail } else { 16 };
-            T1Task::mm(a_bits, Block16::dense().keep_cols(width))
-        })
-    });
-    run_tasks_traced(engine, energy_model, Kernel::SpMM, tasks, sink)
+    run_tasks_traced(engine, energy_model, Kernel::SpMM, spmm_tasks(a, n_cols), sink)
 }
 
 /// SpGEMM (`C = A B`, both sparse): the block-level outer-product walk of
@@ -526,23 +550,35 @@ pub fn run_spgemm_traced(
     b: &BbcMatrix,
     sink: &mut dyn obs::TraceSink,
 ) -> KernelReport {
+    run_tasks_traced(engine, energy_model, Kernel::SpGEMM, spgemm_tasks(a, b), sink)
+}
+
+/// The T1 task stream of an SpGEMM invocation (see [`spmv_tasks`]): the
+/// block-level outer-product walk of Algorithm 2.
+///
+/// # Panics
+///
+/// Panics if the block grids do not conform (`a.block_cols() !=
+/// b.block_rows()`).
+pub fn spgemm_tasks(a: &BbcMatrix, b: &BbcMatrix) -> Vec<T1Task> {
     assert_eq!(
         a.block_cols(),
         b.block_rows(),
         "SpGEMM block grids do not conform"
     );
-    let tasks = (0..a.block_rows()).flat_map(move |bi| {
-        a.blocks_in_row(bi).flat_map(move |ai| {
-            let a_blk = a.block(ai);
-            let a_bits = Block16::from_bbc(&a_blk);
-            let k = a_blk.block_col;
-            b.blocks_in_row(k).map(move |bj| {
-                let b_blk = b.block(bj);
-                T1Task::mm(a_bits, Block16::from_bbc(&b_blk))
+    (0..a.block_rows())
+        .flat_map(move |bi| {
+            a.blocks_in_row(bi).flat_map(move |ai| {
+                let a_blk = a.block(ai);
+                let a_bits = Block16::from_bbc(&a_blk);
+                let k = a_blk.block_col;
+                b.blocks_in_row(k).map(move |bj| {
+                    let b_blk = b.block(bj);
+                    T1Task::mm(a_bits, Block16::from_bbc(&b_blk))
+                })
             })
         })
-    });
-    run_tasks_traced(engine, energy_model, Kernel::SpGEMM, tasks, sink)
+        .collect()
 }
 
 #[cfg(test)]

@@ -54,6 +54,31 @@ pub struct FaultPlan {
     pub value_rate: f64,
 }
 
+/// A rejected fault-rate parameter: rates are per-bit probabilities and
+/// must lie in `[0.0, 1.0]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidRate {
+    /// The offending rate value (possibly NaN).
+    pub rate: f64,
+}
+
+impl std::fmt::Display for InvalidRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fault rate {} is outside [0.0, 1.0]", self.rate)
+    }
+}
+
+impl std::error::Error for InvalidRate {}
+
+/// Clamps a rate into `[0.0, 1.0]`; NaN collapses to 0.0 (inject nothing).
+fn clamp_rate(rate: f64) -> f64 {
+    if rate.is_nan() {
+        0.0
+    } else {
+        rate.clamp(0.0, 1.0)
+    }
+}
+
 /// One injected bit flip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultRecord {
@@ -111,8 +136,39 @@ impl FaultPlan {
     }
 
     /// A plan with the same per-bit rate for every structure class.
+    ///
+    /// `rate` must be a probability; out-of-range values (including NaN)
+    /// are clamped into `[0.0, 1.0]` with a logged warning rather than
+    /// silently accepted — a rate of `10.0` would otherwise behave like
+    /// certain corruption and masquerade as a valid experiment. Use
+    /// [`FaultPlan::try_uniform`] to reject bad rates outright.
     pub fn uniform(seed: u64, rate: f64) -> Self {
-        FaultPlan { seed, bitmap_rate: rate, pointer_rate: rate, value_rate: rate }
+        match Self::try_uniform(seed, rate) {
+            Ok(plan) => plan,
+            Err(e) => {
+                let clamped = clamp_rate(rate);
+                eprintln!("warning: {e}; clamping to {clamped}");
+                FaultPlan {
+                    seed,
+                    bitmap_rate: clamped,
+                    pointer_rate: clamped,
+                    value_rate: clamped,
+                }
+            }
+        }
+    }
+
+    /// [`FaultPlan::uniform`] that rejects rates outside `[0.0, 1.0]`
+    /// (including NaN) instead of clamping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRate`] when `rate` is not a probability.
+    pub fn try_uniform(seed: u64, rate: f64) -> Result<Self, InvalidRate> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(InvalidRate { rate });
+        }
+        Ok(FaultPlan { seed, bitmap_rate: rate, pointer_rate: rate, value_rate: rate })
     }
 
     /// The per-bit rate this plan applies to `field`.
@@ -233,6 +289,28 @@ mod tests {
             assert!(outcome.detected <= outcome.log.injected());
             assert!(outcome.detected >= outcome.log.metadata_faults());
         }
+    }
+
+    #[test]
+    fn uniform_rejects_or_clamps_nonsense_rates() {
+        // try_uniform: strict rejection.
+        assert!(FaultPlan::try_uniform(1, -0.1).is_err());
+        assert!(FaultPlan::try_uniform(1, 1.5).is_err());
+        assert!(FaultPlan::try_uniform(1, f64::NAN).is_err());
+        let err = FaultPlan::try_uniform(1, 2.0).unwrap_err();
+        assert!(err.to_string().contains("outside [0.0, 1.0]"), "{err}");
+        // Boundary rates are valid.
+        assert!(FaultPlan::try_uniform(1, 0.0).is_ok());
+        assert!(FaultPlan::try_uniform(1, 1.0).is_ok());
+        // uniform: clamps with a warning instead of propagating nonsense.
+        assert_eq!(FaultPlan::uniform(7, 1.5), FaultPlan::uniform(7, 1.0));
+        assert_eq!(FaultPlan::uniform(7, -3.0), FaultPlan::none(7));
+        assert_eq!(FaultPlan::uniform(7, f64::NAN), FaultPlan::none(7));
+        // In-range rates are untouched.
+        let p = FaultPlan::uniform(7, 0.25);
+        assert_eq!(p.bitmap_rate, 0.25);
+        assert_eq!(p.pointer_rate, 0.25);
+        assert_eq!(p.value_rate, 0.25);
     }
 
     #[test]

@@ -40,14 +40,22 @@ if ! CONFORMANCE_SEED="${SMOKE_SEED}" cargo test -p conformance -q --test confor
     exit 1
 fi
 
+echo "== runtime chaos =="
+# Fixed-seed chaos campaigns (crash/stall/flake injection), panic
+# isolation, thread-count bit-identity, and quorum-loss degradation —
+# plus a 2-thread conformance smoke over the golden generator regimes.
+cargo test -p runtime -q
+cargo test -p bench -q --test runtime_resilience
+
 echo "== perf smoke =="
 # Runs the representative corpus across the headline engines, writes
 # BENCH_ci-smoke.json at the repo root, then re-runs and gates on >5 %
 # simulated-cycle regressions against that fresh baseline. Cycle counts
 # are deterministic, so a self-compare failure means nondeterminism
-# crept into the pipeline.
+# crept into the pipeline. The comparison run shards over 2 threads:
+# the gate doubles as a parallel-vs-serial bit-identity check.
 cargo run --release -p bench --bin perf_regression -- --label ci-smoke
 cargo run --release -p bench --bin perf_regression -- \
-    --label ci-check --compare BENCH_ci-smoke.json
+    --label ci-check --threads 2 --compare BENCH_ci-smoke.json
 
 echo "CI OK"
