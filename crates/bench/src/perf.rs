@@ -106,6 +106,10 @@ impl BenchEntry {
 pub struct BenchDoc {
     /// Run label (becomes the `BENCH_<label>.json` filename).
     pub label: String,
+    /// The `sparse::kernels` backend active during collection
+    /// (`"unrecorded"` for documents written before the field existed —
+    /// those ran the scalar code that is now `USTC_BACKEND=scalar`).
+    pub backend: String,
     /// One entry per (matrix, engine, kernel).
     pub entries: Vec<BenchEntry>,
     /// The [`MetricsRegistry`] export of the collection run.
@@ -118,6 +122,7 @@ impl BenchDoc {
         Value::object(vec![
             ("schema", Value::from(SCHEMA)),
             ("label", Value::Str(self.label.clone())),
+            ("backend", Value::Str(self.backend.clone())),
             (
                 "entries",
                 Value::Array(self.entries.iter().map(BenchEntry::to_json).collect()),
@@ -145,6 +150,13 @@ impl BenchDoc {
             .and_then(Value::as_str)
             .ok_or_else(|| "document has no `label` field".to_owned())?
             .to_owned();
+        // Optional for backward compatibility: documents predating the
+        // backend dispatch layer carry no `backend` field.
+        let backend = v
+            .get("backend")
+            .and_then(Value::as_str)
+            .unwrap_or("unrecorded")
+            .to_owned();
         let entries = v
             .get("entries")
             .and_then(Value::as_array)
@@ -153,7 +165,7 @@ impl BenchDoc {
             .map(BenchEntry::from_json)
             .collect::<Result<Vec<_>, _>>()?;
         let metrics = v.get("metrics").cloned().unwrap_or(Value::Null);
-        Ok(BenchDoc { label, entries, metrics })
+        Ok(BenchDoc { label, backend, entries, metrics })
     }
 
 }
@@ -181,8 +193,10 @@ pub fn collect(label: &str) -> BenchDoc {
 /// numbers move. The metrics export records the worker count and total
 /// collection wall time under `runtime/`.
 pub fn collect_threaded(label: &str, threads: usize) -> BenchDoc {
+    let backend = sparse::kernels::active_kind();
     let em = EnergyModel::default();
     let mut reg = MetricsRegistry::new();
+    reg.set_gauge("runtime/backend_ordinal", backend as u8 as f64);
     let contexts: Vec<MatrixCtx> = representative_matrices()
         .into_iter()
         .map(|r| MatrixCtx::new(r.name, r.matrix, 5))
@@ -220,7 +234,12 @@ pub fn collect_threaded(label: &str, threads: usize) -> BenchDoc {
         }
     }
     reg.set_gauge("runtime/total_wall_ms", total_span.elapsed().as_secs_f64() * 1e3);
-    BenchDoc { label: label.to_owned(), entries, metrics: reg.to_json() }
+    BenchDoc {
+        label: label.to_owned(),
+        backend: backend.name().to_owned(),
+        entries,
+        metrics: reg.to_json(),
+    }
 }
 
 /// One flagged cycle regression from [`compare`].
@@ -284,7 +303,12 @@ mod tests {
     }
 
     fn doc(label: &str, entries: Vec<BenchEntry>) -> BenchDoc {
-        BenchDoc { label: label.to_owned(), entries, metrics: Value::Null }
+        BenchDoc {
+            label: label.to_owned(),
+            backend: "bitwise".to_owned(),
+            entries,
+            metrics: Value::Null,
+        }
     }
 
     #[test]
@@ -294,6 +318,25 @@ mod tests {
         let back = BenchDoc::from_str(&text).expect("round-trip parses");
         assert_eq!(back.label, "t");
         assert_eq!(back.entries, d.entries);
+    }
+
+    #[test]
+    fn backend_field_round_trips_and_defaults() {
+        let d = doc("t", vec![entry("m1", 7)]);
+        let back = BenchDoc::from_str(&d.to_json().to_json_pretty()).expect("parses");
+        assert_eq!(back.backend, "bitwise");
+        // Documents written before the backend field existed (e.g. the
+        // committed BENCH_pr6*.json) must still parse.
+        let legacy = r#"{"schema":"ustc-bench-v1","label":"old","entries":[]}"#;
+        let parsed = BenchDoc::from_str(legacy).expect("legacy document parses");
+        assert_eq!(parsed.backend, "unrecorded");
+    }
+
+    #[test]
+    fn collect_records_active_backend() {
+        use sparse::kernels::{with_backend, BackendKind};
+        let d = with_backend(BackendKind::Scalar, || collect("backend-probe"));
+        assert_eq!(d.backend, "scalar");
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! 3. **Cross-engine differentials** ([`differential`]): the six baseline
 //!    cycle models, the Uni-STC engine and the numeric dataflow must all
 //!    count exactly the same useful work.
+//! 4. **Backend equivalence** ([`backend_equivalence`]): the scalar and
+//!    bit-parallel `sparse::kernels` backends (plus `simd` when the
+//!    feature is on) must be observationally identical — bit-identical
+//!    counter signatures and EXACT-tolerance numerics on every regime.
 //!
 //! Inputs come from structured sparsity [`generators`] (block-aligned,
 //! banded, pruning-mask, adversarial dense-row/column regimes), failures
@@ -30,6 +34,7 @@
 // downstream tests can name them without a direct `sparse` dependency.
 pub use sparse::{CsrMatrix, DenseMatrix, SparseVector};
 
+pub mod backend_equivalence;
 pub mod compare;
 pub mod differential;
 pub mod generators;

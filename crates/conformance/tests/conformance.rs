@@ -24,6 +24,20 @@ fn full_sweep_under_session_seed() {
     assert_eq!(summary.counter_engines, 7, "six baselines plus Uni-STC");
 }
 
+/// The backend-equivalence sweep from the issue: all regimes x 4 kernels
+/// through scalar vs bitwise (and simd under `--features simd`), demanding
+/// bit-identical counter signatures and EXACT numerics. Failures shrink
+/// and replay exactly like the main sweep.
+#[test]
+fn backend_equivalence_sweep_under_session_seed() {
+    let seed = conformance::conformance_seed();
+    let cfg = SweepConfig::default();
+    let cases = conformance::backend_equivalence::run_backend_sweep(seed, &cfg)
+        .unwrap_or_else(|ce| panic!("seed {seed}:\n{ce}"));
+    let pairs = conformance::backend_equivalence::backend_pairs().len();
+    assert_eq!(cases, Regime::ALL.len() * cfg.seeds_per_regime as usize * pairs);
+}
+
 /// Counter snapshots against the blessed golden file (see
 /// `golden/counters.txt`; re-bless with `CONFORMANCE_BLESS=1`).
 #[test]

@@ -153,6 +153,26 @@ pub fn pack_segments_traced<I: IntoIterator<Item = u8>>(
     stats
 }
 
+/// One segmented dot product on the SDPU datapath: for each set bit
+/// `kk` of `pattern & 0xF` in ascending order, accumulates
+/// `a_tile[m * 4 + kk] * b_tile[kk * 4 + n]`. Returns the sum and the
+/// number of products (lanes) consumed.
+///
+/// Dispatches through the active `sparse::kernels` backend; every
+/// backend evaluates the products in the same ascending-`kk` order, so
+/// the f64 sum is bit-identical across backends (the bitwise backend
+/// only replaces the per-bit skip test with `trailing_zeros`
+/// iteration).
+pub fn segment_dot(
+    pattern: u8,
+    a_tile: &[f64; 16],
+    b_tile: &[f64; 16],
+    m: usize,
+    n: usize,
+) -> (f64, u32) {
+    sparse::kernels::active().segment_dot(pattern, a_tile, b_tile, m, n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -158,26 +158,23 @@ impl Block16 {
 
     /// Number of intermediate products of `self x other` (16x16x16):
     /// `sum over k of nnz(col k of self) * nnz(row k of other)`.
+    ///
+    /// Dispatches to the active kernel backend (`sparse::kernels`): the
+    /// bitwise backend packs the rows 4-per-u64 and uses SWAR popcounts
+    /// instead of the 16x16 per-bit column probe.
     pub fn products_with(&self, other: &Block16) -> u64 {
-        let mut p = 0u64;
-        for k in 0..16 {
-            p += self.col_mask(k).count_ones() as u64 * other.row_mask(k).count_ones() as u64;
-        }
-        p
+        sparse::kernels::active().block_products(&self.rows, &other.rows)
     }
 
     /// The structural product bitmap of `self x other`.
+    ///
+    /// Dispatches to the active kernel backend: the bitwise backend
+    /// iterates only the set bits of each row (`trailing_zeros`) rather
+    /// than probing all 16 contraction indices.
     pub fn mul_structure(&self, other: &Block16) -> Block16 {
-        let mut out = [0u16; 16];
-        for (r, orow) in out.iter_mut().enumerate() {
-            let arow = self.rows[r];
-            for k in 0..16 {
-                if arow >> k & 1 == 1 {
-                    *orow |= other.rows[k];
-                }
-            }
+        Block16 {
+            rows: sparse::kernels::active().block_mul_structure(&self.rows, &other.rows),
         }
-        Block16 { rows: out }
     }
 
     /// Transposed bitmap.

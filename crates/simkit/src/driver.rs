@@ -6,6 +6,14 @@
 //! nonzero 16x16 blocks via the BBC outer CSR, performs the top-level
 //! bitmap check (Algorithm 2 line 13) and issues one UWMMA T1 task per
 //! surviving block pair.
+//!
+//! The bitmap algebra behind task generation (block decode,
+//! [`Block16::products_with`], [`Block16::mul_structure`]) dispatches
+//! through the process-wide `sparse::kernels` backend (`USTC_BACKEND`
+//! env / `sparse::kernels::set_backend`). Backends change only host
+//! wall-clock: every counter a driver reports — cycles, products, task
+//! counts, event traffic — is bit-identical across backends, which the
+//! conformance backend-equivalence sweep pins.
 
 use sparse::{BbcMatrix, SparseVector};
 

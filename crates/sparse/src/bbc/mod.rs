@@ -277,21 +277,13 @@ impl BbcBlock<'_> {
 
     /// Expands the two-level bitmap into sixteen per-row 16-bit masks
     /// (bit `c` of `rows[r]` set means element `(r, c)` is nonzero).
+    ///
+    /// Decoding runs through the active kernel backend (see
+    /// [`crate::kernels`]): the scalar backend replays the original
+    /// per-tile nibble-spread loop, the bitwise backend packs the rows
+    /// as 4×u64 and spreads each tile with one shift-or cascade.
     pub fn element_rows(&self) -> [u16; BLOCK_DIM] {
-        let mut rows = [0u16; BLOCK_DIM];
-        let mut rank = 0usize;
-        for bit in 0..TILES_PER_BLOCK {
-            if self.bitmap_lv1 >> bit & 1 == 1 {
-                let (tr, tc) = (bit / TILE_DIM, bit % TILE_DIM);
-                let m = self.bitmap_lv2[rank];
-                rank += 1;
-                for er in 0..TILE_DIM {
-                    let nibble = (m >> (er * TILE_DIM)) & 0xF;
-                    rows[tr * TILE_DIM + er] |= nibble << (tc * TILE_DIM);
-                }
-            }
-        }
-        rows
+        crate::kernels::active().decode_block(self.bitmap_lv1, self.bitmap_lv2)
     }
 
     /// The stored value at block-local coordinates `(lr, lc)`, or `None`

@@ -120,16 +120,17 @@ impl BitmapMatrix {
             return None;
         }
         let bit = row * self.ncols + col;
-        let mut rank = 0usize;
-        for w in 0..bit / 64 {
-            rank += self.mask[w].count_ones() as usize;
-        }
-        let partial = self.mask[bit / 64] & ((1u64 << (bit % 64)) - 1);
-        rank += partial.count_ones() as usize;
-        Some(self.values[rank])
+        Some(self.values[crate::kernels::active().rank(&self.mask, bit)])
     }
 
     /// Converts back to CSR form.
+    ///
+    /// Walks the mask word-at-a-time through the active kernel backend
+    /// (set bits come back in ascending order, which is exactly the
+    /// row-major value order) instead of probing every cell; the mask's
+    /// tail word is masked to `nrows * ncols` bits so ragged widths —
+    /// total bit counts that are not a multiple of 64 — cannot leak
+    /// stray positions.
     ///
     /// # Errors
     ///
@@ -138,14 +139,15 @@ impl BitmapMatrix {
     /// surfaced as a typed error rather than a panic.
     pub fn to_csr(&self) -> Result<CsrMatrix, FormatError> {
         let mut coo = crate::CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
-        let mut vi = 0usize;
-        for r in 0..self.nrows {
-            for c in 0..self.ncols {
-                if self.is_set(r, c) {
-                    coo.push(r, c, self.values[vi]);
-                    vi += 1;
-                }
-            }
+        let mut set_bits = Vec::with_capacity(self.nnz());
+        crate::kernels::active().collect_set_bits(
+            &self.mask,
+            self.nrows * self.ncols,
+            &mut set_bits,
+        );
+        for (&bit, &v) in set_bits.iter().zip(self.values.iter()) {
+            let bit = bit as usize;
+            coo.push(bit / self.ncols, bit % self.ncols, v);
         }
         CsrMatrix::try_from(coo)
     }
@@ -229,5 +231,60 @@ mod tests {
         let bm = BitmapMatrix::from_csr(&fig1_matrix());
         assert_eq!(bm.metadata_bytes(), 2); // 16 cells -> 2 bytes
         assert_eq!(bm.value_bytes(), 48);
+    }
+
+    /// One-row matrix with every cell set, at a given total bit width.
+    fn ragged_full(ncols: usize) -> CsrMatrix {
+        let values: Vec<f64> = (0..ncols).map(|c| c as f64 + 1.0).collect();
+        let col_idx: Vec<u32> = (0..ncols as u32).collect();
+        CsrMatrix::try_new(1, ncols, vec![0, ncols], col_idx, values).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_at_ragged_widths() {
+        // Total bit counts straddling the word boundaries: the tail
+        // word is empty, one bit, one-short, exactly full, one-over.
+        for ncols in [0usize, 1, 63, 64, 65, 255, 256] {
+            let csr = ragged_full(ncols);
+            let bm = BitmapMatrix::from_csr(&csr);
+            assert_eq!(bm.nnz(), ncols, "ncols={ncols}");
+            assert_eq!(bm.to_csr().unwrap(), csr, "ncols={ncols}");
+        }
+    }
+
+    #[test]
+    fn rank_at_ragged_widths() {
+        for ncols in [1usize, 63, 64, 65, 255, 256] {
+            let bm = BitmapMatrix::from_csr(&ragged_full(ncols));
+            assert_eq!(bm.get(0, 0), Some(1.0), "ncols={ncols}");
+            assert_eq!(bm.get(0, ncols - 1), Some(ncols as f64), "ncols={ncols}");
+        }
+    }
+
+    #[test]
+    fn ragged_multirow_tail_straddles_rows() {
+        // 3 rows x 43 cols = 129 bits: rows straddle word boundaries so
+        // a tail-masking bug would drop or duplicate entries.
+        let mut coo = crate::CooMatrix::new(3, 43);
+        for (i, &(r, c)) in [(0, 0), (0, 42), (1, 20), (2, 0), (2, 42)].iter().enumerate() {
+            coo.push(r, c, i as f64 + 0.5);
+        }
+        let csr = CsrMatrix::try_from(coo).unwrap();
+        let bm = BitmapMatrix::from_csr(&csr);
+        assert_eq!(bm.get(2, 42), Some(4.5));
+        assert_eq!(bm.get(1, 19), None);
+        assert_eq!(bm.to_csr().unwrap(), csr);
+    }
+
+    #[test]
+    fn backends_agree_on_bitmap_paths() {
+        use crate::kernels::{with_backend, BackendKind};
+        let csr = ragged_full(65);
+        for &kind in BackendKind::ALL {
+            let round = with_backend(kind, || {
+                BitmapMatrix::from_csr(&csr).to_csr().unwrap()
+            });
+            assert_eq!(round, csr, "backend={}", kind.name());
+        }
     }
 }

@@ -1,0 +1,142 @@
+//! `std::simd` portable-SIMD backend (nightly, `--features simd`).
+//!
+//! Accelerates only the *mask algebra* — AND/OR overlays and the block
+//! SWAR ops — with `u64x4` vectors. All numeric methods delegate to the
+//! bitwise backend, whose single-accumulator, left-to-right evaluation
+//! is bit-identical to the scalar reference; vectorising f64 sums would
+//! reassociate additions and break the EXACT equivalence contract.
+
+use std::simd::num::SimdUint;
+use std::simd::u64x4;
+
+use super::bitwise::BitwiseKernels;
+use super::{BitKernels, BlockMeta};
+
+/// The portable-SIMD backend (`USTC_BACKEND=simd`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimdKernels;
+
+const LANES: usize = 4;
+
+impl BitKernels for SimdKernels {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn rank(&self, words: &[u64], bit: usize) -> usize {
+        let bit = bit.min(words.len() * 64);
+        let full = bit / 64;
+        let (chunks, tail) = words[..full].split_at(full - full % LANES);
+        let mut vsum = u64x4::splat(0);
+        for c in chunks.chunks_exact(LANES) {
+            vsum += u64x4::from_slice(c).count_ones();
+        }
+        let mut count = vsum.reduce_sum();
+        for &w in tail {
+            count += u64::from(w.count_ones());
+        }
+        if bit % 64 != 0 {
+            count += u64::from((words[full] & ((1u64 << (bit % 64)) - 1)).count_ones());
+        }
+        count as usize
+    }
+
+    fn prefix_popcounts(&self, words: &[u64], out: &mut Vec<u32>) {
+        // Prefix sums are inherently serial; the word popcount already
+        // is a single instruction, so delegate.
+        BitwiseKernels.prefix_popcounts(words, out);
+    }
+
+    fn and_count(&self, a: &[u64], b: &[u64], len_bits: usize) -> u64 {
+        let nwords = len_bits.div_ceil(64);
+        if nwords == 0 {
+            return 0;
+        }
+        let body = (nwords - 1) - (nwords - 1) % LANES;
+        let mut vsum = u64x4::splat(0);
+        for (ca, cb) in a[..body]
+            .chunks_exact(LANES)
+            .zip(b[..body].chunks_exact(LANES))
+        {
+            vsum += (u64x4::from_slice(ca) & u64x4::from_slice(cb)).count_ones();
+        }
+        let mut count = vsum.reduce_sum();
+        for i in body..nwords {
+            let mut and = a[i] & b[i];
+            if i == nwords - 1 && len_bits % 64 != 0 {
+                and &= (1u64 << (len_bits % 64)) - 1;
+            }
+            count += u64::from(and.count_ones());
+        }
+        count
+    }
+
+    fn or_into(&self, acc: &mut [u64], src: &[u64]) {
+        assert_eq!(acc.len(), src.len(), "or_into operand length mismatch");
+        let split = acc.len() - acc.len() % LANES;
+        let (ah, at) = acc.split_at_mut(split);
+        let (sh, st) = src.split_at(split);
+        for (ac, sc) in ah.chunks_exact_mut(LANES).zip(sh.chunks_exact(LANES)) {
+            (u64x4::from_slice(ac) | u64x4::from_slice(sc)).copy_to_slice(ac);
+        }
+        for (a, &s) in at.iter_mut().zip(st.iter()) {
+            *a |= s;
+        }
+    }
+
+    fn collect_set_bits(&self, words: &[u64], len_bits: usize, out: &mut Vec<u32>) {
+        // Ascending emission is serial by construction; the bitwise
+        // trailing_zeros walk is already optimal per set bit.
+        BitwiseKernels.collect_set_bits(words, len_bits, out);
+    }
+
+    fn decode_block(&self, lv1: u16, lv2: &[u16]) -> [u16; 16] {
+        BitwiseKernels.decode_block(lv1, lv2)
+    }
+
+    fn encode_block(&self, mask: &[u64; 4]) -> BlockMeta {
+        BitwiseKernels.encode_block(mask)
+    }
+
+    fn block_products(&self, a: &[u16; 16], b: &[u16; 16]) -> u64 {
+        // All four packed words of `a` shift together: one u64x4 shift,
+        // mask, and popcount per contraction column.
+        let mut packed = [0u64; 4];
+        for (r, &row) in a.iter().enumerate() {
+            packed[r / 4] |= u64::from(row) << ((r % 4) * 16);
+        }
+        let pv = u64x4::from_array(packed);
+        let lane_lsb = u64x4::splat(0x0001_0001_0001_0001);
+        let mut products = 0u64;
+        for (k, &brow) in b.iter().enumerate() {
+            let col = ((pv >> u64x4::splat(k as u64)) & lane_lsb)
+                .count_ones()
+                .reduce_sum();
+            products += col * u64::from(brow.count_ones());
+        }
+        products
+    }
+
+    fn block_mul_structure(&self, a: &[u16; 16], b: &[u16; 16]) -> [u16; 16] {
+        BitwiseKernels.block_mul_structure(a, b)
+    }
+
+    fn segment_dot(
+        &self,
+        pattern: u8,
+        a_tile: &[f64; 16],
+        b_tile: &[f64; 16],
+        m: usize,
+        n: usize,
+    ) -> (f64, u32) {
+        BitwiseKernels.segment_dot(pattern, a_tile, b_tile, m, n)
+    }
+
+    fn dot_gather(&self, cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+        BitwiseKernels.dot_gather(cols, vals, x)
+    }
+
+    fn axpy(&self, acc: &mut [f64], scale: f64, b: &[f64]) {
+        BitwiseKernels.axpy(acc, scale, b);
+    }
+}

@@ -41,10 +41,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 mod bitmap;
 mod bsr;
 pub mod bbc;
+pub mod kernels;
 mod coo;
 mod csc;
 mod csr;

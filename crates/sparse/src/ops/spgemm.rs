@@ -35,9 +35,15 @@ pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, FormatError> {
             b.nrows()
         )));
     }
+    // Occupancy marks live in a word bitset; emission walks set bits
+    // in ascending order through the kernel backend, replacing the old
+    // per-row touch-list sort. Accumulation order is untouched (still
+    // the Gustavson visit order), so values are bit-identical to the
+    // original formulation.
+    let be = crate::kernels::active();
     let n = b.ncols();
     let mut acc = vec![0.0f64; n];
-    let mut mark = vec![false; n];
+    let mut mark = vec![0u64; n.div_ceil(64)];
     let mut touched: Vec<u32> = Vec::new();
 
     let mut row_ptr = vec![0usize; a.nrows() + 1];
@@ -50,19 +56,16 @@ pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, FormatError> {
         for (&k, &av) in acols.iter().zip(avals) {
             let (bcols, bvals) = b.row(k as usize);
             for (&c, &bv) in bcols.iter().zip(bvals) {
-                if !mark[c as usize] {
-                    mark[c as usize] = true;
-                    touched.push(c);
-                }
+                mark[c as usize / 64] |= 1u64 << (c % 64);
                 acc[c as usize] += av * bv;
             }
         }
-        touched.sort_unstable();
+        be.collect_set_bits(&mark, n, &mut touched);
         for &c in &touched {
             col_idx.push(c);
             values.push(acc[c as usize]);
             acc[c as usize] = 0.0;
-            mark[c as usize] = false;
+            mark[c as usize / 64] = 0;
         }
         row_ptr[r + 1] = col_idx.len();
     }
@@ -87,29 +90,58 @@ pub fn spgemm_structure(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, Forma
             b.nrows()
         )));
     }
+    // The symbolic product is pure mask algebra: precompute one bitset
+    // per B row, then row r of C is the word-at-a-time OR overlay of
+    // the B-row bitsets selected by row r of A. The dense B-row table
+    // costs nrows(B) x ncols(B) bits, so huge shapes fall back to the
+    // per-entry mark loop.
+    let be = crate::kernels::active();
     let n = b.ncols();
-    let mut mark = vec![false; n];
+    let words = n.div_ceil(64);
     let mut touched: Vec<u32> = Vec::new();
     let mut row_ptr = vec![0usize; a.nrows() + 1];
     let mut col_idx: Vec<u32> = Vec::new();
-    for r in 0..a.nrows() {
-        touched.clear();
-        let (acols, _) = a.row(r);
-        for &k in acols {
-            let (bcols, _) = b.row(k as usize);
+
+    const OVERLAY_BIT_LIMIT: usize = 1 << 28; // 32 MiB of B-row bitsets
+    if b.nrows().saturating_mul(words).saturating_mul(64) <= OVERLAY_BIT_LIMIT {
+        let mut brows = vec![0u64; b.nrows() * words];
+        for k in 0..b.nrows() {
+            let (bcols, _) = b.row(k);
             for &c in bcols {
-                if !mark[c as usize] {
-                    mark[c as usize] = true;
-                    touched.push(c);
-                }
+                brows[k * words + c as usize / 64] |= 1u64 << (c % 64);
             }
         }
-        touched.sort_unstable();
-        for &c in &touched {
-            col_idx.push(c);
-            mark[c as usize] = false;
+        let mut rowmask = vec![0u64; words];
+        for r in 0..a.nrows() {
+            rowmask.fill(0);
+            touched.clear();
+            let (acols, _) = a.row(r);
+            for &k in acols {
+                let k = k as usize;
+                be.or_into(&mut rowmask, &brows[k * words..(k + 1) * words]);
+            }
+            be.collect_set_bits(&rowmask, n, &mut touched);
+            col_idx.extend_from_slice(&touched);
+            row_ptr[r + 1] = col_idx.len();
         }
-        row_ptr[r + 1] = col_idx.len();
+    } else {
+        let mut mark = vec![0u64; words];
+        for r in 0..a.nrows() {
+            touched.clear();
+            let (acols, _) = a.row(r);
+            for &k in acols {
+                let (bcols, _) = b.row(k as usize);
+                for &c in bcols {
+                    mark[c as usize / 64] |= 1u64 << (c % 64);
+                }
+            }
+            be.collect_set_bits(&mark, n, &mut touched);
+            for &c in &touched {
+                col_idx.push(c);
+                mark[c as usize / 64] = 0;
+            }
+            row_ptr[r + 1] = col_idx.len();
+        }
     }
     let nnz = col_idx.len();
     CsrMatrix::try_new(a.nrows(), n, row_ptr, col_idx, vec![1.0; nnz])

@@ -34,15 +34,15 @@ pub fn spmm(a: &CsrMatrix, b: &DenseMatrix) -> Result<DenseMatrix, FormatError> 
             b.nrows()
         )));
     }
+    // Row updates run through the active kernel backend's axpy; each
+    // output element sees the same sequence of additions regardless of
+    // backend, so results are bit-identical.
+    let be = crate::kernels::active();
     let mut c = DenseMatrix::zeros(a.nrows(), b.ncols());
     for r in 0..a.nrows() {
         let (cols, vals) = a.row(r);
         for (&k, &v) in cols.iter().zip(vals) {
-            let brow = b.row(k as usize);
-            let crow = c.row_mut(r);
-            for (cj, &bj) in crow.iter_mut().zip(brow) {
-                *cj += v * bj;
-            }
+            be.axpy(c.row_mut(r), v, b.row(k as usize));
         }
     }
     Ok(c)

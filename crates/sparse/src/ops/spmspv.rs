@@ -38,35 +38,33 @@ pub fn spmspv(a: &CsrMatrix, x: &SparseVector) -> Result<SparseVector, FormatErr
         )));
     }
     // Column-driven: transpose once, then accumulate the selected columns.
+    let be = crate::kernels::active();
     let at: CscMatrix = a.to_csc();
     let mut acc = vec![0.0; a.nrows()];
-    // Structural touch marks: value-independent, so entries that cancel to
-    // an exact 0.0 stay structurally present (hardware-accumulator
-    // semantics) without any float comparison.
-    let mut is_touched = vec![false; a.nrows()];
-    let mut touched = Vec::new();
+    // Structural touch marks as a word bitset: value-independent, so
+    // entries that cancel to an exact 0.0 stay structurally present
+    // (hardware-accumulator semantics) without any float comparison.
+    // Walking the bitset in ascending bit order replaces the old
+    // touch-list sort.
+    let mut is_touched = vec![0u64; a.nrows().div_ceil(64)];
     for (col, xv) in x.iter() {
         let (rows, vals) = at.col(col);
         for (&r, &v) in rows.iter().zip(vals) {
             let ri = r as usize;
-            if !is_touched[ri] {
-                is_touched[ri] = true;
-                touched.push(r);
-            }
+            is_touched[ri / 64] |= 1u64 << (ri % 64);
             acc[ri] += v * xv;
         }
     }
-    touched.sort_unstable();
-    let mut idx = Vec::with_capacity(touched.len());
+    let mut touched = Vec::new();
+    be.collect_set_bits(&is_touched, a.nrows(), &mut touched);
     let mut values = Vec::with_capacity(touched.len());
     for &r in &touched {
         // Keep exact zeros produced by cancellation out of the result only
         // when they were never touched; touched-but-cancelled entries stay,
         // matching the structural semantics of the hardware accumulator.
-        idx.push(r);
         values.push(acc[r as usize]);
     }
-    SparseVector::try_new(a.nrows(), idx, values)
+    SparseVector::try_new(a.nrows(), touched, values)
 }
 
 #[cfg(test)]

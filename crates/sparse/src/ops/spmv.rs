@@ -30,14 +30,14 @@ pub fn spmv(a: &CsrMatrix, x: &[f64]) -> Result<Vec<f64>, FormatError> {
             a.ncols()
         )));
     }
+    // Per-row gathers run through the active kernel backend; every
+    // backend accumulates left to right into a single accumulator, so
+    // results are bit-identical across backends.
+    let be = crate::kernels::active();
     let mut y = vec![0.0; a.nrows()];
     for (r, yr) in y.iter_mut().enumerate() {
         let (cols, vals) = a.row(r);
-        let mut acc = 0.0;
-        for (&c, &v) in cols.iter().zip(vals) {
-            acc += v * x[c as usize];
-        }
-        *yr = acc;
+        *yr = be.dot_gather(cols, vals, x);
     }
     Ok(y)
 }

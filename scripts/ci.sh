@@ -40,6 +40,21 @@ if ! CONFORMANCE_SEED="${SMOKE_SEED}" cargo test -p conformance -q --test confor
     exit 1
 fi
 
+echo "== backend matrix =="
+# Tier-1 under each sparse::kernels backend: the env knob must be able to
+# force either implementation through the whole stack, and the suites
+# (including the conformance backend-equivalence sweep) must stay green
+# under both. The default run above already covered `bitwise`.
+USTC_BACKEND=scalar cargo test --workspace -q
+USTC_BACKEND=bitwise cargo test -p sparse -p conformance -q
+# The std::simd backend needs a nightly toolchain; cover it when one is
+# installed, otherwise skip loudly (the stable build stays simd-free).
+if rustup toolchain list 2>/dev/null | grep -q nightly; then
+    cargo +nightly test -p sparse -p conformance --features simd -q
+else
+    echo "nightly toolchain not installed — skipping simd backend leg"
+fi
+
 echo "== runtime chaos =="
 # Fixed-seed chaos campaigns (crash/stall/flake injection), panic
 # isolation, thread-count bit-identity, and quorum-loss degradation —
@@ -50,11 +65,13 @@ cargo test -p bench -q --test runtime_resilience
 echo "== perf smoke =="
 # Runs the representative corpus across the headline engines, writes
 # BENCH_ci-smoke.json at the repo root, then re-runs and gates on >5 %
-# simulated-cycle regressions against that fresh baseline. Cycle counts
-# are deterministic, so a self-compare failure means nondeterminism
-# crept into the pipeline. The comparison run shards over 2 threads:
-# the gate doubles as a parallel-vs-serial bit-identity check.
-cargo run --release -p bench --bin perf_regression -- --label ci-smoke
+# simulated-cycle regressions against that fresh baseline. The baseline
+# is collected under the scalar backend and the comparison run under the
+# default bitwise backend sharded over 2 threads, so the gate triples as
+# a scalar-vs-bitwise and parallel-vs-serial cycle bit-identity check
+# (simulated cycles are backend-invariant; only wall-clock may move).
+cargo run --release -p bench --bin perf_regression -- \
+    --label ci-smoke --backend scalar
 cargo run --release -p bench --bin perf_regression -- \
     --label ci-check --threads 2 --compare BENCH_ci-smoke.json
 
