@@ -73,11 +73,32 @@ pub enum Code {
     /// `USTC013` — an instruction stream disagrees with the stream the
     /// verifier recompiles from the operand metadata.
     CostMismatch,
+    /// `USTC014` — two shards of a `runtime::kernels` shard plan claim
+    /// the same T1 task: executing the plan double-counts the task in
+    /// every merged counter.
+    ShardOverlap,
+    /// `USTC015` — a T1 task is claimed by no shard: executing the plan
+    /// silently drops the task from the merged report.
+    ShardGap,
+    /// `USTC016` — a shard is malformed: empty, out of the stream's
+    /// range, or planned for a different stream length.
+    ShardMalformed,
+    /// `USTC017` — the per-shard report fold is not commutative: folding
+    /// the same shard reports in a different order changes the merged
+    /// counters, so the parallel schedule leaks into the result.
+    NonCommutativeFold,
+    /// `USTC018` — the fold accumulates energy per shard instead of
+    /// leaving it to be recomputed exactly once from the merged events.
+    EnergyRefold,
+    /// `USTC019` — schedule divergence: an explored pool schedule lost a
+    /// task, executed one twice, or produced a merged counter signature
+    /// different from the serial reference.
+    ScheduleDivergence,
 }
 
 impl Code {
     /// Every code, in numeric order (for docs and exhaustiveness tests).
-    pub const ALL: [Code; 13] = [
+    pub const ALL: [Code; 19] = [
         Code::NumericWithoutBatch,
         Code::OverlappingTaskGen,
         Code::CostOutOfRange,
@@ -91,6 +112,12 @@ impl Code {
         Code::GatedDpgRoute,
         Code::CorruptMetadata,
         Code::CostMismatch,
+        Code::ShardOverlap,
+        Code::ShardGap,
+        Code::ShardMalformed,
+        Code::NonCommutativeFold,
+        Code::EnergyRefold,
+        Code::ScheduleDivergence,
     ];
 
     /// The stable code string, e.g. `"USTC007"`.
@@ -109,6 +136,12 @@ impl Code {
             Code::GatedDpgRoute => "USTC011",
             Code::CorruptMetadata => "USTC012",
             Code::CostMismatch => "USTC013",
+            Code::ShardOverlap => "USTC014",
+            Code::ShardGap => "USTC015",
+            Code::ShardMalformed => "USTC016",
+            Code::NonCommutativeFold => "USTC017",
+            Code::EnergyRefold => "USTC018",
+            Code::ScheduleDivergence => "USTC019",
         }
     }
 
@@ -127,7 +160,13 @@ impl Code {
             | Code::DotQueueOverflow
             | Code::DpgRouteOutOfRange
             | Code::GatedDpgRoute
-            | Code::CorruptMetadata => Severity::Error,
+            | Code::CorruptMetadata
+            | Code::ShardOverlap
+            | Code::ShardGap
+            | Code::ShardMalformed
+            | Code::NonCommutativeFold
+            | Code::EnergyRefold
+            | Code::ScheduleDivergence => Severity::Error,
         }
     }
 
@@ -147,6 +186,12 @@ impl Code {
             Code::GatedDpgRoute => "T3 task routed to a power-gated DPG",
             Code::CorruptMetadata => "BBC metadata fails structural validation",
             Code::CostMismatch => "stream disagrees with metadata-derived recompilation",
+            Code::ShardOverlap => "two shards claim the same T1 task",
+            Code::ShardGap => "a T1 task is claimed by no shard",
+            Code::ShardMalformed => "shard empty, out of range, or planned for the wrong stream",
+            Code::NonCommutativeFold => "shard-report fold is order-dependent",
+            Code::EnergyRefold => "fold accumulates energy instead of recomputing it once",
+            Code::ScheduleDivergence => "a pool schedule loses, repeats, or re-merges a task",
         }
     }
 }

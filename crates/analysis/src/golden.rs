@@ -13,15 +13,18 @@
 
 use std::path::PathBuf;
 
-use simkit::driver::Kernel;
+use simkit::driver::{Kernel, KernelReport};
+use simkit::{EventCounts, UtilHistogram};
 use sparse::{BbcField, BbcMatrix, CooMatrix, CsrMatrix};
 use uni_stc::compiler::compile_spmv;
 use uni_stc::isa::{Program, Uwmma};
 use uni_stc::tms::T3Task;
 use uni_stc::UniStcConfig;
 
+use crate::concurrency::{verify_fold, verify_model_plan, verify_runtime_fold, verify_shard_plan};
 use crate::diag::Report;
 use crate::model::{route_tasks, StreamModel, T1Node, T3Node};
+use crate::schedule::{explore, ModelBug, ModelConfig};
 use crate::verifier::Verifier;
 
 /// A deterministic diagonal-plus-stride BBC matrix (the snapshot pins it).
@@ -36,6 +39,20 @@ fn seeded_matrix(n: usize) -> BbcMatrix {
 
 fn dense_task(k: u8, i: u8, j: u8) -> T3Task {
     T3Task { i, j, k, a_tile: u16::MAX, b_tile: u16::MAX, products: 64 }
+}
+
+/// A deterministic per-shard [`KernelReport`] for the fold sections.
+fn shard_report(cycles: u64, useful: u64, t1_tasks: u64) -> KernelReport {
+    KernelReport {
+        engine: "seeded".to_owned(),
+        kernel: Kernel::SpMV,
+        cycles,
+        useful,
+        t1_tasks,
+        util: UtilHistogram::new(4),
+        events: EventCounts::default(),
+        energy: Default::default(),
+    }
 }
 
 /// The seeded artifact suite: every `USTC` code exercised at least once,
@@ -106,6 +123,51 @@ pub fn seeded_suite() -> Vec<(&'static str, Report)> {
 
     // Clean control: a real compiled SpMV stream verifies clean end-to-end.
     suite.push(("clean-spmv", v.verify_spmv(&seeded_matrix(64), 4)));
+
+    // USTC014 + USTC015 + USTC016: one plan that overlaps (3..6 after
+    // 0..4), leaves tasks 6..8 uncovered, and carries an empty shard and
+    // an out-of-range shard.
+    let plan = runtime::ShardPlan::from_ranges(10, vec![0..4, 3..6, 8..10, 4..4, 9..12]);
+    suite.push(("shard-plan-violations", verify_shard_plan(&plan)));
+
+    // USTC016 (model form): a plan sized for the wrong stream.
+    let empty_model = StreamModel { kernel: Kernel::SpMV, t1: Vec::new() };
+    let stale_plan = runtime::ShardPlan::contiguous(3, 1);
+    suite.push(("stale-model-plan", verify_model_plan(&stale_plan, &empty_model)));
+
+    // USTC017: a fold whose counters depend on shard encounter order.
+    let shards: Vec<KernelReport> = (0..4).map(|i| shard_report(i + 1, 0, 1)).collect();
+    let order_dependent = |acc: &mut KernelReport, next: &KernelReport| {
+        acc.cycles = acc.cycles * 2 + next.cycles;
+        acc.t1_tasks += next.t1_tasks;
+    };
+    suite.push(("order-dependent-fold", verify_fold(&shard_report(0, 0, 0), &shards, &order_dependent)));
+
+    // USTC018: a fold that accumulates energy per shard instead of
+    // leaving it for the single post-merge recomputation.
+    let mut energetic: Vec<KernelReport> = (0..3).map(|i| shard_report(i, i, 1)).collect();
+    for s in &mut energetic {
+        s.energy.compute = 1.5;
+    }
+    let energy_refolding = |acc: &mut KernelReport, next: &KernelReport| {
+        runtime::fold_report(acc, next);
+        acc.energy.compute += next.energy.compute;
+    };
+    suite.push((
+        "energy-refolding-fold",
+        verify_fold(&shard_report(0, 0, 0), &energetic, &energy_refolding),
+    ));
+
+    // USTC019: the schedule explorer catching an injected lost-steal bug.
+    let lost = explore(&ModelConfig::clean(2, 3).with_bug(ModelBug::DropStolenTask), 50_000);
+    suite.push(("lost-task-schedule", lost.report()));
+
+    // Clean concurrency control: the real contiguous planner, the real
+    // runtime fold and the faithful pool model all verify clean.
+    let mut clean = verify_shard_plan(&runtime::ShardPlan::contiguous(97, 8));
+    clean.merge(verify_runtime_fold(&shard_report(0, 0, 0), &shards));
+    clean.merge(explore(&ModelConfig::clean(2, 4), 20_000).report());
+    suite.push(("clean-concurrency", clean));
 
     suite
 }

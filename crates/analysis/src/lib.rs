@@ -12,11 +12,23 @@
 //!    human-readable or as JSON ([`Report`]). [`UstcVerifier`] plugs the
 //!    verifier into [`simkit::driver::Driver::verify_before_run`] so
 //!    illegal streams are rejected before a single cycle is simulated.
-//! 2. **The source lint** ([`lint`]) — a dependency-free scanner over the
+//! 2. **The concurrency verifier** ([`concurrency`], [`schedule`]) —
+//!    proves the parallel runtime's determinism claims statically:
+//!    shard plans are pairwise-disjoint covers of the task stream
+//!    (`USTC014`–`USTC016`), the shard-report fold is a commutative
+//!    monoid that never re-folds energy (`USTC017`–`USTC018`), and a
+//!    loom-style schedule explorer enumerates the pool's
+//!    queue/steal/retry/degrade interleavings asserting every schedule
+//!    merges to the serial signature with no task lost or repeated
+//!    (`USTC019`).
+//! 3. **The source lint** ([`lint`]) — a dependency-free scanner over the
 //!    workspace's library code enforcing the repo's robustness rules
 //!    (no panicking calls outside tests, no ad-hoc float equality, no
-//!    direct event-counter mutation outside the accounting layers), run in
-//!    CI via `cargo run -p analysis --bin lint`.
+//!    direct event-counter mutation outside the accounting layers, and
+//!    the determinism lints: no hash-order iteration, no wall-clock
+//!    reads, no interior mutability, no order-sensitive float folds
+//!    outside the sanctioned sites), run in CI via
+//!    `cargo run -p analysis --bin lint`.
 //!
 //! The golden-diagnostics snapshot ([`golden`]) pins the exact rendering
 //! of every code against `golden/diagnostics.txt` (bless with
@@ -25,12 +37,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrency;
 pub mod diag;
 pub mod golden;
 pub mod lint;
 pub mod model;
+pub mod schedule;
 pub mod verifier;
 
+pub use concurrency::{verify_fold, verify_model_plan, verify_runtime_fold, verify_shard_plan};
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use model::{StreamModel, T1Node, T3Node, DOT_QUEUE_CAP, TILE_QUEUE_CAP};
+pub use schedule::{explore, Exploration, ModelBug, ModelConfig, Violation};
 pub use verifier::{UstcVerifier, Verifier};

@@ -10,6 +10,13 @@
 //!   through kernels.
 //! * **event-mutation** — [`simkit::EventCounts`] fields are written only
 //!   by the accounting layers (engines, drivers, baselines), never ad hoc.
+//! * **hash-iteration / wall-clock / interior-mutability /
+//!   float-fold-order** — the determinism lints: no hash-ordered
+//!   collections whose iteration order could leak into a report, no
+//!   wall-clock reads in folded counter paths, no `static mut` / cells /
+//!   locks / atomics outside the backend registry and the pool, and no
+//!   order-sensitive float accumulation (sum integer counters, recompute
+//!   floats once from the merged result).
 //!
 //! Test modules (everything from the first `#[cfg(test)]` line on), doc /
 //! line comments, binaries, benches and integration tests are out of
@@ -34,6 +41,21 @@ const P_UNIMPLEMENTED: &str = concat!("unimpl", "emented!(");
 const P_ABS_CMP: &str = concat!(".ab", "s() <");
 const P_EVENTS: &str = concat!("eve", "nts.");
 const P_CFG_TEST: &str = concat!("#[cfg(te", "st)]");
+const P_HASHMAP: &str = concat!("Hash", "Map");
+const P_HASHSET: &str = concat!("Hash", "Set");
+const P_INSTANT_NOW: &str = concat!("Instant", "::now");
+const P_SYSTEMTIME_NOW: &str = concat!("SystemTime", "::now");
+const P_STATIC_MUT: &str = concat!("static ", "mut ");
+const P_CELL: &str = concat!("Ce", "ll<");
+const P_ONCE_LOCK: &str = concat!("Once", "Lock");
+const P_ONCE_CELL: &str = concat!("Once", "Cell");
+const P_MUTEX: &str = concat!("Mut", "ex<");
+const P_RWLOCK: &str = concat!("RwL", "ock<");
+const P_ATOMIC: &str = concat!("Ato", "mic");
+const P_SUM_F32: &str = concat!(".sum::<f", "32>()");
+const P_SUM_F64: &str = concat!(".sum::<f", "64>()");
+const P_FOLD_F0: &str = concat!(".fold(0", ".0");
+const P_FOLD_F0F: &str = concat!(".fold(0", "f");
 
 /// The [`EventCounts`](simkit::EventCounts) fields the event-mutation rule
 /// guards.
@@ -105,6 +127,36 @@ fn starts_with_float_literal(s: &str) -> bool {
         Some(b'e') | Some(b'E') => true,
         _ => false,
     }
+}
+
+/// Hash-ordered collections: their iteration order is seeded per process,
+/// so any report built by walking one is nondeterministic by construction.
+fn has_hash_collection(line: &str) -> bool {
+    line.contains(P_HASHMAP) || line.contains(P_HASHSET)
+}
+
+/// Wall-clock reads. Counters folded into reports must be functions of
+/// the input, never of time; timing lives in the pool's watchdog and the
+/// metrics wall-span, both allowlisted.
+fn has_wall_clock(line: &str) -> bool {
+    line.contains(P_INSTANT_NOW) || line.contains(P_SYSTEMTIME_NOW)
+}
+
+/// `static mut` and the interior-mutability / shared-state primitives.
+/// Outside the backend registry and the pool itself, library code is
+/// plain values in, plain values out — that is what makes the fold a
+/// monoid.
+fn has_interior_mutability(line: &str) -> bool {
+    [P_STATIC_MUT, P_CELL, P_ONCE_LOCK, P_ONCE_CELL, P_MUTEX, P_RWLOCK, P_ATOMIC]
+        .iter()
+        .any(|p| line.contains(p))
+}
+
+/// Order-sensitive float accumulation (`.sum::<f64>()`, `.fold(0.0, ..)`):
+/// float addition does not associate, so a parallel re-ordering changes
+/// the result. Accumulate integers, recompute floats once at the end.
+fn has_float_fold(line: &str) -> bool {
+    [P_SUM_F32, P_SUM_F64, P_FOLD_F0, P_FOLD_F0F].iter().any(|p| line.contains(p))
 }
 
 /// Direct assignment (`=`, `+=`, `-=`) to an `events.<field>` lvalue.
@@ -195,6 +247,37 @@ const RULES: &[Rule] = &[
             "simkit/src/driver.rs",
             "simkit/src/result.rs",
         ],
+    },
+    Rule {
+        name: "hash-iteration",
+        summary: "no hash-ordered collections in library code; their iteration order is \
+                  per-process and would leak into reports",
+        check: has_hash_collection,
+        allow: &[
+            // Insert-only duplicate check; iteration order never observed.
+            "workloads/src/gen.rs",
+        ],
+    },
+    Rule {
+        name: "wall-clock",
+        summary: "no wall-clock reads in folded paths; timing belongs to the pool watchdog \
+                  and the metrics wall-span",
+        check: has_wall_clock,
+        allow: &["obs/src/metrics.rs", "runtime/src/pool.rs"],
+    },
+    Rule {
+        name: "interior-mutability",
+        summary: "no mutable statics, cells, locks or atomics outside the backend registry \
+                  and the pool",
+        check: has_interior_mutability,
+        allow: &["runtime/src/pool.rs", "sparse/src/kernels/mod.rs"],
+    },
+    Rule {
+        name: "float-fold-order",
+        summary: "no order-sensitive float accumulation; fold integer counters, recompute \
+                  floats once from the merged result",
+        check: has_float_fold,
+        allow: &["sparse/src/dense.rs", "workloads/src/"],
     },
 ];
 
@@ -370,6 +453,23 @@ mod tests {
     }
 
     #[test]
+    fn determinism_rules_match_seeded_lines() {
+        assert!(has_hash_collection(&format!("use std::collections::{P_HASHMAP};")));
+        assert!(has_hash_collection(&format!("let seen: {P_HASHSET}<u64> = ...;")));
+        assert!(!has_hash_collection("let seen: BTreeMap<u64, u64> = BTreeMap::new();"));
+        assert!(has_wall_clock(&format!("let t0 = {P_INSTANT_NOW}();")));
+        assert!(has_wall_clock(&format!("let wall = {P_SYSTEMTIME_NOW}();")));
+        assert!(!has_wall_clock("let now = self.clock;"));
+        assert!(has_interior_mutability(&format!("{P_STATIC_MUT}REGISTRY: u8 = 0;")));
+        assert!(has_interior_mutability(&format!("queues: Vec<{P_MUTEX}VecDeque<u64>>>,")));
+        assert!(has_interior_mutability(&format!("done: {P_ATOMIC}Bool,")));
+        assert!(!has_interior_mutability("let mut acc = 0u64;"));
+        assert!(has_float_fold(&format!("let s = xs.iter(){P_SUM_F64};")));
+        assert!(has_float_fold(&format!("let m = xs.iter(){P_FOLD_F0}, f64::max);")));
+        assert!(!has_float_fold("let n: u64 = xs.iter().sum();"));
+    }
+
+    #[test]
     fn scanner_skips_comments_and_test_modules() {
         let src = format!(
             "fn ok() {{}}\n// comment with {P_UNWRAP}\n{P_CFG_TEST}\nfn t() {{ x{P_UNWRAP}; }}\n"
@@ -419,8 +519,12 @@ mod tests {
     #[test]
     fn rule_table_names_every_rule() {
         let t = rule_table();
-        assert_eq!(t.len(), 5);
+        assert_eq!(t.len(), 9);
         assert!(t.iter().any(|(n, _)| *n == "no-unwrap"));
         assert!(t.iter().any(|(n, _)| *n == "event-mutation"));
+        assert!(t.iter().any(|(n, _)| *n == "hash-iteration"));
+        assert!(t.iter().any(|(n, _)| *n == "wall-clock"));
+        assert!(t.iter().any(|(n, _)| *n == "interior-mutability"));
+        assert!(t.iter().any(|(n, _)| *n == "float-fold-order"));
     }
 }

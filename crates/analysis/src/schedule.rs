@@ -1,0 +1,577 @@
+//! Deterministic schedule exploration: a loom-style, zero-dependency
+//! model checker for the pool's queue/steal/retry/degrade state machine.
+//!
+//! The runtime's determinism claim is *schedule-independence*: whatever
+//! order workers pop, steal, crash and retry, the merged result is the
+//! serial result and every task runs exactly once. Fixed-seed chaos
+//! tests sample a few real schedules; this module instead **enumerates**
+//! them. [`explore`] runs a miniature replica of
+//! [`runtime::pool`]'s semantics — per-worker deques with round-robin
+//! initial distribution, a shared injector queue, steal-from-the-back,
+//! bounded retry, crash/stall/flake transitions drawn from the real
+//! [`runtime::ChaosPlan`], and quorum-loss serial draining — through
+//! every interleaving of worker turns (depth-first, budget-bounded), and
+//! checks at every terminal state that
+//!
+//! * every task completed **exactly once** (nothing lost, nothing
+//!   double-executed), and
+//! * the merged counter signature equals the serial reference.
+//!
+//! Any violation is a `USTC019` diagnostic carrying the exact schedule
+//! witness, so a failure is replayable by eye. [`ModelBug`] injects the
+//! classic scheduler defects (dropping a stolen task, re-enqueueing a
+//! completed one, order-dependent merging) to prove the explorer catches
+//! them — the same caught-defect discipline the conformance harness uses.
+//!
+//! The model is intentionally *coarser* than the real pool (one atomic
+//! acquire-execute step per turn, no wall-clock watchdog — a stall is
+//! modelled as the watchdog's reassignment) but preserves the properties
+//! being verified: work conservation and order-independent merging.
+
+use std::collections::VecDeque;
+
+use runtime::ChaosPlan;
+use sparse::rng::Rng64;
+
+use crate::diag::{Code, Diagnostic, Report, Span};
+
+/// A scheduler defect to inject into the model, for caught-defect tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelBug {
+    /// No injected defect: the faithful model.
+    None,
+    /// A stolen attempt vanishes instead of executing — the classic
+    /// lost-update race on a work-stealing deque. Some schedule loses a
+    /// task.
+    DropStolenTask,
+    /// A completed task is re-enqueued once more — double execution.
+    DoubleExecute,
+    /// The merge is a function of completion *order* (a hash chain
+    /// instead of a sum) — schedules diverge in their merged signature.
+    OrderDependentMerge,
+}
+
+/// One miniature scenario for the explorer.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Worker count (keep at 2–3: interleavings grow factorially).
+    pub workers: usize,
+    /// Task count (keep at 3–6).
+    pub tasks: usize,
+    /// Chaos draws past this attempt number are suppressed, exactly like
+    /// the pool's bounded infrastructure budget: progress is guaranteed.
+    pub max_retries: u32,
+    /// Minimum live workers; below it the supervisor drains serially.
+    pub quorum: usize,
+    /// Crash/stall/flake injection, drawn per `(task, attempt)` from the
+    /// real runtime plan.
+    pub chaos: ChaosPlan,
+    /// The injected defect ([`ModelBug::None`] for the faithful model).
+    pub bug: ModelBug,
+}
+
+impl ModelConfig {
+    /// A chaos-free scenario with `workers` workers and `tasks` tasks.
+    pub fn clean(workers: usize, tasks: usize) -> Self {
+        ModelConfig {
+            workers: workers.max(1),
+            tasks,
+            max_retries: 2,
+            quorum: 1,
+            chaos: ChaosPlan::none(0),
+            bug: ModelBug::None,
+        }
+    }
+
+    /// [`ModelConfig::clean`] plus a chaos plan.
+    pub fn with_chaos(mut self, chaos: ChaosPlan) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// [`ModelConfig::clean`] plus an injected defect.
+    pub fn with_bug(mut self, bug: ModelBug) -> Self {
+        self.bug = bug;
+        self
+    }
+}
+
+/// One queued unit of work: a task and its attempt number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Attempt {
+    task: usize,
+    attempt: u32,
+}
+
+/// One transition of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Move {
+    /// Worker `w` takes a turn: acquire one attempt (own front →
+    /// injector → steal back) and execute it through the chaos draws.
+    Step(usize),
+    /// The supervisor notices quorum loss and drains everything serially.
+    Degrade,
+}
+
+impl std::fmt::Display for Move {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Move::Step(w) => write!(f, "w{w}"),
+            Move::Degrade => write!(f, "degrade"),
+        }
+    }
+}
+
+/// The model state between transitions. Small and `Clone` on purpose:
+/// the explorer forks it at every branch point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State {
+    queues: Vec<VecDeque<Attempt>>,
+    injector: VecDeque<Attempt>,
+    live: Vec<bool>,
+    /// Completions per task (the invariant demands exactly 1 each).
+    done: Vec<u32>,
+    /// Order-independent merge: wrapping sum of task contributions.
+    merged: u64,
+    /// Order-dependent hash chain of completions (what
+    /// [`ModelBug::OrderDependentMerge`] reports instead).
+    order_hash: u64,
+    degraded: bool,
+}
+
+/// The deterministic per-task contribution the merge accumulates — the
+/// model's stand-in for a shard's counter deltas.
+fn contrib(task: usize) -> u64 {
+    Rng64::new(task as u64).next_u64()
+}
+
+impl State {
+    /// Round-robin initial distribution, exactly like the pool: task `i`
+    /// starts on worker `i % workers`.
+    fn initial(cfg: &ModelConfig) -> State {
+        let mut queues = vec![VecDeque::new(); cfg.workers];
+        for task in 0..cfg.tasks {
+            queues[task % cfg.workers].push_back(Attempt { task, attempt: 0 });
+        }
+        State {
+            queues,
+            injector: VecDeque::new(),
+            live: vec![true; cfg.workers],
+            done: vec![0; cfg.tasks],
+            merged: 0,
+            order_hash: 0,
+            degraded: false,
+        }
+    }
+
+    fn live_count(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    fn work_remaining(&self) -> bool {
+        !self.injector.is_empty() || self.queues.iter().any(|q| !q.is_empty())
+    }
+
+    /// Whether worker `w` could acquire an attempt this turn.
+    fn can_acquire(&self, w: usize) -> bool {
+        self.live[w] && self.work_remaining()
+    }
+
+    /// Records a completion.
+    fn complete(&mut self, task: usize) {
+        self.done[task] += 1;
+        self.merged = self.merged.wrapping_add(contrib(task));
+        self.order_hash = self.order_hash.rotate_left(7) ^ contrib(task);
+    }
+
+    /// The merged signature this schedule reports.
+    fn signature(&self, bug: ModelBug) -> u64 {
+        if bug == ModelBug::OrderDependentMerge {
+            self.order_hash
+        } else {
+            self.merged
+        }
+    }
+}
+
+/// Every transition enabled in `st`, in deterministic order.
+fn enabled_moves(cfg: &ModelConfig, st: &State) -> Vec<Move> {
+    let mut moves = Vec::new();
+    for w in 0..cfg.workers {
+        if st.can_acquire(w) {
+            moves.push(Move::Step(w));
+        }
+    }
+    if !st.degraded && st.live_count() < cfg.quorum && st.work_remaining() {
+        moves.push(Move::Degrade);
+    }
+    moves
+}
+
+/// Applies one transition. Mirrors the pool's acquire order (own queue
+/// front, then injector, then steal another queue's back) and its
+/// supervisor reactions (crash → worker lost + requeue; stall → watchdog
+/// reassignment; flake → retry; budget exhausted → execute chaos-free).
+fn apply(cfg: &ModelConfig, st: &mut State, mv: Move) {
+    match mv {
+        Move::Degrade => {
+            st.degraded = true;
+            // The supervisor drains everything inline, chaos-free.
+            let mut pending: Vec<Attempt> = Vec::new();
+            pending.extend(st.injector.drain(..));
+            for q in &mut st.queues {
+                pending.extend(q.drain(..));
+            }
+            pending.sort_by_key(|a| a.task);
+            for a in pending {
+                st.complete(a.task);
+            }
+        }
+        Move::Step(w) => {
+            let (att, stolen) = if let Some(a) = st.queues[w].pop_front() {
+                (a, false)
+            } else if let Some(a) = st.injector.pop_front() {
+                (a, false)
+            } else {
+                // Steal scan order mirrors the pool: (w+1), (w+2), ...
+                let mut found = None;
+                for off in 1..cfg.workers {
+                    let v = (w + off) % cfg.workers;
+                    if let Some(a) = st.queues[v].pop_back() {
+                        found = Some(a);
+                        break;
+                    }
+                }
+                match found {
+                    Some(a) => (a, true),
+                    None => return, // raced to empty; nothing to do
+                }
+            };
+            if stolen && cfg.bug == ModelBug::DropStolenTask {
+                // The injected defect: the stolen attempt evaporates.
+                return;
+            }
+            let t = att.task as u64;
+            if att.attempt <= cfg.max_retries {
+                if cfg.chaos.crashes(t, att.attempt) {
+                    st.live[w] = false;
+                    st.injector.push_back(Attempt { task: att.task, attempt: att.attempt + 1 });
+                    return;
+                }
+                if cfg.chaos.stalls(t, att.attempt) || cfg.chaos.flakes(t, att.attempt) {
+                    // Watchdog reassignment / transient failure: requeue
+                    // with a fresh attempt number.
+                    st.injector.push_back(Attempt { task: att.task, attempt: att.attempt + 1 });
+                    return;
+                }
+            }
+            st.complete(att.task);
+            // The injected defect: re-enqueue the completed task once.
+            // The duplicate carries an out-of-budget attempt number so it
+            // executes chaos-free and is never itself duplicated.
+            if cfg.bug == ModelBug::DoubleExecute && att.attempt <= cfg.max_retries {
+                st.queues[w].push_back(Attempt {
+                    task: att.task,
+                    attempt: cfg.max_retries + 1,
+                });
+            }
+        }
+    }
+}
+
+/// One invariant violation at a terminal state, with its schedule
+/// witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A task never executed.
+    LostTask {
+        /// The task that was lost.
+        task: usize,
+        /// The schedule that lost it (rendered moves).
+        witness: String,
+    },
+    /// A task executed more than once.
+    DoubleExecuted {
+        /// The repeated task.
+        task: usize,
+        /// How many times it completed.
+        count: u32,
+        /// The schedule that repeated it.
+        witness: String,
+    },
+    /// The merged signature differs from the serial reference.
+    DivergentSignature {
+        /// The schedule's merged signature.
+        got: u64,
+        /// The serial reference signature.
+        expected: u64,
+        /// The diverging schedule.
+        witness: String,
+    },
+}
+
+/// What [`explore`] found.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Complete schedules (distinct interleavings) reached.
+    pub schedules: u64,
+    /// Whether the budget cut exploration short.
+    pub truncated: bool,
+    /// Every distinct merged signature observed, sorted.
+    pub signatures: Vec<u64>,
+    /// The first violations found (capped at [`MAX_VIOLATIONS`]), in
+    /// discovery order.
+    pub violations: Vec<Violation>,
+    /// Total violating schedules (may exceed `violations.len()`).
+    pub violating_schedules: u64,
+}
+
+/// Cap on recorded violations; beyond it only the count grows.
+pub const MAX_VIOLATIONS: usize = 8;
+
+impl Exploration {
+    /// Whether every explored schedule upheld both invariants.
+    pub fn is_clean(&self) -> bool {
+        self.violating_schedules == 0 && self.signatures.len() <= 1
+    }
+
+    /// Renders the findings as `USTC019` diagnostics (empty when clean).
+    pub fn report(&self) -> Report {
+        let mut report = Report::new();
+        for v in &self.violations {
+            let (span, message) = match v {
+                Violation::LostTask { task, witness } => (
+                    Span { task: Some(*task), ..Span::default() },
+                    format!("schedule [{witness}] never executes task {task}"),
+                ),
+                Violation::DoubleExecuted { task, count, witness } => (
+                    Span { task: Some(*task), ..Span::default() },
+                    format!("schedule [{witness}] executes task {task} {count} times"),
+                ),
+                Violation::DivergentSignature { got, expected, witness } => (
+                    Span::none(),
+                    format!(
+                        "schedule [{witness}] merges to signature {got:#018x}, \
+                         serial reference is {expected:#018x}"
+                    ),
+                ),
+            };
+            report.push(Diagnostic::new(Code::ScheduleDivergence, span, message));
+        }
+        report
+    }
+}
+
+struct Explorer<'a> {
+    cfg: &'a ModelConfig,
+    budget: u64,
+    depth_limit: usize,
+    expected: u64,
+    out: Exploration,
+}
+
+impl Explorer<'_> {
+    fn finish(&mut self, st: &State, path: &[Move]) {
+        self.out.schedules += 1;
+        let sig = st.signature(self.cfg.bug);
+        if let Err(pos) = self.out.signatures.binary_search(&sig) {
+            self.out.signatures.insert(pos, sig);
+        }
+        let witness = || {
+            let parts: Vec<String> = path.iter().map(Move::to_string).collect();
+            parts.join(",")
+        };
+        let mut violated = false;
+        for (task, &count) in st.done.iter().enumerate() {
+            if count == 1 {
+                continue;
+            }
+            violated = true;
+            if self.out.violations.len() < MAX_VIOLATIONS {
+                self.out.violations.push(if count == 0 {
+                    Violation::LostTask { task, witness: witness() }
+                } else {
+                    Violation::DoubleExecuted { task, count, witness: witness() }
+                });
+            }
+        }
+        if sig != self.expected {
+            violated = true;
+            if self.out.violations.len() < MAX_VIOLATIONS {
+                self.out.violations.push(Violation::DivergentSignature {
+                    got: sig,
+                    expected: self.expected,
+                    witness: witness(),
+                });
+            }
+        }
+        if violated {
+            self.out.violating_schedules += 1;
+        }
+    }
+
+    fn dfs(&mut self, st: &State, path: &mut Vec<Move>) {
+        if self.out.schedules >= self.budget {
+            self.out.truncated = true;
+            return;
+        }
+        if path.len() >= self.depth_limit {
+            // A transition sequence longer than any legal drain means the
+            // model (or an injected bug) is not making progress; cut the
+            // branch instead of recursing without bound.
+            self.out.truncated = true;
+            return;
+        }
+        let moves = enabled_moves(self.cfg, st);
+        if moves.is_empty() {
+            self.finish(st, path);
+            return;
+        }
+        for mv in moves {
+            let mut next = st.clone();
+            apply(self.cfg, &mut next, mv);
+            path.push(mv);
+            self.dfs(&next, path);
+            path.pop();
+        }
+    }
+}
+
+/// Explores every schedule of `cfg`'s state machine, depth-first, up to
+/// `budget` complete schedules. The serial reference signature is the
+/// order-independent sum over all tasks — exactly what a single-threaded
+/// drain produces.
+pub fn explore(cfg: &ModelConfig, budget: u64) -> Exploration {
+    let mut expected = 0u64;
+    for task in 0..cfg.tasks {
+        expected = expected.wrapping_add(contrib(task));
+    }
+    // Any legal drain finishes within one transition per (task, attempt)
+    // pair plus one duplicate each and the degrade step; double it for
+    // slack before declaring a branch non-terminating.
+    let depth_limit = 2 * (cfg.tasks + 1) * (cfg.max_retries as usize + 3) + cfg.workers + 4;
+    let mut explorer = Explorer {
+        cfg,
+        budget: budget.max(1),
+        depth_limit,
+        expected,
+        out: Exploration {
+            schedules: 0,
+            truncated: false,
+            signatures: Vec::new(),
+            violations: Vec::new(),
+            violating_schedules: 0,
+        },
+    };
+    let st = State::initial(cfg);
+    let mut path = Vec::new();
+    explorer.dfs(&st, &mut path);
+    explorer.out
+}
+
+/// The fixed-seed scenario suite CI explores: clean and chaotic
+/// miniatures of the pool, each bounded by a schedule budget. Together
+/// they cover well over 1000 distinct interleavings.
+pub fn default_suite() -> Vec<(&'static str, ModelConfig, u64)> {
+    let crashy = match ChaosPlan::new(11, 0.3, 0.0, 0.2, 0) {
+        Ok(plan) => plan,
+        Err(_) => ChaosPlan::none(11),
+    };
+    let flaky = match ChaosPlan::new(23, 0.0, 0.25, 0.25, 0) {
+        Ok(plan) => plan,
+        Err(_) => ChaosPlan::none(23),
+    };
+    vec![
+        ("2w4t-clean", ModelConfig::clean(2, 4), 20_000),
+        ("3w4t-clean", ModelConfig::clean(3, 4), 20_000),
+        ("3w6t-clean", ModelConfig::clean(3, 6), 20_000),
+        ("2w5t-crashy", ModelConfig::clean(2, 5).with_chaos(crashy), 20_000),
+        ("3w3t-flaky", ModelConfig::clean(3, 3).with_chaos(flaky), 20_000),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_workers_two_tasks_explore_exhaustively() {
+        let e = explore(&ModelConfig::clean(2, 2), 1_000);
+        assert!(!e.truncated);
+        assert!(e.schedules >= 2, "at least two interleavings, got {}", e.schedules);
+        assert!(e.is_clean(), "{:?}", e.violations);
+        assert_eq!(e.signatures.len(), 1);
+    }
+
+    #[test]
+    fn faithful_model_is_schedule_independent_under_chaos() {
+        for (name, cfg, budget) in default_suite() {
+            let e = explore(&cfg, budget);
+            assert!(e.is_clean(), "{name}: {:?}", e.violations);
+            assert!(e.report().is_clean());
+            assert!(e.schedules > 0, "{name} explored nothing");
+        }
+    }
+
+    #[test]
+    fn suite_covers_a_thousand_interleavings() {
+        let total: u64 = default_suite()
+            .into_iter()
+            .map(|(_, cfg, budget)| explore(&cfg, budget).schedules)
+            .sum();
+        assert!(total >= 1_000, "only {total} interleavings explored");
+    }
+
+    #[test]
+    fn dropped_steal_loses_a_task() {
+        let e = explore(&ModelConfig::clean(2, 3).with_bug(ModelBug::DropStolenTask), 50_000);
+        assert!(!e.is_clean(), "the lost-task defect must be caught");
+        assert!(e
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::LostTask { .. })), "{:?}", e.violations);
+        let r = e.report();
+        assert!(r.has_code(Code::ScheduleDivergence));
+    }
+
+    #[test]
+    fn double_execution_is_caught() {
+        let e = explore(&ModelConfig::clean(2, 2).with_bug(ModelBug::DoubleExecute), 50_000);
+        assert!(e
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DoubleExecuted { .. })), "{:?}", e.violations);
+    }
+
+    #[test]
+    fn order_dependent_merge_diverges() {
+        let e = explore(&ModelConfig::clean(2, 3).with_bug(ModelBug::OrderDependentMerge), 50_000);
+        assert!(e
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DivergentSignature { .. })), "{:?}", e.violations);
+    }
+
+    #[test]
+    fn quorum_loss_degrades_and_still_completes_every_task() {
+        // Crash-heavy chaos with a quorum of 2 on 2 workers: one crash
+        // forces the Degrade transition into the enabled set.
+        let chaos = ChaosPlan::new(7, 0.6, 0.0, 0.0, 0).unwrap_or(ChaosPlan::none(7));
+        let cfg = ModelConfig {
+            quorum: 2,
+            ..ModelConfig::clean(2, 3).with_chaos(chaos)
+        };
+        let e = explore(&cfg, 50_000);
+        assert!(e.is_clean(), "{:?}", e.violations);
+        assert!(e.schedules > 0);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let cfg = ModelConfig::clean(3, 4);
+        let a = explore(&cfg, 5_000);
+        let b = explore(&cfg, 5_000);
+        assert_eq!(a.schedules, b.schedules);
+        assert_eq!(a.signatures, b.signatures);
+    }
+}

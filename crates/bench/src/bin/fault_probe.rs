@@ -1,0 +1,67 @@
+//! Fault-injection probe: a small, scriptable front-end over
+//! [`simkit::fault::FaultPlan`] whose primary job is to be *safely
+//! machine-parseable*. Under `--json`, stdout carries exactly one JSON
+//! document; every diagnostic — including the clamp warning an
+//! out-of-range `--rate` provokes — goes to stderr via
+//! [`bench::output::warn`]. The `json_output` integration test pins this
+//! contract by running the binary with `--rate 1.5 --json` and parsing
+//! stdout.
+//!
+//! Usage: `fault_probe [--rate R] [--seed S] [--json]`
+
+use bench::output::{warn, Report, Section};
+use simkit::fault::FaultPlan;
+use sparse::BbcMatrix;
+use workloads::gen::random_uniform;
+
+fn arg_after(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let rate = match arg_after("--rate").map(|v| v.parse::<f64>()) {
+        Some(Ok(r)) => r,
+        Some(Err(e)) => {
+            warn(format!("unparseable --rate ({e}); using 0.001"));
+            0.001
+        }
+        None => 0.001,
+    };
+    let seed = match arg_after("--seed").map(|v| v.parse::<u64>()) {
+        Some(Ok(s)) => s,
+        Some(Err(e)) => {
+            warn(format!("unparseable --seed ({e}); using 7"));
+            7
+        }
+        None => 7,
+    };
+
+    // An out-of-range rate makes FaultPlan::uniform clamp with a warning
+    // on stderr; stdout below must stay a single clean document.
+    let plan = FaultPlan::uniform(seed, rate);
+    let clean = BbcMatrix::from_csr(&random_uniform(96, 0.05, seed));
+    let (_, outcome) = plan.inject_into(&clean);
+
+    let mut section = Section::new(
+        "fault injection",
+        &["seed", "requested rate", "applied rate", "injected", "detected", "structure corrupt"],
+    );
+    section.row(vec![
+        seed.to_string(),
+        format!("{rate}"),
+        format!("{}", plan.rate_for(sparse::BbcField::Value)),
+        outcome.log.injected().to_string(),
+        outcome.detected.to_string(),
+        outcome.structure_corrupt.to_string(),
+    ]);
+    section.note("random_uniform(96, 0.05) probe matrix; rates outside [0,1] are clamped");
+    let mut report = Report::new("fault_probe");
+    report.push(section);
+    report.emit();
+}

@@ -126,6 +126,33 @@ impl MatrixCtx {
                 .report
         }
     }
+
+    /// [`MatrixCtx::run_threaded`] that also exports the pool's scheduler
+    /// statistics (worker count, steals, retries, crashes, degraded-run
+    /// details) into `reg`, so threaded perf collections surface the
+    /// runtime's health next to the kernel counters. At 1 thread the
+    /// serial driver runs and no runtime metrics are touched.
+    pub fn run_threaded_observed(
+        &self,
+        engine: &(dyn TileEngine + Sync),
+        em: &EnergyModel,
+        kernel: Kernel,
+        threads: usize,
+        reg: &mut obs::MetricsRegistry,
+    ) -> KernelReport {
+        if threads <= 1 {
+            return self.run(engine, em, kernel);
+        }
+        let cfg = runtime::RuntimeConfig::with_threads(threads);
+        let run = self
+            .run_sharded(&cfg, engine, em, kernel)
+            .expect("production engines never fail a shard intrinsically");
+        run.stats.export_metrics(reg);
+        if let Some(degraded) = &run.degraded {
+            degraded.export_metrics(reg);
+        }
+        run.report
+    }
 }
 
 /// Deterministic sparse vector with the given zero fraction.

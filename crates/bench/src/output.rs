@@ -15,6 +15,15 @@ pub fn json_mode() -> bool {
     std::env::args().any(|a| a == "--json")
 }
 
+/// Emits a warning line on **stderr**. Binaries must route every
+/// diagnostic through this (or `eprintln!` directly) so that under
+/// `--json` stdout stays exactly one machine-parseable document — a
+/// warning interleaved into stdout would corrupt the JSON for every
+/// downstream consumer.
+pub fn warn(message: impl std::fmt::Display) {
+    eprintln!("warning: {message}");
+}
+
 /// One titled table plus free-form note lines (geomeans, paper reference
 /// points, caveats).
 #[derive(Debug, Clone)]

@@ -210,7 +210,8 @@ pub fn collect_threaded(label: &str, threads: usize) -> BenchDoc {
         for engine in headline_engines(Precision::Fp64) {
             for kernel in KERNELS {
                 let span = WallSpan::start();
-                let rep = ctx.run_threaded(engine.as_ref(), &em, kernel, threads);
+                let rep =
+                    ctx.run_threaded_observed(engine.as_ref(), &em, kernel, threads, &mut reg);
                 let wall = span.elapsed();
                 reg.record_span(&format!("kernel/{kernel}"), wall);
                 reg.inc_counter("driver/t1_tasks", rep.t1_tasks);
@@ -380,6 +381,14 @@ mod tests {
             assert_eq!(a.signature, b.signature, "{}", a.key());
             assert_eq!(a.cycles, b.cycles, "{}", a.key());
         }
+        // The pool's health surfaces in the threaded document's metrics
+        // export (and only there: the serial path never touches the pool).
+        let gauges = threaded.metrics.get("gauges").expect("gauges in metrics export");
+        assert_eq!(gauges.get("runtime/pool_workers").and_then(Value::as_f64), Some(2.0));
+        let counters = threaded.metrics.get("counters").expect("counters in metrics export");
+        assert!(counters.get("runtime/crashes").is_some(), "pool counters exported");
+        let serial_gauges = serial.metrics.get("gauges").expect("gauges");
+        assert!(serial_gauges.get("runtime/pool_workers").is_none());
     }
 
     #[test]

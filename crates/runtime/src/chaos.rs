@@ -14,7 +14,7 @@
 //! run, and neither may influence task results — a sabotaged attempt is
 //! retried or drained, and the task function itself is pure.
 
-use sparse::rng::Rng64;
+use sparse::rng::{is_valid_rate, Rng64};
 
 /// A rejected chaos-rate parameter: rates are probabilities in
 /// `[0.0, 1.0]`.
@@ -77,7 +77,9 @@ impl ChaosPlan {
         for (which, rate) in
             [("crash", crash_rate), ("stall", stall_rate), ("flake", flake_rate)]
         {
-            if !(0.0..=1.0).contains(&rate) {
+            // Shared with `simkit::fault` via `sparse::rng::is_valid_rate`:
+            // one definition of "legal probability" for both layers.
+            if !is_valid_rate(rate) {
                 return Err(InvalidChaosRate { which, rate });
             }
         }

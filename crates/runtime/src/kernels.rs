@@ -52,13 +52,188 @@ pub fn shard_len(tasks: usize, threads: usize) -> usize {
 
 /// Folds `next` into `acc`: plain sums, in shard order. Energy is *not*
 /// merged here — it is recomputed from the merged events by the caller.
-fn fold_report(acc: &mut KernelReport, next: &KernelReport) {
+///
+/// Public so `analysis::concurrency` can verify the fold itself: the
+/// merged report is order-independent (a commutative monoid over shard
+/// reports) precisely because every field is a plain sum/merge and the
+/// energy field is left untouched.
+pub fn fold_report(acc: &mut KernelReport, next: &KernelReport) {
     acc.cycles += next.cycles;
     acc.useful += next.useful;
     acc.t1_tasks += next.t1_tasks;
     acc.util.merge(&next.util);
     acc.events += next.events;
 }
+
+/// Why a [`ShardPlan`] is illegal to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPlanError {
+    /// A shard's range is empty (`start >= end`): it would produce a
+    /// report for no tasks and signals a broken planner.
+    EmptyShard {
+        /// Index of the degenerate shard.
+        shard: usize,
+    },
+    /// A shard's range extends past the end of the task stream.
+    OutOfRange {
+        /// Index of the offending shard.
+        shard: usize,
+        /// The shard's (exclusive) end.
+        end: usize,
+        /// The stream length it overruns.
+        tasks: usize,
+    },
+    /// Two shards both claim the same task index — executing the plan
+    /// would double-count that task's contribution to every counter.
+    Overlap {
+        /// The later of the two claiming shards.
+        shard: usize,
+        /// The earlier claiming shard.
+        other: usize,
+        /// The doubly-claimed task index.
+        task: usize,
+    },
+    /// A task index is claimed by no shard — executing the plan would
+    /// silently drop that task from the merged report.
+    Gap {
+        /// The first unclaimed task index.
+        task: usize,
+    },
+}
+
+impl std::fmt::Display for ShardPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardPlanError::EmptyShard { shard } => {
+                write!(f, "shard {shard} is empty")
+            }
+            ShardPlanError::OutOfRange { shard, end, tasks } => {
+                write!(f, "shard {shard} ends at {end}, past the {tasks}-task stream")
+            }
+            ShardPlanError::Overlap { shard, other, task } => {
+                write!(f, "shards {other} and {shard} both claim task {task}")
+            }
+            ShardPlanError::Gap { task } => {
+                write!(f, "task {task} is claimed by no shard")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardPlanError {}
+
+/// How a task stream is split across pool workers: a list of contiguous
+/// index ranges over `0..tasks`.
+///
+/// A plan is *legal* when its shards are pairwise disjoint, cover every
+/// task index exactly once, and none is empty or out of range —
+/// [`ShardPlan::verify_before_run`] proves this before any worker is
+/// spawned, and `analysis::concurrency::verify_shard_plan` turns the
+/// same checks into `USTC014`–`USTC016` diagnostics. Plans built by
+/// [`ShardPlan::contiguous`] are legal by construction; hand-built plans
+/// ([`ShardPlan::from_ranges`]) carry whatever the caller put in them —
+/// that is what the verifier is for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    tasks: usize,
+    shards: Vec<std::ops::Range<usize>>,
+}
+
+impl ShardPlan {
+    /// The plan [`run_tasks_sharded`] uses: contiguous chunks of
+    /// [`shard_len`] tasks, targeting ~4 shards per worker.
+    pub fn contiguous(tasks: usize, threads: usize) -> Self {
+        let chunk = shard_len(tasks, threads);
+        let mut shards = Vec::new();
+        let mut start = 0;
+        while start < tasks {
+            let end = (start + chunk).min(tasks);
+            shards.push(start..end);
+            start = end;
+        }
+        ShardPlan { tasks, shards }
+    }
+
+    /// An arbitrary plan over a `tasks`-long stream. Nothing is checked
+    /// here — run [`ShardPlan::verify_before_run`] (or the analysis
+    /// verifier) before executing it.
+    pub fn from_ranges(tasks: usize, shards: Vec<std::ops::Range<usize>>) -> Self {
+        ShardPlan { tasks, shards }
+    }
+
+    /// Length of the task stream the plan covers.
+    pub fn tasks(&self) -> usize {
+        self.tasks
+    }
+
+    /// The shard ranges, in execution-submission order.
+    pub fn shards(&self) -> &[std::ops::Range<usize>] {
+        &self.shards
+    }
+
+    /// Proves the plan safe to execute: every shard in range and
+    /// non-empty, shards pairwise disjoint, every task covered.
+    ///
+    /// This is the gate [`run_tasks_planned`] applies before spawning a
+    /// single worker; the first violation (in shard order, then gap
+    /// order) is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ShardPlanError`] the plan violates.
+    pub fn verify_before_run(&self) -> Result<(), ShardPlanError> {
+        // `owner[i]` = 1 + index of the shard that claimed task i.
+        let mut owner = vec![0usize; self.tasks];
+        for (s, range) in self.shards.iter().enumerate() {
+            if range.start >= range.end {
+                return Err(ShardPlanError::EmptyShard { shard: s });
+            }
+            if range.end > self.tasks {
+                return Err(ShardPlanError::OutOfRange {
+                    shard: s,
+                    end: range.end,
+                    tasks: self.tasks,
+                });
+            }
+            for task in range.clone() {
+                if owner[task] != 0 {
+                    return Err(ShardPlanError::Overlap {
+                        shard: s,
+                        other: owner[task] - 1,
+                        task,
+                    });
+                }
+                owner[task] = s + 1;
+            }
+        }
+        if let Some(task) = owner.iter().position(|&o| o == 0) {
+            return Err(ShardPlanError::Gap { task });
+        }
+        Ok(())
+    }
+}
+
+/// Why a planned run produced no merged report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlannedRunError {
+    /// The plan failed [`ShardPlan::verify_before_run`]; no worker was
+    /// spawned and no task executed.
+    Rejected(ShardPlanError),
+    /// The plan was legal but a shard kept failing intrinsically past the
+    /// retry budget.
+    Execution(DegradedError),
+}
+
+impl std::fmt::Display for PlannedRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlannedRunError::Rejected(e) => write!(f, "shard plan rejected: {e}"),
+            PlannedRunError::Execution(e) => write!(f, "planned run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlannedRunError {}
 
 /// Runs a materialised task stream sharded across the pool and merges a
 /// report bit-identical to `driver::run_tasks` over the same stream.
@@ -75,8 +250,59 @@ pub fn run_tasks_sharded(
     kernel: Kernel,
     tasks: Vec<T1Task>,
 ) -> Result<ShardedRun, DegradedError> {
-    let chunk = shard_len(tasks.len(), cfg.threads);
-    let shards: Vec<&[T1Task]> = tasks.chunks(chunk).collect();
+    let plan = ShardPlan::contiguous(tasks.len(), cfg.threads);
+    debug_assert!(plan.verify_before_run().is_ok(), "contiguous plans are legal");
+    run_planned_unchecked(cfg, &plan, engine, energy_model, kernel, &tasks)
+}
+
+/// [`run_tasks_sharded`] with a caller-supplied [`ShardPlan`]. The plan
+/// is verified *before any worker is spawned*: an illegal plan (overlap,
+/// gap, empty or out-of-range shard) is rejected with
+/// [`PlannedRunError::Rejected`] and zero tasks execute.
+///
+/// # Errors
+///
+/// [`PlannedRunError::Rejected`] when the plan fails
+/// [`ShardPlan::verify_before_run`]; [`PlannedRunError::Execution`] when
+/// a shard failed intrinsically past the retry budget.
+pub fn run_tasks_planned(
+    cfg: &RuntimeConfig,
+    plan: &ShardPlan,
+    engine: &(dyn TileEngine + Sync),
+    energy_model: &EnergyModel,
+    kernel: Kernel,
+    tasks: &[T1Task],
+) -> Result<ShardedRun, PlannedRunError> {
+    if plan.tasks() != tasks.len() {
+        // A plan for the wrong stream length is a coverage violation of
+        // one kind or the other; surface it through the same gate.
+        let stale = ShardPlan::from_ranges(tasks.len(), plan.shards().to_vec());
+        return match stale.verify_before_run() {
+            Err(e) => Err(PlannedRunError::Rejected(e)),
+            // Every shard fits inside the (longer) actual stream: the
+            // plan still leaves the tail uncovered.
+            Ok(()) => Err(PlannedRunError::Rejected(ShardPlanError::Gap {
+                task: plan.tasks().min(tasks.len()),
+            })),
+        };
+    }
+    plan.verify_before_run().map_err(PlannedRunError::Rejected)?;
+    run_planned_unchecked(cfg, plan, engine, energy_model, kernel, tasks)
+        .map_err(PlannedRunError::Execution)
+}
+
+/// Executes an already-verified plan: one pool task per shard, fold in
+/// shard order, energy recomputed once from the merged events.
+fn run_planned_unchecked(
+    cfg: &RuntimeConfig,
+    plan: &ShardPlan,
+    engine: &(dyn TileEngine + Sync),
+    energy_model: &EnergyModel,
+    kernel: Kernel,
+    tasks: &[T1Task],
+) -> Result<ShardedRun, DegradedError> {
+    let shards: Vec<&[T1Task]> =
+        plan.shards().iter().map(|r| &tasks[r.start.min(tasks.len())..r.end.min(tasks.len())]).collect();
     let run = pool::run(cfg, &shards, |_, shard: &&[T1Task]| {
         Ok(driver::run_tasks(engine, energy_model, kernel, shard.iter().copied()))
     });
@@ -358,5 +584,104 @@ mod tests {
         assert_eq!(shard_len(100, 1), 25);
         assert_eq!(shard_len(1000, 8), 31);
         assert!(shard_len(3, 8) >= 1);
+    }
+
+    #[test]
+    fn contiguous_plans_are_legal_by_construction() {
+        for tasks in [0, 1, 3, 17, 100, 1000] {
+            for threads in [1, 2, 8, 64] {
+                let plan = ShardPlan::contiguous(tasks, threads);
+                assert_eq!(plan.tasks(), tasks);
+                assert!(plan.verify_before_run().is_ok(), "tasks={tasks} threads={threads}");
+                let covered: usize = plan.shards().iter().map(|r| r.len()).sum();
+                assert_eq!(covered, tasks);
+            }
+        }
+    }
+
+    #[test]
+    fn illegal_plans_are_rejected_with_the_specific_violation() {
+        let overlap = ShardPlan::from_ranges(8, vec![0..5, 4..8]);
+        assert_eq!(
+            overlap.verify_before_run(),
+            Err(ShardPlanError::Overlap { shard: 1, other: 0, task: 4 })
+        );
+        let gap = ShardPlan::from_ranges(8, vec![0..3, 5..8]);
+        assert_eq!(gap.verify_before_run(), Err(ShardPlanError::Gap { task: 3 }));
+        let empty = ShardPlan::from_ranges(4, vec![0..4, 2..2]);
+        assert_eq!(empty.verify_before_run(), Err(ShardPlanError::EmptyShard { shard: 1 }));
+        let oob = ShardPlan::from_ranges(4, std::iter::once(0..6).collect());
+        assert_eq!(
+            oob.verify_before_run(),
+            Err(ShardPlanError::OutOfRange { shard: 0, end: 6, tasks: 4 })
+        );
+        for e in [
+            overlap.verify_before_run().unwrap_err(),
+            gap.verify_before_run().unwrap_err(),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn planned_run_rejects_before_spawning_workers() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static EXECUTED: AtomicU64 = AtomicU64::new(0);
+        struct Counting;
+        impl TileEngine for Counting {
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn lanes(&self) -> usize {
+                64
+            }
+            fn execute(&self, task: &T1Task) -> T1Result {
+                EXECUTED.fetch_add(1, Ordering::SeqCst);
+                let mut r = T1Result::new(64);
+                r.useful = task.products();
+                r
+            }
+            fn network_costs(&self) -> NetworkCosts {
+                NetworkCosts::flat()
+            }
+        }
+        let tasks = driver::spmv_tasks(&demo_matrix(6));
+        let bad = ShardPlan::from_ranges(tasks.len(), vec![0..tasks.len(), 0..1]);
+        let cfg = RuntimeConfig::with_threads(2);
+        let em = EnergyModel::default();
+        let before = EXECUTED.load(Ordering::SeqCst);
+        let err = run_tasks_planned(&cfg, &bad, &Counting, &em, Kernel::SpMV, &tasks)
+            .expect_err("overlapping plan must be rejected");
+        assert!(matches!(err, PlannedRunError::Rejected(ShardPlanError::Overlap { .. })), "{err}");
+        assert_eq!(EXECUTED.load(Ordering::SeqCst), before, "no task may have executed");
+    }
+
+    #[test]
+    fn planned_run_rejects_a_stale_plan_for_the_wrong_stream() {
+        let tasks = driver::spmv_tasks(&demo_matrix(6));
+        let stale = ShardPlan::contiguous(tasks.len() + 3, 2);
+        let cfg = RuntimeConfig::with_threads(2);
+        let em = EnergyModel::default();
+        let err = run_tasks_planned(&cfg, &stale, &Ideal, &em, Kernel::SpMV, &tasks)
+            .expect_err("plan length must match the stream");
+        assert!(matches!(err, PlannedRunError::Rejected(_)), "{err}");
+    }
+
+    #[test]
+    fn legal_custom_plan_matches_serial_bit_for_bit() {
+        let a = demo_matrix(7);
+        let em = EnergyModel::default();
+        let tasks = driver::spmv_tasks(&a);
+        let serial = driver::run_spmv(&Ideal, &em, &a);
+        // A lopsided but legal plan: one big shard plus singletons.
+        let mut ranges: Vec<_> = std::iter::once(0..tasks.len() / 2).collect();
+        for t in tasks.len() / 2..tasks.len() {
+            ranges.push(t..t + 1);
+        }
+        let plan = ShardPlan::from_ranges(tasks.len(), ranges);
+        let cfg = RuntimeConfig::with_threads(3);
+        let run = run_tasks_planned(&cfg, &plan, &Ideal, &em, Kernel::SpMV, &tasks)
+            .expect("legal plan executes");
+        assert_eq!(run.report, serial);
     }
 }

@@ -57,8 +57,9 @@ pub mod pool;
 
 pub use chaos::{ChaosPlan, InvalidChaosRate};
 pub use kernels::{
-    run_spgemm_sharded, run_spmm_sharded, run_spmspv_sharded, run_spmv_sharded,
-    run_tasks_sharded, shard_len, ShardedRun,
+    fold_report, run_spgemm_sharded, run_spmm_sharded, run_spmspv_sharded, run_spmv_sharded,
+    run_tasks_planned, run_tasks_sharded, shard_len, PlannedRunError, ShardPlan, ShardPlanError,
+    ShardedRun,
 };
 pub use pool::{
     run, Backoff, DegradedReport, RunReport, RunStats, RuntimeConfig, TaskError, TaskOutcome,

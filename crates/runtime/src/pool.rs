@@ -190,6 +190,23 @@ pub struct RunStats {
     pub drained_inline: u64,
 }
 
+impl RunStats {
+    /// Accumulates the scheduler counters into `reg` (under `runtime/`),
+    /// and records the worker count as a gauge. Degradation events and
+    /// scheduler health thereby surface in any metrics export — e.g. the
+    /// `perf_regression` BENCH documents — instead of living only in the
+    /// Chrome trace track.
+    pub fn export_metrics(&self, reg: &mut obs::MetricsRegistry) {
+        reg.set_gauge("runtime/pool_workers", self.workers as f64);
+        reg.inc_counter("runtime/steals", self.steals);
+        reg.inc_counter("runtime/retries", self.retries);
+        reg.inc_counter("runtime/flakes", self.flakes);
+        reg.inc_counter("runtime/crashes", self.crashes);
+        reg.inc_counter("runtime/stalls_detected", self.stalls_detected);
+        reg.inc_counter("runtime/drained_inline", self.drained_inline);
+    }
+}
+
 /// The pool fell below quorum and finished the run serially.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DegradedReport {
@@ -199,6 +216,18 @@ pub struct DegradedReport {
     pub quorum: usize,
     /// Tasks the supervisor drained serially after degrading.
     pub tasks_drained: usize,
+}
+
+impl DegradedReport {
+    /// Exposes the degradation event as gauges (under `runtime/`) and
+    /// bumps the `runtime/degraded_runs` counter, so quorum losses are
+    /// visible in metrics exports, not only in the trace.
+    pub fn export_metrics(&self, reg: &mut obs::MetricsRegistry) {
+        reg.inc_counter("runtime/degraded_runs", 1);
+        reg.set_gauge("runtime/degraded_live_workers", self.live_workers as f64);
+        reg.set_gauge("runtime/degraded_quorum", self.quorum as f64);
+        reg.inc_counter("runtime/degraded_tasks_drained", self.tasks_drained as u64);
+    }
 }
 
 impl std::fmt::Display for DegradedReport {

@@ -70,14 +70,10 @@ impl std::fmt::Display for InvalidRate {
 
 impl std::error::Error for InvalidRate {}
 
-/// Clamps a rate into `[0.0, 1.0]`; NaN collapses to 0.0 (inject nothing).
-fn clamp_rate(rate: f64) -> f64 {
-    if rate.is_nan() {
-        0.0
-    } else {
-        rate.clamp(0.0, 1.0)
-    }
-}
+// Rate validation and clamping are shared with `runtime::chaos` via
+// `sparse::rng::{is_valid_rate, clamp_rate}` — one definition of "legal
+// probability" for both injection layers.
+use sparse::rng::{clamp_rate, is_valid_rate};
 
 /// One injected bit flip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,7 +161,7 @@ impl FaultPlan {
     ///
     /// Returns [`InvalidRate`] when `rate` is not a probability.
     pub fn try_uniform(seed: u64, rate: f64) -> Result<Self, InvalidRate> {
-        if !(0.0..=1.0).contains(&rate) {
+        if !is_valid_rate(rate) {
             return Err(InvalidRate { rate });
         }
         Ok(FaultPlan { seed, bitmap_rate: rate, pointer_rate: rate, value_rate: rate })

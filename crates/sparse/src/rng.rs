@@ -84,6 +84,29 @@ impl Rng64 {
     }
 }
 
+/// Whether `rate` is a probability: finite and inside `[0.0, 1.0]`.
+///
+/// NaN is rejected (every comparison with NaN is false, so the range
+/// check handles it without a special case). This is the single source
+/// of truth for rate validation across the workspace — both
+/// `simkit::fault::FaultPlan` and `runtime::chaos::ChaosPlan` delegate
+/// here, so the two injection layers can never drift apart on what
+/// counts as a legal rate.
+pub fn is_valid_rate(rate: f64) -> bool {
+    (0.0..=1.0).contains(&rate)
+}
+
+/// Clamps `rate` into `[0.0, 1.0]`; NaN collapses to `0.0` (inject
+/// nothing). The lenient companion of [`is_valid_rate`] for call sites
+/// that warn-and-continue instead of rejecting.
+pub fn clamp_rate(rate: f64) -> f64 {
+    if rate.is_nan() {
+        0.0
+    } else {
+        rate.clamp(0.0, 1.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +174,31 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn empty_range_rejected() {
         Rng64::new(1).next_range(0);
+    }
+
+    #[test]
+    fn rate_validation_accepts_probabilities_only() {
+        assert!(is_valid_rate(0.0));
+        assert!(is_valid_rate(0.5));
+        assert!(is_valid_rate(1.0));
+        assert!(!is_valid_rate(-0.0001));
+        assert!(!is_valid_rate(1.0001));
+        assert!(!is_valid_rate(f64::NAN));
+        assert!(!is_valid_rate(f64::INFINITY));
+        assert!(!is_valid_rate(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn rate_clamping_collapses_into_unit_interval() {
+        assert_eq!(clamp_rate(0.3), 0.3);
+        assert_eq!(clamp_rate(-4.0), 0.0);
+        assert_eq!(clamp_rate(42.0), 1.0);
+        assert_eq!(clamp_rate(f64::NAN), 0.0);
+        assert_eq!(clamp_rate(f64::INFINITY), 1.0);
+        assert_eq!(clamp_rate(f64::NEG_INFINITY), 0.0);
+        // Every clamped value is valid, by construction.
+        for r in [-1.0, 0.0, 0.25, 1.0, 9.0, f64::NAN] {
+            assert!(is_valid_rate(clamp_rate(r)));
+        }
     }
 }

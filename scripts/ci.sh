@@ -55,6 +55,14 @@ else
     echo "nightly toolchain not installed — skipping simd backend leg"
 fi
 
+echo "== concurrency verify =="
+# Static shard-plan/fold proofs plus the deterministic schedule explorer:
+# >=1000 distinct pool interleavings, every one merging to the serial
+# signature with no task lost or repeated, and the three injected defects
+# (overlapping plan, non-commutative fold, lost-task schedule) each
+# rejected with their exact USTC code.
+cargo test -p analysis -q --test concurrency
+
 echo "== runtime chaos =="
 # Fixed-seed chaos campaigns (crash/stall/flake injection), panic
 # isolation, thread-count bit-identity, and quorum-loss degradation —

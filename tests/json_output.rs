@@ -1,0 +1,65 @@
+//! Regression: `--json` stdout stays one machine-parseable document even
+//! when a diagnostic fires. The contract is that *all* warnings go to
+//! stderr (`bench::output::warn` / `eprintln!`), so a pipeline doing
+//! `fault_probe --json | jq` never sees a warning interleaved into the
+//! JSON. The probe is run as a real subprocess — the same way CI and
+//! users invoke it — with an out-of-range `--rate` that provokes the
+//! `FaultPlan::uniform` clamp warning.
+
+use std::process::Command;
+
+fn run_probe(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_fault_probe"))
+        .args(args)
+        .output()
+        .expect("fault_probe runs")
+}
+
+#[test]
+fn json_stdout_stays_parseable_when_the_clamp_warning_fires() {
+    let out = run_probe(&["--rate", "1.5", "--json"]);
+    assert!(out.status.success(), "fault_probe failed: {out:?}");
+
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let stderr = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+
+    // The warning fired — but on stderr, not stdout.
+    assert!(stderr.contains("warning:"), "expected a clamp warning on stderr, got: {stderr}");
+    assert!(stderr.contains("1.5"), "the warning names the offending rate: {stderr}");
+    assert!(!stdout.contains("warning"), "stdout must carry no warnings: {stdout}");
+
+    // Stdout is exactly one parseable JSON document.
+    let doc = obs::json::parse(&stdout).expect("stdout parses as JSON");
+    let title = doc.get("title").and_then(obs::json::Value::as_str);
+    assert_eq!(title, Some("fault_probe"));
+    let sections = doc.get("sections").and_then(obs::json::Value::as_array).expect("sections");
+    assert_eq!(sections.len(), 1);
+    let rows = sections[0].get("rows").and_then(obs::json::Value::as_array).expect("rows");
+    assert_eq!(rows.len(), 1);
+    // The clamp actually applied: rate 1.5 collapsed to 1.0.
+    let applied = rows[0].get("applied rate").and_then(obs::json::Value::as_str);
+    assert_eq!(applied, Some("1"), "row: {:?}", rows[0]);
+}
+
+#[test]
+fn valid_rate_emits_no_warning_in_either_mode() {
+    for args in [&["--rate", "0.01", "--json"][..], &["--rate", "0.01"][..]] {
+        let out = run_probe(args);
+        assert!(out.status.success());
+        let stderr = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+        assert!(
+            !stderr.contains("warning"),
+            "no warning expected for a valid rate ({args:?}): {stderr}"
+        );
+    }
+}
+
+#[test]
+fn text_mode_still_prints_the_table_to_stdout() {
+    let out = run_probe(&["--rate", "2.0"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let stderr = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+    assert!(stdout.contains("fault injection"), "table on stdout: {stdout}");
+    assert!(stderr.contains("warning:"), "clamp warning on stderr: {stderr}");
+}
