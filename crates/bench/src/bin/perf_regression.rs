@@ -174,7 +174,10 @@ fn main() -> ExitCode {
             .unwrap_or_else(|e| panic!("cannot read {}: {e}", prev_path.display()));
         let prev = BenchDoc::from_str(&text)
             .unwrap_or_else(|e| panic!("cannot parse {}: {e}", prev_path.display()));
-        let regressions = perf::compare(&prev, &doc, args.threshold);
+        let cmp = perf::compare(&prev, &doc, args.threshold).unwrap_or_else(|e| {
+            eprintln!("cannot compare against {}: {e}", prev_path.display());
+            std::process::exit(2);
+        });
         let mut section = Section::new(
             format!(
                 "cycle regressions vs `{}` (threshold {:.1} %)",
@@ -182,7 +185,7 @@ fn main() -> ExitCode {
             ),
             &["entry", "prev", "new", "slowdown"],
         );
-        for r in &regressions {
+        for r in &cmp.regressions {
             section.row(vec![
                 r.key.clone(),
                 r.prev_cycles.to_string(),
@@ -190,11 +193,17 @@ fn main() -> ExitCode {
                 format!("+{:.1} %", r.pct),
             ]);
         }
-        if regressions.is_empty() {
+        if cmp.regressions.is_empty() {
             section.note("no regressions");
         } else {
-            section.note(format!("{} entries regressed", regressions.len()));
+            section.note(format!("{} entries regressed", cmp.regressions.len()));
             failed = true;
+        }
+        if cmp.only_in_prev + cmp.only_in_new > 0 {
+            section.note(format!(
+                "unmatched keys: {} only in `{}`, {} only in `{}` (not gated)",
+                cmp.only_in_prev, prev.label, cmp.only_in_new, doc.label
+            ));
         }
         report.push(section);
     }

@@ -256,15 +256,60 @@ pub struct Regression {
     pub pct: f64,
 }
 
+/// The outcome of diffing two well-formed documents: the flagged
+/// regressions plus how many keys failed to pair up on each side.
+///
+/// Unmatched keys are not regressions (corpus membership changes are
+/// legitimate), but they are no longer silent either — `--compare`
+/// output reports both counts so a half-empty baseline can't masquerade
+/// as a clean run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Entries whose cycle count grew past the threshold, in `new` order.
+    pub regressions: Vec<Regression>,
+    /// Keys present in the previous document but absent from the new one.
+    pub only_in_prev: usize,
+    /// Keys present in the new document but absent from the previous one.
+    pub only_in_new: usize,
+}
+
+/// Indexes a document's entries by comparison key, failing on the first
+/// duplicate: two entries with the same `(matrix, engine, kernel)` make
+/// the diff ambiguous (which one is *the* baseline?), so a malformed
+/// document is an error, not a silent first-match-wins.
+fn index_entries(doc: &BenchDoc) -> Result<std::collections::BTreeMap<String, &BenchEntry>, String> {
+    let mut map = std::collections::BTreeMap::new();
+    for entry in &doc.entries {
+        if map.insert(entry.key(), entry).is_some() {
+            return Err(format!(
+                "document `{}` has duplicate entry key `{}`",
+                doc.label,
+                entry.key()
+            ));
+        }
+    }
+    Ok(map)
+}
+
 /// Diffs `new` against `prev`, returning every entry whose simulated cycle
-/// count grew by more than `threshold_pct` percent. Entries present in
-/// only one document are ignored (corpus membership changes are not
-/// regressions), as are wall-clock and energy numbers.
-pub fn compare(prev: &BenchDoc, new: &BenchDoc, threshold_pct: f64) -> Vec<Regression> {
-    let mut out = Vec::new();
+/// count grew by more than `threshold_pct` percent plus the unmatched-key
+/// counts. Wall-clock and energy numbers are never gated on.
+///
+/// # Errors
+///
+/// Returns a description of the problem if either document carries
+/// duplicate `(matrix, engine, kernel)` keys — a duplicate makes the
+/// pairing ambiguous, so it fails loudly instead of matching whichever
+/// entry happens to come first.
+pub fn compare(prev: &BenchDoc, new: &BenchDoc, threshold_pct: f64) -> Result<Comparison, String> {
+    let prev_map = index_entries(prev)?;
+    let new_map = index_entries(new)?;
+    let mut regressions = Vec::new();
+    let mut only_in_new = 0;
     for entry in &new.entries {
         let key = entry.key();
-        let Some(old) = prev.entries.iter().find(|e| e.key() == key) else {
+        let Some(old) = prev_map.get(&key) else {
+            only_in_new += 1;
             continue;
         };
         if old.cycles == 0 {
@@ -272,7 +317,7 @@ pub fn compare(prev: &BenchDoc, new: &BenchDoc, threshold_pct: f64) -> Vec<Regre
         }
         let pct = (entry.cycles as f64 / old.cycles as f64 - 1.0) * 100.0;
         if pct > threshold_pct {
-            out.push(Regression {
+            regressions.push(Regression {
                 key,
                 prev_cycles: old.cycles,
                 new_cycles: entry.cycles,
@@ -280,7 +325,8 @@ pub fn compare(prev: &BenchDoc, new: &BenchDoc, threshold_pct: f64) -> Vec<Regre
             });
         }
     }
-    out
+    let only_in_prev = prev_map.keys().filter(|k| !new_map.contains_key(*k)).count();
+    Ok(Comparison { regressions, only_in_prev, only_in_new })
 }
 
 #[cfg(test)]
@@ -353,22 +399,38 @@ mod tests {
         let prev = doc("prev", vec![entry("m1", 100), entry("m2", 200)]);
         let mut slow = prev.clone();
         slow.entries[1].cycles = 220; // +10 %
-        let regs = compare(&prev, &slow, 5.0);
-        assert_eq!(regs.len(), 1);
-        assert_eq!(regs[0].prev_cycles, 200);
-        assert_eq!(regs[0].new_cycles, 220);
-        assert!((regs[0].pct - 10.0).abs() < 1e-9);
+        let cmp = compare(&prev, &slow, 5.0).expect("well-formed documents");
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].prev_cycles, 200);
+        assert_eq!(cmp.regressions[0].new_cycles, 220);
+        assert!((cmp.regressions[0].pct - 10.0).abs() < 1e-9);
+        assert_eq!((cmp.only_in_prev, cmp.only_in_new), (0, 0));
         // A looser threshold lets it pass.
-        assert!(compare(&prev, &slow, 15.0).is_empty());
+        assert!(compare(&prev, &slow, 15.0).expect("well-formed").regressions.is_empty());
         // Identical documents never regress.
-        assert!(compare(&prev, &prev, 5.0).is_empty());
+        assert!(compare(&prev, &prev, 5.0).expect("well-formed").regressions.is_empty());
     }
 
     #[test]
-    fn compare_ignores_membership_changes_and_speedups() {
-        let prev = doc("prev", vec![entry("m1", 100)]);
+    fn compare_counts_membership_changes_and_ignores_speedups() {
+        let prev = doc("prev", vec![entry("m1", 100), entry("m-gone", 70)]);
         let new = doc("new", vec![entry("m1", 50), entry("m-new", 9999)]);
-        assert!(compare(&prev, &new, 5.0).is_empty());
+        let cmp = compare(&prev, &new, 5.0).expect("well-formed documents");
+        assert!(cmp.regressions.is_empty(), "speedups and new entries never regress");
+        assert_eq!(cmp.only_in_prev, 1, "m-gone vanished from the new document");
+        assert_eq!(cmp.only_in_new, 1, "m-new has no baseline");
+    }
+
+    #[test]
+    fn compare_rejects_duplicate_keys_in_either_document() {
+        let clean = doc("clean", vec![entry("m1", 100)]);
+        // Same (matrix, engine, kernel) twice with different cycles: the
+        // old linear scan silently matched whichever came first.
+        let dupes = doc("dupes", vec![entry("m1", 100), entry("m1", 900)]);
+        let err = compare(&dupes, &clean, 5.0).expect_err("duplicate baseline must fail");
+        assert!(err.contains("dupes") && err.contains("m1"), "{err}");
+        let err = compare(&clean, &dupes, 5.0).expect_err("duplicate new doc must fail");
+        assert!(err.contains("dupes") && err.contains("m1"), "{err}");
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub struct Histogram {
     /// `bounds.len() + 1` counts; the last is the overflow bucket.
     counts: Vec<u64>,
     sum: u64,
+    /// Set once the running `sum` has clamped at `u64::MAX`: from that
+    /// point on, any mean derived from `sum / count` under-reports, so
+    /// consumers must check this flag before trusting it.
+    saturated: bool,
 }
 
 impl Histogram {
@@ -39,14 +43,25 @@ impl Histogram {
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly increasing"
         );
-        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], sum: 0 }
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            saturated: false,
+        }
     }
 
     /// Records one observation.
     pub fn observe(&mut self, v: u64) {
         let idx = self.bounds.partition_point(|&b| b < v);
         self.counts[idx] += 1;
-        self.sum = self.sum.saturating_add(v);
+        match self.sum.checked_add(v) {
+            Some(s) => self.sum = s,
+            None => {
+                self.sum = u64::MAX;
+                self.saturated = true;
+            }
+        }
     }
 
     /// The configured upper-inclusive bounds.
@@ -64,9 +79,18 @@ impl Histogram {
         self.counts.iter().sum()
     }
 
-    /// Sum of all observed values (saturating).
+    /// Sum of all observed values. Clamped at `u64::MAX` once the true
+    /// total overflows — check [`Histogram::saturated`] before deriving a
+    /// mean from it.
     pub fn sum(&self) -> u64 {
         self.sum
+    }
+
+    /// Whether the running sum ever overflowed and clamped at
+    /// `u64::MAX`. While set, `sum()` (and any mean derived from it)
+    /// under-reports the true total.
+    pub fn saturated(&self) -> bool {
+        self.saturated
     }
 
     fn to_json(&self) -> Value {
@@ -75,6 +99,7 @@ impl Histogram {
             ("counts", Value::Array(self.counts.iter().map(|&c| Value::from(c)).collect())),
             ("count", Value::from(self.count())),
             ("sum", Value::from(self.sum)),
+            ("saturated", Value::Bool(self.saturated)),
         ])
     }
 }
@@ -261,8 +286,28 @@ mod tests {
     fn histogram_sum_saturates() {
         let mut h = Histogram::with_bounds(&[10]);
         h.observe(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert!(!h.saturated(), "an exact u64::MAX sum is not an overflow");
         h.observe(u64::MAX);
         assert_eq!(h.sum(), u64::MAX);
+        assert!(h.saturated(), "the second observation overflowed the sum");
+        // The flag is sticky and surfaces in the JSON export.
+        h.observe(1);
+        assert!(h.saturated());
+        let v = h.to_json();
+        assert_eq!(v.get("saturated"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn histogram_export_reports_unsaturated_sums() {
+        let mut h = Histogram::with_bounds(&[10]);
+        h.observe(3);
+        h.observe(4);
+        assert_eq!(h.sum(), 7);
+        assert!(!h.saturated());
+        let v = h.to_json();
+        assert_eq!(v.get("saturated"), Some(&Value::Bool(false)));
+        assert_eq!(v.get("sum").and_then(Value::as_u64), Some(7));
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Deterministic, capacity-bounded caches for encoded operands and
+//! compiled task streams.
+//!
+//! Eviction is least-recently-used over a logical tick counter — every
+//! lookup or insert advances the tick, and the entry with the smallest
+//! last-touch tick is evicted when the cache is full. No wall clock is
+//! involved, so a fixed request sequence always produces the same hit /
+//! miss / eviction trace, which is what lets the chaos suite assert cache
+//! statistics exactly.
+//!
+//! [`SharedCache`] wraps the LRU in a mutex for the service's concurrent
+//! submit path. The miss path computes the value *outside* the lock: two
+//! racing misses on the same key may both compute, but only the first
+//! insert wins and every caller observes the winning value. Encoded
+//! matrices and compiled streams are pure functions of their fingerprint,
+//! so a losing double-compute is wasted work, never a wrong answer — the
+//! concurrency race test pins this.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Running hit/miss/eviction tallies for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries actually stored (losing racers do not count).
+    pub inserts: u64,
+}
+
+/// An LRU cache over a `BTreeMap`, evicting by logical tick.
+///
+/// Capacity 0 disables storage entirely: every lookup misses and every
+/// insert is dropped (useful for cold-path measurement).
+#[derive(Debug)]
+pub struct LruCache<K: Ord + Clone, V: Clone> {
+    capacity: usize,
+    tick: u64,
+    entries: BTreeMap<K, (V, u64)>,
+    stats: CacheStats,
+}
+
+impl<K: Ord + Clone, V: Clone> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache { capacity, tick: 0, entries: BTreeMap::new(), stats: CacheStats::default() }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The running statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn lookup(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some((v, touched)) => {
+                *touched = self.tick;
+                self.stats.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `key` unless the key is already present
+    /// (first writer wins; the racing loser's value is dropped). Returns
+    /// whether the insert took effect. Evicts the least-recently-touched
+    /// entry first when the cache is full.
+    pub fn insert_if_absent(&mut self, key: K, value: V) -> bool {
+        if self.capacity == 0 || self.entries.contains_key(&key) {
+            return false;
+        }
+        if self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, touched))| *touched)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = victim {
+                self.entries.remove(&k);
+                self.stats.evictions += 1;
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(key, (value, self.tick));
+        self.stats.inserts += 1;
+        true
+    }
+}
+
+/// A thread-safe [`LruCache`] with a compute-outside-the-lock miss path.
+#[derive(Debug)]
+pub struct SharedCache<K: Ord + Clone, V: Clone> {
+    inner: Mutex<LruCache<K, Arc<V>>>,
+}
+
+impl<K: Ord + Clone, V: Clone> SharedCache<K, V> {
+    /// An empty shared cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        SharedCache { inner: Mutex::new(LruCache::new(capacity)) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LruCache<K, Arc<V>>> {
+        // A poisoned lock means another thread panicked mid-operation;
+        // the map itself is still structurally sound (every mutation is
+        // a single BTreeMap call), so continue with the inner value.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A snapshot of the running statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats()
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Looks up `key` without computing anything.
+    pub fn lookup(&self, key: &K) -> Option<Arc<V>> {
+        self.lock().lookup(key)
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it on
+    /// a miss. The second element reports whether this call was a hit.
+    ///
+    /// `compute` runs with no lock held. If two threads miss on the same
+    /// key concurrently, both compute; the first to finish inserts and
+    /// the loser adopts the winner's value (checked under the lock before
+    /// inserting), so all callers agree on one cached value.
+    pub fn get_or_insert_with(&self, key: &K, compute: impl FnOnce() -> V) -> (Arc<V>, bool) {
+        if let Some(v) = self.lock().lookup(key) {
+            return (v, true);
+        }
+        let fresh = Arc::new(compute());
+        let mut guard = self.lock();
+        // Re-check: a racer may have inserted while we were computing.
+        // This probe is a resolution step of *this* miss, not a second
+        // lookup, so it must not touch the hit/miss tallies.
+        if let Some((winner, _)) = guard.entries.get(key) {
+            return (Arc::clone(winner), false);
+        }
+        guard.insert_if_absent(key.clone(), Arc::clone(&fresh));
+        (fresh, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_tracks_hits_and_misses() {
+        let mut c: LruCache<u32, String> = LruCache::new(4);
+        assert_eq!(c.lookup(&1), None);
+        assert!(c.insert_if_absent(1, "one".to_owned()));
+        assert_eq!(c.lookup(&1).as_deref(), Some("one"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn first_writer_wins() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        assert!(c.insert_if_absent(7, 70));
+        assert!(!c.insert_if_absent(7, 71));
+        assert_eq!(c.lookup(&7), Some(70));
+        assert_eq!(c.stats().inserts, 1);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used_and_deterministic() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert_if_absent(1, 10);
+        c.insert_if_absent(2, 20);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(c.lookup(&1), Some(10));
+        c.insert_if_absent(3, 30);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(&2), None, "2 was least recently used");
+        assert_eq!(c.lookup(&1), Some(10));
+        assert_eq!(c.lookup(&3), Some(30));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        assert!(!c.insert_if_absent(1, 10));
+        assert_eq!(c.lookup(&1), None);
+        assert_eq!(c.stats().inserts, 0);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn replaying_a_sequence_reproduces_the_stats() {
+        let run = || {
+            let mut c: LruCache<u32, u32> = LruCache::new(3);
+            for &k in &[1, 2, 3, 1, 4, 2, 5, 1, 1, 6] {
+                if c.lookup(&k).is_none() {
+                    c.insert_if_absent(k, k * 10);
+                }
+            }
+            c.stats()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn shared_cache_get_or_insert_reports_hits() {
+        let c: SharedCache<u32, u32> = SharedCache::new(4);
+        let (v, hit) = c.get_or_insert_with(&3, || 30);
+        assert_eq!((*v, hit), (30, false));
+        let (v, hit) = c.get_or_insert_with(&3, || 31);
+        assert_eq!((*v, hit), (30, true), "second call must hit the cached value");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+}

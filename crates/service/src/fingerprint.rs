@@ -1,0 +1,227 @@
+//! Stable content fingerprints for service operands.
+//!
+//! The operand caches are keyed by a 128-bit content hash over the exact
+//! bytes that define a matrix or vector: dimensions, structure arrays and
+//! the IEEE-754 bit patterns of the values. Two submissions with
+//! byte-identical content always map to the same fingerprint, across
+//! processes and platforms (everything is hashed in a fixed
+//! little-endian order), so a warm cache entry is exactly as good as
+//! re-encoding the operand from scratch.
+//!
+//! The hash is two independent 64-bit FNV-1a streams (different offset
+//! bases, same data), concatenated into 128 bits. FNV is not
+//! collision-resistant against an adversary, but the service caches are
+//! a performance layer, not a security boundary: a colliding pair would
+//! need ~2^64 distinct operands in one process lifetime to appear by
+//! chance, and the conformance counter signatures would catch the
+//! resulting wrong report immediately.
+//!
+//! Each operand family hashes a distinct domain tag first, so a CSR
+//! matrix, a BBC matrix and a sparse vector can never collide with each
+//! other even if their raw arrays happened to agree.
+
+use sparse::{BbcMatrix, CsrMatrix, SparseVector};
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+const FNV_OFFSET_A: u64 = 0xCBF2_9CE4_8422_2325;
+/// A second, independent stream: the standard offset basis XOR a fixed
+/// pad, so the two lanes disagree from the first byte on.
+const FNV_OFFSET_B: u64 = 0xCBF2_9CE4_8422_2325 ^ 0x9E37_79B9_7F4A_7C15;
+
+/// A 128-bit content fingerprint (two independent FNV-1a 64 lanes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fingerprint(pub [u64; 2]);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0[0], self.0[1])
+    }
+}
+
+/// Incremental two-lane FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Hasher::new()
+    }
+}
+
+impl Hasher {
+    /// A fresh hasher at the two offset bases.
+    pub fn new() -> Self {
+        Hasher { a: FNV_OFFSET_A, b: FNV_OFFSET_B }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs one `u64` in little-endian order.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` slice as little-endian `u64`s (lengths first, so
+    /// adjacent arrays cannot alias across a boundary shift).
+    fn update_usizes(&mut self, vs: &[usize]) {
+        self.update_u64(vs.len() as u64);
+        for &v in vs {
+            self.update_u64(v as u64);
+        }
+    }
+
+    fn update_u32s(&mut self, vs: &[u32]) {
+        self.update_u64(vs.len() as u64);
+        for &v in vs {
+            self.update(&v.to_le_bytes());
+        }
+    }
+
+    /// Absorbs f64 values by IEEE-754 bit pattern (exact, no rounding).
+    fn update_f64s(&mut self, vs: &[f64]) {
+        self.update_u64(vs.len() as u64);
+        for &v in vs {
+            self.update_u64(v.to_bits());
+        }
+    }
+
+    /// The final 128-bit fingerprint.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint([self.a, self.b])
+    }
+}
+
+/// Fingerprints a CSR matrix: dimensions, row pointers, column indices
+/// and value bit patterns, behind the `b"CSR"` domain tag.
+pub fn fingerprint_csr(m: &CsrMatrix) -> Fingerprint {
+    let mut h = Hasher::new();
+    h.update(b"CSR");
+    h.update_u64(m.nrows() as u64);
+    h.update_u64(m.ncols() as u64);
+    h.update_usizes(m.row_ptr());
+    h.update_u32s(m.col_idx());
+    h.update_f64s(m.values());
+    h.finish()
+}
+
+/// Fingerprints a BBC matrix over its canonical `BBC2` byte stream (the
+/// same bytes `BbcMatrix::write_bbc` persists), behind the `b"BBC"`
+/// domain tag.
+///
+/// Note this is a *representation* fingerprint: a CSR operand and its
+/// BBC encoding hash to different fingerprints even though they describe
+/// the same matrix. The encoding cache keys on the submitted
+/// representation, which is what makes a hit sound without decoding
+/// anything.
+pub fn fingerprint_bbc(m: &BbcMatrix) -> Fingerprint {
+    struct HashWriter<'a>(&'a mut Hasher);
+    impl std::io::Write for HashWriter<'_> {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.update(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let mut h = Hasher::new();
+    h.update(b"BBC");
+    // Writing into a hasher cannot fail; the matrix is already in memory.
+    let _ = m.write_bbc(HashWriter(&mut h));
+    h.finish()
+}
+
+/// Fingerprints a sparse vector: dimension, indices and value bit
+/// patterns, behind the `b"SPV"` domain tag.
+pub fn fingerprint_vector(x: &SparseVector) -> Fingerprint {
+    let mut h = Hasher::new();
+    h.update(b"SPV");
+    h.update_u64(x.dim() as u64);
+    h.update_u32s(x.indices());
+    h.update_f64s(x.values());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::CooMatrix;
+
+    fn csr(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for &(r, c, v) in entries {
+            coo.push(r, c, v);
+        }
+        CsrMatrix::try_from(coo).expect("valid test matrix")
+    }
+
+    #[test]
+    fn identical_content_identical_fingerprint() {
+        let a = csr(32, &[(0, 0, 1.0), (17, 3, -2.5)]);
+        let b = csr(32, &[(0, 0, 1.0), (17, 3, -2.5)]);
+        assert_eq!(fingerprint_csr(&a), fingerprint_csr(&b));
+        assert_eq!(
+            fingerprint_bbc(&BbcMatrix::from_csr(&a)),
+            fingerprint_bbc(&BbcMatrix::from_csr(&b))
+        );
+    }
+
+    #[test]
+    fn any_content_change_moves_the_fingerprint() {
+        let base = csr(32, &[(0, 0, 1.0), (17, 3, -2.5)]);
+        let fp = fingerprint_csr(&base);
+        // Different value.
+        assert_ne!(fp, fingerprint_csr(&csr(32, &[(0, 0, 1.0), (17, 3, -2.0)])));
+        // Different position.
+        assert_ne!(fp, fingerprint_csr(&csr(32, &[(0, 0, 1.0), (17, 4, -2.5)])));
+        // Different dimensions, same entries.
+        assert_ne!(fp, fingerprint_csr(&csr(48, &[(0, 0, 1.0), (17, 3, -2.5)])));
+        // An extra entry.
+        assert_ne!(
+            fp,
+            fingerprint_csr(&csr(32, &[(0, 0, 1.0), (17, 3, -2.5), (1, 1, 0.5)]))
+        );
+    }
+
+    #[test]
+    fn value_bits_are_exact() {
+        // -0.0 and 0.0 compare equal as floats but are different content.
+        let a = csr(16, &[(0, 0, 0.0)]);
+        let b = csr(16, &[(0, 0, -0.0)]);
+        assert_ne!(fingerprint_csr(&a), fingerprint_csr(&b));
+    }
+
+    #[test]
+    fn domains_do_not_collide() {
+        let m = csr(16, &[(0, 0, 1.0)]);
+        let bbc = BbcMatrix::from_csr(&m);
+        assert_ne!(fingerprint_csr(&m), fingerprint_bbc(&bbc));
+        let x = SparseVector::try_new(16, vec![0], vec![1.0]).expect("sorted");
+        assert_ne!(fingerprint_vector(&x), fingerprint_csr(&m));
+    }
+
+    #[test]
+    fn vector_fingerprint_tracks_content() {
+        let x = SparseVector::try_new(32, vec![1, 5], vec![1.0, 2.0]).expect("sorted");
+        let same = SparseVector::try_new(32, vec![1, 5], vec![1.0, 2.0]).expect("sorted");
+        let other = SparseVector::try_new(32, vec![1, 6], vec![1.0, 2.0]).expect("sorted");
+        assert_eq!(fingerprint_vector(&x), fingerprint_vector(&same));
+        assert_ne!(fingerprint_vector(&x), fingerprint_vector(&other));
+    }
+
+    #[test]
+    fn display_is_32_hex_chars() {
+        let s = fingerprint_csr(&csr(16, &[(0, 0, 1.0)])).to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,162 @@
+//! Request and response types for the batch job service.
+
+use std::sync::Arc;
+
+use simkit::driver::KernelReport;
+use sparse::{BbcMatrix, CsrMatrix, SparseVector};
+
+/// A matrix operand, in whichever representation the client holds.
+///
+/// CSR operands are encoded to BBC by the service (through the
+/// fingerprint-keyed encoding cache, so repeated submissions of the same
+/// matrix encode once); BBC operands are used as-is.
+#[derive(Clone)]
+pub enum Operand {
+    /// A CSR matrix the service will encode (and cache) as BBC.
+    Csr(Arc<CsrMatrix>),
+    /// An already-encoded BBC matrix.
+    Bbc(Arc<BbcMatrix>),
+}
+
+impl std::fmt::Debug for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Csr(m) => write!(f, "Operand::Csr({}x{})", m.nrows(), m.ncols()),
+            Operand::Bbc(m) => {
+                write!(f, "Operand::Bbc({}x{} blocks)", m.block_rows(), m.block_cols())
+            }
+        }
+    }
+}
+
+impl From<CsrMatrix> for Operand {
+    fn from(m: CsrMatrix) -> Self {
+        Operand::Csr(Arc::new(m))
+    }
+}
+
+impl From<BbcMatrix> for Operand {
+    fn from(m: BbcMatrix) -> Self {
+        Operand::Bbc(Arc::new(m))
+    }
+}
+
+/// One kernel invocation on submitted operands.
+#[derive(Debug, Clone)]
+pub enum KernelRequest {
+    /// Sparse matrix x dense vector.
+    SpMV {
+        /// The sparse matrix.
+        a: Operand,
+    },
+    /// Sparse matrix x sparse vector.
+    SpMSpV {
+        /// The sparse matrix.
+        a: Operand,
+        /// The sparse input vector.
+        x: Arc<SparseVector>,
+    },
+    /// Sparse matrix x dense matrix with `n_cols` columns.
+    SpMM {
+        /// The sparse matrix.
+        a: Operand,
+        /// Dense operand width.
+        n_cols: usize,
+    },
+    /// Sparse matrix x sparse matrix.
+    SpGEMM {
+        /// The left sparse matrix.
+        a: Operand,
+        /// The right sparse matrix.
+        b: Operand,
+    },
+}
+
+impl KernelRequest {
+    /// The kernel this request runs.
+    pub fn kernel(&self) -> simkit::driver::Kernel {
+        match self {
+            KernelRequest::SpMV { .. } => simkit::driver::Kernel::SpMV,
+            KernelRequest::SpMSpV { .. } => simkit::driver::Kernel::SpMSpV,
+            KernelRequest::SpMM { .. } => simkit::driver::Kernel::SpMM,
+            KernelRequest::SpGEMM { .. } => simkit::driver::Kernel::SpGEMM,
+        }
+    }
+}
+
+/// A job: one kernel request bound to an engine.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Engine display name (`"Uni-STC"`, `"DS-STC"`, ...). `None` selects
+    /// the default Uni-STC engine.
+    pub engine: Option<String>,
+    /// The kernel invocation.
+    pub kernel: KernelRequest,
+}
+
+impl JobRequest {
+    /// A job on the default (Uni-STC) engine.
+    pub fn new(kernel: KernelRequest) -> Self {
+        JobRequest { engine: None, kernel }
+    }
+
+    /// A job on a named engine.
+    pub fn on_engine(engine: impl Into<String>, kernel: KernelRequest) -> Self {
+        JobRequest { engine: Some(engine.into()), kernel }
+    }
+}
+
+/// Why a job produced no report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// Admission control rejected the stream before scheduling (a
+    /// `USTC`-coded static-verification diagnostic).
+    Rejected {
+        /// The stable diagnostic code, e.g. `"USTC012"`.
+        code: String,
+        /// The full rendered diagnostic.
+        message: String,
+    },
+    /// The requested engine name is not in the service roster.
+    UnknownEngine {
+        /// The name the client asked for.
+        name: String,
+    },
+    /// The runtime failed the batch past its retry budget.
+    Execution(String),
+    /// The service shut down before answering.
+    ServiceStopped,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Rejected { code, message } => {
+                write!(f, "admission rejected [{code}]: {message}")
+            }
+            JobError::UnknownEngine { name } => write!(f, "unknown engine `{name}`"),
+            JobError::Execution(msg) => write!(f, "execution failed: {msg}"),
+            JobError::ServiceStopped => write!(f, "service stopped before answering"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A completed job: the kernel report plus how the service got it.
+#[derive(Debug, Clone)]
+pub struct JobResponse {
+    /// The kernel report — bit-identical to the serial driver's for the
+    /// same operands, cached or not.
+    pub report: KernelReport,
+    /// Whether every matrix operand's BBC encoding came from the cache.
+    pub encoding_cached: bool,
+    /// Whether the compiled T1 task stream came from the cache.
+    pub stream_cached: bool,
+    /// How many jobs shared this request's compiled stream in the batch
+    /// that executed it (at least 1: this job).
+    pub batch_size: usize,
+    /// Whether the runtime degraded to serial draining while executing
+    /// this job's batch.
+    pub degraded: bool,
+}

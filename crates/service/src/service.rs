@@ -1,0 +1,530 @@
+//! The batch job service: a long-lived dispatcher in front of the
+//! engines.
+//!
+//! Clients [`submit`](Service::submit) jobs from any thread; a single
+//! dispatcher thread drains the bounded queue, batches jobs that share a
+//! compiled task stream, and executes each batch once on the resilient
+//! [`runtime`] pool. Three properties the rest of the repo is built on
+//! are preserved end to end:
+//!
+//! * **Bit-identity** — a cached response is byte-for-byte the serial
+//!   driver's report: the encoding cache stores the deterministic
+//!   CSR→BBC encoding, the stream cache stores the exact `Vec<T1Task>`
+//!   the driver would regenerate, and the runtime's fold is the proven
+//!   commutative monoid. Warm, cold, batched and degraded runs all
+//!   produce the same [`counter_signature`](simkit::driver::KernelReport::counter_signature).
+//! * **Admission control** — with [`ServiceConfig::admission`] on,
+//!   every stream passes `analysis::UstcVerifier` before it is
+//!   scheduled, so illegal work is rejected with its `USTC` code instead
+//!   of being simulated; the shard plan is additionally proven legal by
+//!   [`ShardPlan::verify_before_run`] before any worker spawns.
+//!   Non-conforming SpGEMM grids are rejected (`USTC012`) even with
+//!   admission off, because the task compiler cannot represent them.
+//! * **Observability** — queue depth, batch sizes, cache hit/miss/
+//!   eviction tallies, per-kernel latency histograms, runtime scheduler
+//!   stats and the degraded-run counter all land in one
+//!   [`MetricsRegistry`] snapshot ([`Service::metrics`]).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use analysis::UstcVerifier;
+use obs::MetricsRegistry;
+use runtime::{run_tasks_planned, PlannedRunError, RuntimeConfig, ShardPlan, ShardPlanError};
+use simkit::driver::{self, Kernel, StreamVerifier, VerifyError};
+use simkit::{EnergyModel, Precision, T1Task, TileEngine};
+use sparse::{BbcMatrix, SparseVector};
+use uni_stc::{UniStc, UniStcConfig};
+
+use crate::cache::{CacheStats, SharedCache};
+use crate::fingerprint::{fingerprint_bbc, fingerprint_csr, fingerprint_vector, Fingerprint};
+use crate::request::{JobError, JobRequest, JobResponse, KernelRequest, Operand};
+
+/// The engine jobs run on when [`JobRequest::engine`] is `None`.
+pub const DEFAULT_ENGINE: &str = "Uni-STC";
+
+/// Upper-inclusive bounds for the per-kernel latency histograms
+/// (`service/latency_us/<kernel>`), in microseconds.
+pub const LATENCY_BOUNDS_US: &[u64] = &[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Upper-inclusive bounds for the queue-depth histogram
+/// (`service/queue_depth_hist`), observed at every batch dequeue.
+pub const QUEUE_DEPTH_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// How batches execute on the runtime pool (threads, retries,
+    /// chaos, quorum). The default is serial execution.
+    pub exec: RuntimeConfig,
+    /// Numeric precision the engine roster is built for.
+    pub precision: Precision,
+    /// Capacity of the CSR→BBC encoding cache (entries; 0 disables).
+    pub encoding_cache_capacity: usize,
+    /// Capacity of the compiled-task-stream cache (entries; 0 disables).
+    pub stream_cache_capacity: usize,
+    /// Whether to statically verify every stream with
+    /// `analysis::UstcVerifier` before scheduling it.
+    pub admission: bool,
+    /// Most jobs the dispatcher folds into one batch drain.
+    pub max_batch: usize,
+    /// Bounded queue length, in envelopes; a full queue blocks
+    /// [`Service::submit`] (backpressure, never loss).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            exec: RuntimeConfig::serial(),
+            precision: Precision::Fp64,
+            encoding_cache_capacity: 64,
+            stream_cache_capacity: 128,
+            admission: true,
+            max_batch: 32,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// The compiled-stream identity of a request: kernel plus the content
+/// fingerprints of every operand that shapes the task stream. Two jobs
+/// with equal keys execute the identical `Vec<T1Task>`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum StreamKey {
+    Spmv { a: Fingerprint },
+    Spmspv { a: Fingerprint, x: Fingerprint },
+    Spmm { a: Fingerprint, n_cols: usize },
+    Spgemm { a: Fingerprint, b: Fingerprint },
+}
+
+/// An admitted job, ready to batch: resolved operands plus its stream key.
+struct Prepared {
+    engine: String,
+    key: StreamKey,
+    kernel: Kernel,
+    encoding_cached: bool,
+    a: Arc<BbcMatrix>,
+    x: Option<Arc<SparseVector>>,
+    b: Option<Arc<BbcMatrix>>,
+    n_cols: usize,
+}
+
+type JobResult = Result<JobResponse, JobError>;
+
+struct QueuedJob {
+    request: JobRequest,
+    reply: mpsc::Sender<JobResult>,
+    submitted: obs::WallSpan,
+}
+
+struct Envelope {
+    jobs: Vec<QueuedJob>,
+}
+
+/// State shared between client threads and the dispatcher.
+struct Shared {
+    metrics: Mutex<MetricsRegistry>,
+    encodings: SharedCache<Fingerprint, BbcMatrix>,
+    streams: SharedCache<StreamKey, Vec<T1Task>>,
+    queue_depth: AtomicU64,
+}
+
+impl Shared {
+    fn metrics(&self) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A pending job's receive side; [`JobHandle::wait`] blocks until the
+/// dispatcher answers.
+#[derive(Debug)]
+pub struct JobHandle {
+    rx: mpsc::Receiver<JobResult>,
+}
+
+impl JobHandle {
+    /// Blocks until the job completes (or the service stops).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the dispatcher's [`JobError`];
+    /// [`JobError::ServiceStopped`] if the service shut down first.
+    pub fn wait(self) -> JobResult {
+        self.rx.recv().unwrap_or(Err(JobError::ServiceStopped))
+    }
+}
+
+/// A running batch job service. Dropping it (or calling
+/// [`Service::shutdown`]) drains the queue and joins the dispatcher.
+pub struct Service {
+    tx: Option<mpsc::SyncSender<Envelope>>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl Service {
+    /// Starts the dispatcher thread and returns the client handle.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            metrics: Mutex::new(MetricsRegistry::new()),
+            encodings: SharedCache::new(cfg.encoding_cache_capacity),
+            streams: SharedCache::new(cfg.stream_cache_capacity),
+            queue_depth: AtomicU64::new(0),
+        });
+        let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
+        let worker_shared = Arc::clone(&shared);
+        let dispatcher = std::thread::Builder::new()
+            .name("service-dispatcher".to_owned())
+            .spawn(move || dispatch_loop(cfg, rx, worker_shared));
+        // Spawn failure leaves a service whose submits all answer
+        // `ServiceStopped` — degraded but well-defined.
+        Service { tx: Some(tx), dispatcher: dispatcher.ok(), shared }
+    }
+
+    /// Submits one job. Blocks while the queue is full (backpressure).
+    pub fn submit(&self, request: JobRequest) -> JobHandle {
+        let mut handles = self.submit_batch(vec![request]);
+        // submit_batch returns exactly one handle per request.
+        match handles.pop() {
+            Some(h) => h,
+            None => closed_handle(),
+        }
+    }
+
+    /// Submits several jobs as one envelope: the dispatcher sees them
+    /// together, so same-stream requests are guaranteed to share a batch
+    /// (and its single execution).
+    pub fn submit_batch(&self, requests: Vec<JobRequest>) -> Vec<JobHandle> {
+        let mut handles = Vec::with_capacity(requests.len());
+        let mut jobs = Vec::with_capacity(requests.len());
+        for request in requests {
+            let (reply, rx) = mpsc::channel();
+            handles.push(JobHandle { rx });
+            jobs.push(QueuedJob { request, reply, submitted: obs::WallSpan::start() });
+        }
+        let n = jobs.len() as u64;
+        self.shared.metrics().inc_counter("service/jobs_submitted", n);
+        self.shared.queue_depth.fetch_add(n, Ordering::Relaxed);
+        let sent = match &self.tx {
+            Some(tx) => tx.send(Envelope { jobs }).is_ok(),
+            None => false,
+        };
+        if !sent {
+            // The dispatcher is gone; the dropped reply senders make
+            // every handle report `ServiceStopped`.
+            self.shared.queue_depth.fetch_sub(n, Ordering::Relaxed);
+        }
+        handles
+    }
+
+    /// A point-in-time metrics snapshot: dispatcher counters and
+    /// histograms plus the caches' hit/miss/eviction tallies
+    /// (`service/encoding_cache_*`, `service/stream_cache_*`).
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = self.shared.metrics().clone();
+        export_cache(&mut m, "service/encoding_cache", self.shared.encodings.stats());
+        export_cache(&mut m, "service/stream_cache", self.shared.streams.stats());
+        m
+    }
+
+    /// Stops accepting work, drains the queue, joins the dispatcher and
+    /// returns the final metrics snapshot.
+    pub fn shutdown(mut self) -> MetricsRegistry {
+        self.stop();
+        self.metrics()
+    }
+
+    fn stop(&mut self) {
+        self.tx.take();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A handle whose reply channel is already closed: waiting on it yields
+/// `ServiceStopped`.
+fn closed_handle() -> JobHandle {
+    let (_tx, rx) = mpsc::channel();
+    JobHandle { rx }
+}
+
+fn export_cache(m: &mut MetricsRegistry, prefix: &str, s: CacheStats) {
+    m.inc_counter(&format!("{prefix}_hits"), s.hits);
+    m.inc_counter(&format!("{prefix}_misses"), s.misses);
+    m.inc_counter(&format!("{prefix}_evictions"), s.evictions);
+    m.inc_counter(&format!("{prefix}_inserts"), s.inserts);
+}
+
+/// The engine roster the service dispatches to: all seven engines of the
+/// paper's comparison, keyed by display name.
+fn engine_roster(precision: Precision) -> BTreeMap<String, Box<dyn TileEngine + Send + Sync>> {
+    let engines: Vec<Box<dyn TileEngine + Send + Sync>> = vec![
+        Box::new(baselines::NvDtc::new(precision)),
+        Box::new(baselines::Gamma::new(precision)),
+        Box::new(baselines::Sigma::new(precision)),
+        Box::new(baselines::Trapezoid::new(precision)),
+        Box::new(baselines::DsStc::new(precision)),
+        Box::new(baselines::RmStc::new(precision)),
+        Box::new(UniStc::new(UniStcConfig::with_precision(precision))),
+    ];
+    engines.into_iter().map(|e| (e.name().to_owned(), e)).collect()
+}
+
+fn dispatch_loop(cfg: ServiceConfig, rx: mpsc::Receiver<Envelope>, shared: Arc<Shared>) {
+    let engines = engine_roster(cfg.precision);
+    let verifier = cfg
+        .admission
+        .then(|| UstcVerifier::new(UniStcConfig::with_precision(cfg.precision)));
+    let em = EnergyModel::default();
+    while let Ok(first) = rx.recv() {
+        let mut jobs = first.jobs;
+        // Opportunistically fold queued envelopes into this drain, up to
+        // the batch cap: jobs that share a stream key then execute once.
+        while jobs.len() < cfg.max_batch.max(1) {
+            match rx.try_recv() {
+                Ok(env) => jobs.extend(env.jobs),
+                Err(_) => break,
+            }
+        }
+        shared.queue_depth.fetch_sub(jobs.len() as u64, Ordering::Relaxed);
+        let depth_after = shared.queue_depth.load(Ordering::Relaxed);
+        {
+            let mut m = shared.metrics();
+            m.inc_counter("service/batches", 1);
+            m.set_gauge("service/queue_depth", depth_after as f64);
+            m.observe("service/queue_depth_hist", QUEUE_DEPTH_BOUNDS, depth_after);
+        }
+        run_batch(&cfg, &engines, verifier.as_ref(), &em, &shared, jobs);
+    }
+}
+
+/// Admits, groups and executes one drained batch, answering every job.
+fn run_batch(
+    cfg: &ServiceConfig,
+    engines: &BTreeMap<String, Box<dyn TileEngine + Send + Sync>>,
+    verifier: Option<&UstcVerifier>,
+    em: &EnergyModel,
+    shared: &Shared,
+    jobs: Vec<QueuedJob>,
+) {
+    // Group admitted jobs by (engine, stream key); rejections answer now.
+    let mut groups: BTreeMap<(String, StreamKey), Vec<(Prepared, QueuedJob)>> = BTreeMap::new();
+    for job in jobs {
+        match prepare(&job.request, engines, verifier, shared) {
+            Ok(p) => groups
+                .entry((p.engine.clone(), p.key.clone()))
+                .or_default()
+                .push((p, job)),
+            Err(e) => {
+                shared.metrics().inc_counter("service/jobs_rejected", 1);
+                let _ = job.reply.send(Err(e));
+            }
+        }
+    }
+    for ((engine_name, key), members) in groups {
+        let Some(engine) = engines.get(&engine_name) else {
+            // Unreachable: `prepare` validated the name. Answer anyway.
+            for (_, job) in members {
+                let _ = job.reply.send(Err(JobError::UnknownEngine { name: engine_name.clone() }));
+            }
+            continue;
+        };
+        let (first, _) = &members[0];
+        let (tasks, stream_cached) = shared.streams.get_or_insert_with(&key, || compile(first));
+        let plan = ShardPlan::contiguous(tasks.len(), cfg.exec.threads);
+        let batch_size = members.len();
+        shared
+            .metrics()
+            .observe("service/batch_size", &[1, 2, 4, 8, 16, 32], batch_size as u64);
+        match run_tasks_planned(&cfg.exec, &plan, engine.as_ref(), em, first.kernel, &tasks) {
+            Ok(run) => {
+                let degraded = run.degraded.is_some();
+                {
+                    let mut m = shared.metrics();
+                    run.stats.export_metrics(&mut m);
+                    if let Some(d) = &run.degraded {
+                        d.export_metrics(&mut m);
+                        m.inc_counter("service/degraded_jobs", batch_size as u64);
+                    }
+                    m.inc_counter("service/jobs_completed", batch_size as u64);
+                }
+                for (p, job) in members {
+                    let latency = job.submitted.elapsed().as_micros().min(u128::from(u64::MAX));
+                    shared.metrics().observe(
+                        &format!("service/latency_us/{}", p.kernel),
+                        LATENCY_BOUNDS_US,
+                        latency as u64,
+                    );
+                    let _ = job.reply.send(Ok(JobResponse {
+                        report: run.report.clone(),
+                        encoding_cached: p.encoding_cached,
+                        stream_cached,
+                        batch_size,
+                        degraded,
+                    }));
+                }
+            }
+            Err(e) => {
+                let err = match e {
+                    PlannedRunError::Rejected(p) => JobError::Rejected {
+                        code: shard_plan_code(&p).to_owned(),
+                        message: p.to_string(),
+                    },
+                    PlannedRunError::Execution(d) => JobError::Execution(d.to_string()),
+                };
+                let mut m = shared.metrics();
+                m.inc_counter("service/jobs_rejected", batch_size as u64);
+                drop(m);
+                for (_, job) in members {
+                    let _ = job.reply.send(Err(err.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// The `analysis::concurrency` diagnostic code for a shard-plan
+/// violation: overlap `USTC014`, gap `USTC015`, malformed `USTC016`.
+fn shard_plan_code(e: &ShardPlanError) -> &'static str {
+    match e {
+        ShardPlanError::Overlap { .. } => "USTC014",
+        ShardPlanError::Gap { .. } => "USTC015",
+        ShardPlanError::EmptyShard { .. } | ShardPlanError::OutOfRange { .. } => "USTC016",
+    }
+}
+
+/// Resolves an operand to its BBC encoding through the encoding cache.
+/// Returns the encoding, the *submitted representation's* fingerprint
+/// (the cache and stream keys), and whether no fresh encoding work ran
+/// (a cache hit, or a client-supplied BBC that needs none).
+fn resolve(op: &Operand, shared: &Shared) -> (Arc<BbcMatrix>, Fingerprint, bool) {
+    match op {
+        Operand::Bbc(m) => (Arc::clone(m), fingerprint_bbc(m), true),
+        Operand::Csr(m) => {
+            let fp = fingerprint_csr(m);
+            let (bbc, hit) = shared.encodings.get_or_insert_with(&fp, || BbcMatrix::from_csr(m));
+            (bbc, fp, hit)
+        }
+    }
+}
+
+fn reject(e: VerifyError) -> JobError {
+    JobError::Rejected { code: e.code, message: e.message }
+}
+
+/// Validates, encodes and admits one request.
+fn prepare(
+    req: &JobRequest,
+    engines: &BTreeMap<String, Box<dyn TileEngine + Send + Sync>>,
+    verifier: Option<&UstcVerifier>,
+    shared: &Shared,
+) -> Result<Prepared, JobError> {
+    let engine = req.engine.clone().unwrap_or_else(|| DEFAULT_ENGINE.to_owned());
+    if !engines.contains_key(&engine) {
+        return Err(JobError::UnknownEngine { name: engine });
+    }
+    match &req.kernel {
+        KernelRequest::SpMV { a } => {
+            let (a_bbc, fp_a, hit) = resolve(a, shared);
+            if let Some(v) = verifier {
+                v.verify_spmv(&a_bbc).map_err(reject)?;
+            }
+            Ok(Prepared {
+                engine,
+                key: StreamKey::Spmv { a: fp_a },
+                kernel: Kernel::SpMV,
+                encoding_cached: hit,
+                a: a_bbc,
+                x: None,
+                b: None,
+                n_cols: 0,
+            })
+        }
+        KernelRequest::SpMSpV { a, x } => {
+            let (a_bbc, fp_a, hit) = resolve(a, shared);
+            if let Some(v) = verifier {
+                v.verify_spmspv(&a_bbc, x).map_err(reject)?;
+            }
+            Ok(Prepared {
+                engine,
+                key: StreamKey::Spmspv { a: fp_a, x: fingerprint_vector(x) },
+                kernel: Kernel::SpMSpV,
+                encoding_cached: hit,
+                a: a_bbc,
+                x: Some(Arc::clone(x)),
+                b: None,
+                n_cols: 0,
+            })
+        }
+        KernelRequest::SpMM { a, n_cols } => {
+            let (a_bbc, fp_a, hit) = resolve(a, shared);
+            if let Some(v) = verifier {
+                v.verify_spmm(&a_bbc, *n_cols).map_err(reject)?;
+            }
+            Ok(Prepared {
+                engine,
+                key: StreamKey::Spmm { a: fp_a, n_cols: *n_cols },
+                kernel: Kernel::SpMM,
+                encoding_cached: hit,
+                a: a_bbc,
+                x: None,
+                b: None,
+                n_cols: *n_cols,
+            })
+        }
+        KernelRequest::SpGEMM { a, b } => {
+            let (a_bbc, fp_a, hit_a) = resolve(a, shared);
+            let (b_bbc, fp_b, hit_b) = resolve(b, shared);
+            if let Some(v) = verifier {
+                v.verify_spgemm(&a_bbc, &b_bbc).map_err(reject)?;
+            }
+            // The task compiler cannot represent a non-conforming grid
+            // (it would panic), so this gate holds even with admission
+            // off — the same `USTC012` the verified driver reports.
+            if a_bbc.block_cols() != b_bbc.block_rows() {
+                return Err(JobError::Rejected {
+                    code: "USTC012".to_owned(),
+                    message: format!(
+                        "SpGEMM block grids do not conform ({}x{} blocks vs {}x{})",
+                        a_bbc.block_rows(),
+                        a_bbc.block_cols(),
+                        b_bbc.block_rows(),
+                        b_bbc.block_cols()
+                    ),
+                });
+            }
+            Ok(Prepared {
+                engine,
+                key: StreamKey::Spgemm { a: fp_a, b: fp_b },
+                kernel: Kernel::SpGEMM,
+                encoding_cached: hit_a && hit_b,
+                a: a_bbc,
+                x: None,
+                b: Some(b_bbc),
+                n_cols: 0,
+            })
+        }
+    }
+}
+
+/// Compiles the task stream for an admitted job — exactly the stream the
+/// serial driver would run, so caching it preserves bit-identity.
+fn compile(p: &Prepared) -> Vec<T1Task> {
+    match (&p.kernel, &p.x, &p.b) {
+        (Kernel::SpMV, _, _) => driver::spmv_tasks(&p.a),
+        (Kernel::SpMSpV, Some(x), _) => driver::spmspv_tasks(&p.a, x),
+        (Kernel::SpMSpV, None, _) => Vec::new(),
+        (Kernel::SpMM, _, _) => driver::spmm_tasks(&p.a, p.n_cols),
+        (Kernel::SpGEMM, _, Some(b)) => driver::spgemm_tasks(&p.a, b),
+        (Kernel::SpGEMM, _, None) => Vec::new(),
+    }
+}

@@ -1,0 +1,300 @@
+//! Integration tests for the batch job service: responses must be
+//! bit-identical to the serial driver, the caches must actually serve
+//! warm requests, batching must coalesce same-stream jobs, and
+//! admission control must reject illegal work with its `USTC` code
+//! before anything is scheduled.
+
+use std::sync::Arc;
+
+use runtime::RuntimeConfig;
+use service::{JobError, JobRequest, KernelRequest, Service, ServiceConfig};
+use simkit::{driver, EnergyModel, Precision};
+use sparse::{BbcField, BbcMatrix, CooMatrix, CsrMatrix, SparseVector};
+use uni_stc::{UniStc, UniStcConfig};
+use workloads::representative::representative_matrices;
+
+fn csr(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for &(r, c, v) in entries {
+        coo.push(r, c, v);
+    }
+    CsrMatrix::try_from(coo).expect("valid test matrix")
+}
+
+fn diag_csr(n: usize) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 1.0 + i as f64);
+        coo.push(i, (i * 7 + 3) % n, -0.5);
+    }
+    CsrMatrix::try_from(coo).expect("valid test matrix")
+}
+
+#[test]
+fn spmv_response_matches_serial_driver_bit_for_bit() {
+    let a = diag_csr(64);
+    let expected = driver::run_spmv(
+        &UniStc::new(UniStcConfig::with_precision(Precision::Fp64)),
+        &EnergyModel::default(),
+        &BbcMatrix::from_csr(&a),
+    );
+
+    let svc = Service::start(ServiceConfig::default());
+    let got = svc
+        .submit(JobRequest::new(KernelRequest::SpMV { a: a.into() }))
+        .wait()
+        .expect("legal stream must be admitted");
+    assert_eq!(got.report.counter_signature(), expected.counter_signature());
+    assert_eq!(got.report, expected);
+}
+
+#[test]
+fn all_four_kernels_match_the_serial_driver() {
+    let a = diag_csr(48);
+    let bbc = BbcMatrix::from_csr(&a);
+    let x = SparseVector::try_new(48, vec![0, 17, 40], vec![1.0, -2.0, 0.5])
+        .expect("sorted indices");
+    let engine = UniStc::new(UniStcConfig::with_precision(Precision::Fp64));
+    let em = EnergyModel::default();
+
+    let svc = Service::start(ServiceConfig::default());
+    let cases: Vec<(KernelRequest, String)> = vec![
+        (
+            KernelRequest::SpMV { a: a.clone().into() },
+            driver::run_spmv(&engine, &em, &bbc).counter_signature(),
+        ),
+        (
+            KernelRequest::SpMSpV { a: a.clone().into(), x: Arc::new(x.clone()) },
+            driver::run_spmspv(&engine, &em, &bbc, &x).counter_signature(),
+        ),
+        (
+            KernelRequest::SpMM { a: a.clone().into(), n_cols: 40 },
+            driver::run_spmm(&engine, &em, &bbc, 40).counter_signature(),
+        ),
+        (
+            KernelRequest::SpGEMM { a: a.clone().into(), b: a.clone().into() },
+            driver::run_spgemm(&engine, &em, &bbc, &bbc).counter_signature(),
+        ),
+    ];
+    for (req, expected_sig) in cases {
+        let got = svc
+            .submit(JobRequest::new(req))
+            .wait()
+            .expect("legal stream must be admitted");
+        assert_eq!(got.report.counter_signature(), expected_sig);
+    }
+}
+
+#[test]
+fn warm_cache_responses_are_bit_identical_and_flagged() {
+    let a = diag_csr(64);
+    let svc = Service::start(ServiceConfig::default());
+    let cold = svc
+        .submit(JobRequest::new(KernelRequest::SpMV { a: a.clone().into() }))
+        .wait()
+        .expect("cold run");
+    assert!(!cold.encoding_cached, "first submission must encode");
+    assert!(!cold.stream_cached, "first submission must compile");
+    let warm = svc
+        .submit(JobRequest::new(KernelRequest::SpMV { a: a.into() }))
+        .wait()
+        .expect("warm run");
+    assert!(warm.encoding_cached, "identical operand must hit the encoding cache");
+    assert!(warm.stream_cached, "identical request must hit the stream cache");
+    assert_eq!(
+        cold.report.counter_signature(),
+        warm.report.counter_signature(),
+        "cached results must be bit-identical to cold ones"
+    );
+    assert_eq!(cold.report, warm.report);
+
+    let m = svc.shutdown();
+    assert_eq!(m.counter("service/jobs_completed"), 2);
+    assert_eq!(m.counter("service/stream_cache_hits"), 1);
+    assert_eq!(m.counter("service/stream_cache_misses"), 1);
+    assert_eq!(m.counter("service/encoding_cache_hits"), 1);
+    assert_eq!(m.counter("service/encoding_cache_misses"), 1);
+}
+
+#[test]
+fn submit_batch_coalesces_same_stream_jobs() {
+    let a = diag_csr(64);
+    let svc = Service::start(ServiceConfig::default());
+    let reqs = vec![
+        JobRequest::new(KernelRequest::SpMV { a: a.clone().into() }),
+        JobRequest::new(KernelRequest::SpMV { a: a.clone().into() }),
+        JobRequest::new(KernelRequest::SpMV { a: a.into() }),
+    ];
+    let responses: Vec<_> = svc
+        .submit_batch(reqs)
+        .into_iter()
+        .map(|h| h.wait().expect("legal stream"))
+        .collect();
+    let sigs: Vec<String> =
+        responses.iter().map(|r| r.report.counter_signature()).collect();
+    assert!(sigs.windows(2).all(|w| w[0] == w[1]), "batched jobs share one report");
+    for r in &responses {
+        assert_eq!(r.batch_size, 3, "all three jobs share one stream, hence one batch");
+    }
+    let m = svc.shutdown();
+    // One compiled stream served all three jobs.
+    assert_eq!(m.counter("service/stream_cache_misses"), 1);
+    assert_eq!(m.counter("service/jobs_completed"), 3);
+    // The CSR operand was fingerprint-deduplicated down to one encoding.
+    assert_eq!(m.counter("service/encoding_cache_misses"), 1);
+    assert_eq!(m.counter("service/encoding_cache_hits"), 2);
+}
+
+#[test]
+fn admission_rejects_corrupt_metadata_with_ustc012() {
+    let clean = BbcMatrix::from_csr(&diag_csr(32));
+    let mut bad = clean.clone();
+    bad.flip_bit(BbcField::BitmapLv2, 0, 3);
+
+    let svc = Service::start(ServiceConfig::default());
+    let err = svc
+        .submit(JobRequest::new(KernelRequest::SpMV { a: bad.into() }))
+        .wait()
+        .expect_err("corrupt metadata must be rejected");
+    match err {
+        JobError::Rejected { code, message } => {
+            assert_eq!(code, "USTC012");
+            assert!(message.contains("USTC012"), "{message}");
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    let m = svc.shutdown();
+    assert_eq!(m.counter("service/jobs_rejected"), 1);
+    assert_eq!(m.counter("service/jobs_completed"), 0);
+}
+
+#[test]
+fn admission_off_still_rejects_nonconforming_spgemm() {
+    // 32x32 (2x2 blocks) times 64x64 (4x4 blocks): the grids do not
+    // conform, so the task compiler cannot even represent the stream.
+    let a = diag_csr(32);
+    let b = diag_csr(64);
+    let cfg = ServiceConfig { admission: false, ..ServiceConfig::default() };
+    let svc = Service::start(cfg);
+    let err = svc
+        .submit(JobRequest::new(KernelRequest::SpGEMM { a: a.into(), b: b.into() }))
+        .wait()
+        .expect_err("non-conforming grids must be rejected even without admission");
+    match err {
+        JobError::Rejected { code, .. } => assert_eq!(code, "USTC012"),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_engine_is_a_typed_error() {
+    let a = csr(16, &[(0, 0, 1.0)]);
+    let svc = Service::start(ServiceConfig::default());
+    let err = svc
+        .submit(JobRequest::on_engine("No-Such-STC", KernelRequest::SpMV { a: a.into() }))
+        .wait()
+        .expect_err("unknown engine");
+    assert_eq!(err, JobError::UnknownEngine { name: "No-Such-STC".to_owned() });
+}
+
+#[test]
+fn every_roster_engine_serves_jobs() {
+    let a = diag_csr(32);
+    let svc = Service::start(ServiceConfig::default());
+    for engine in ["NV-DTC", "GAMMA", "SIGMA", "Trapezoid", "DS-STC", "RM-STC", "Uni-STC"] {
+        let got = svc
+            .submit(JobRequest::on_engine(engine, KernelRequest::SpMV { a: a.clone().into() }))
+            .wait()
+            .unwrap_or_else(|e| panic!("engine {engine} failed: {e}"));
+        assert_eq!(got.report.engine, engine);
+    }
+}
+
+#[test]
+fn zero_column_spmm_yields_an_empty_report() {
+    let a = diag_csr(32);
+    let svc = Service::start(ServiceConfig::default());
+    let got = svc
+        .submit(JobRequest::new(KernelRequest::SpMM { a: a.into(), n_cols: 0 }))
+        .wait()
+        .expect("degenerate but legal request");
+    assert_eq!(got.report.t1_tasks, 0);
+    assert_eq!(got.report.cycles, 0);
+}
+
+#[test]
+fn representative_corpus_roundtrips_through_the_service() {
+    let svc = Service::start(ServiceConfig {
+        exec: RuntimeConfig::with_threads(2),
+        ..ServiceConfig::default()
+    });
+    let engine = UniStc::new(UniStcConfig::with_precision(Precision::Fp64));
+    let em = EnergyModel::default();
+    for rep in representative_matrices() {
+        let expected =
+            driver::run_spmv(&engine, &em, &BbcMatrix::from_csr(&rep.matrix)).counter_signature();
+        let got = svc
+            .submit(JobRequest::new(KernelRequest::SpMV { a: rep.matrix.into() }))
+            .wait()
+            .unwrap_or_else(|e| panic!("{} failed: {e}", rep.name));
+        assert_eq!(got.report.counter_signature(), expected, "{}", rep.name);
+    }
+}
+
+#[test]
+fn metrics_snapshot_records_queue_and_latency() {
+    let a = diag_csr(32);
+    let svc = Service::start(ServiceConfig::default());
+    svc.submit(JobRequest::new(KernelRequest::SpMV { a: a.into() }))
+        .wait()
+        .expect("legal stream");
+    let m = svc.metrics();
+    assert!(m.gauge("service/queue_depth").is_some(), "queue depth gauge must be live");
+    let depth = m.histogram("service/queue_depth_hist").expect("queue depth histogram");
+    assert!(depth.count() >= 1);
+    let lat = m.histogram("service/latency_us/SpMV").expect("latency histogram");
+    assert_eq!(lat.count(), 1);
+    assert_eq!(m.counter("service/batches"), 1);
+}
+
+#[test]
+fn shutdown_then_wait_reports_service_stopped() {
+    let a = csr(16, &[(0, 0, 1.0)]);
+    let svc = Service::start(ServiceConfig::default());
+    // Answer one job so the dispatcher is provably alive first.
+    svc.submit(JobRequest::new(KernelRequest::SpMV { a: a.clone().into() }))
+        .wait()
+        .expect("legal stream");
+    let m = svc.shutdown();
+    assert_eq!(m.counter("service/jobs_completed"), 1);
+}
+
+#[test]
+fn encoding_cache_eviction_still_serves_correct_results() {
+    // Capacity 1: the second matrix evicts the first; resubmitting the
+    // first must re-encode and still be bit-identical.
+    let a = diag_csr(32);
+    let b = diag_csr(64);
+    let cfg = ServiceConfig {
+        encoding_cache_capacity: 1,
+        stream_cache_capacity: 1,
+        ..ServiceConfig::default()
+    };
+    let svc = Service::start(cfg);
+    let first = svc
+        .submit(JobRequest::new(KernelRequest::SpMV { a: a.clone().into() }))
+        .wait()
+        .expect("legal");
+    svc.submit(JobRequest::new(KernelRequest::SpMV { a: b.into() }))
+        .wait()
+        .expect("legal");
+    let again = svc
+        .submit(JobRequest::new(KernelRequest::SpMV { a: a.into() }))
+        .wait()
+        .expect("legal");
+    assert!(!again.encoding_cached, "the entry was evicted, so this is a fresh encode");
+    assert_eq!(first.report.counter_signature(), again.report.counter_signature());
+    let m = svc.shutdown();
+    assert!(m.counter("service/encoding_cache_evictions") >= 1);
+    assert!(m.counter("service/stream_cache_evictions") >= 1);
+}

@@ -1,0 +1,243 @@
+//! Chaos suite for the batch job service: fixed-seed `ChaosPlan` sweeps
+//! proving that cached, cold, multi-threaded and degraded-to-serial
+//! executions all produce the serial driver's exact counter signature,
+//! plus a concurrent hit/miss race test on the fingerprint caches.
+//!
+//! Every test is deterministic: chaos draws are pure functions of
+//! `(seed, task, attempt)`, operands are fixed, and the merged report
+//! counters are schedule-independent sums.
+
+use std::sync::Arc;
+
+use runtime::{Backoff, ChaosPlan, RuntimeConfig};
+use service::{JobRequest, KernelRequest, Service, ServiceConfig, SharedCache};
+use simkit::{driver, EnergyModel, Precision};
+use sparse::{BbcMatrix, CooMatrix, CsrMatrix};
+use uni_stc::{UniStc, UniStcConfig};
+use workloads::representative::representative_matrices;
+
+/// A fast retry schedule for tests.
+fn fast(cfg: RuntimeConfig) -> RuntimeConfig {
+    RuntimeConfig { backoff: Backoff::none(), ..cfg }
+}
+
+fn dense_ish(n: usize) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 1.0 + i as f64);
+        coo.push(i, (i * 5 + 1) % n, -1.0);
+        coo.push((i * 3) % n, i, 0.25);
+    }
+    CsrMatrix::try_from(coo).expect("valid test matrix")
+}
+
+fn serial_spmv_signature(a: &CsrMatrix) -> String {
+    let engine = UniStc::new(UniStcConfig::with_precision(Precision::Fp64));
+    driver::run_spmv(&engine, &EnergyModel::default(), &BbcMatrix::from_csr(a))
+        .counter_signature()
+}
+
+#[test]
+fn chaos_sweep_cached_and_cold_match_the_serial_driver() {
+    let a = dense_ish(96);
+    let expected = serial_spmv_signature(&a);
+    // Fixed-seed sweep: flake and stall rates at {0, 1e-2, 1e-1} on one
+    // and two exec threads. Chaos can only change how long a batch
+    // takes, never its counters — warm or cold.
+    for threads in [1usize, 2] {
+        for (seed, flake, stall) in
+            [(71, 0.0, 0.0), (72, 1e-2, 0.0), (73, 1e-1, 0.0), (74, 0.0, 1e-2), (75, 1e-1, 1e-2)]
+        {
+            let chaos = ChaosPlan::new(seed, 0.0, stall, flake, 100).expect("valid rates");
+            let cfg = ServiceConfig {
+                exec: fast(RuntimeConfig::with_threads(threads).with_chaos(chaos)),
+                ..ServiceConfig::default()
+            };
+            let svc = Service::start(cfg);
+            let cold = svc
+                .submit(JobRequest::new(KernelRequest::SpMV { a: a.clone().into() }))
+                .wait()
+                .unwrap_or_else(|e| panic!("cold seed {seed} threads {threads}: {e}"));
+            let warm = svc
+                .submit(JobRequest::new(KernelRequest::SpMV { a: a.clone().into() }))
+                .wait()
+                .unwrap_or_else(|e| panic!("warm seed {seed} threads {threads}: {e}"));
+            assert!(warm.stream_cached, "second identical request must be a stream hit");
+            for (phase, resp) in [("cold", &cold), ("warm", &warm)] {
+                assert_eq!(
+                    resp.report.counter_signature(),
+                    expected,
+                    "{phase} seed {seed} flake {flake} stall {stall} threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn degraded_to_serial_batches_keep_the_signature() {
+    let a = dense_ish(128);
+    let expected = serial_spmv_signature(&a);
+    // Aggressive crashes with a full-pool quorum: the pool degrades to
+    // serial draining mid-batch. The response must say so, the metrics
+    // must count it, and the counters must not move.
+    let chaos = ChaosPlan::new(29, 0.3, 0.0, 0.0, 0).expect("valid rates");
+    let cfg = ServiceConfig {
+        exec: fast(RuntimeConfig {
+            quorum: 2,
+            ..RuntimeConfig::with_threads(2).with_chaos(chaos)
+        }),
+        ..ServiceConfig::default()
+    };
+    let svc = Service::start(cfg);
+    let mut saw_degraded = false;
+    for round in 0..4 {
+        let resp = svc
+            .submit(JobRequest::new(KernelRequest::SpMV { a: a.clone().into() }))
+            .wait()
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        saw_degraded |= resp.degraded;
+        assert_eq!(resp.report.counter_signature(), expected, "round {round}");
+    }
+    assert!(saw_degraded, "30 % crash rate with full-pool quorum must degrade");
+    let m = svc.shutdown();
+    assert!(m.counter("runtime/degraded_runs") >= 1, "degradations must be counted");
+    assert!(m.counter("service/degraded_jobs") >= 1);
+}
+
+#[test]
+fn chaos_sweep_over_all_kernels_and_corpus_head() {
+    // The representative corpus head through a chaotic two-thread
+    // service, all four kernels, cold then warm — every signature equal
+    // to the serial driver's.
+    let rep = representative_matrices().into_iter().next().expect("corpus is non-empty");
+    let a = rep.matrix;
+    let bbc = BbcMatrix::from_csr(&a);
+    let x = Arc::new(bench_vector(a.ncols()));
+    let engine = UniStc::new(UniStcConfig::with_precision(Precision::Fp64));
+    let em = EnergyModel::default();
+    let expectations = [
+        driver::run_spmv(&engine, &em, &bbc).counter_signature(),
+        driver::run_spmspv(&engine, &em, &bbc, &x).counter_signature(),
+        driver::run_spmm(&engine, &em, &bbc, 64).counter_signature(),
+        driver::run_spgemm(&engine, &em, &bbc, &bbc).counter_signature(),
+    ];
+    let chaos = ChaosPlan::new(7, 0.0, 1e-2, 1e-1, 100).expect("valid rates");
+    let cfg = ServiceConfig {
+        exec: fast(RuntimeConfig::with_threads(2).with_chaos(chaos)),
+        ..ServiceConfig::default()
+    };
+    let svc = Service::start(cfg);
+    let requests = || {
+        vec![
+            KernelRequest::SpMV { a: a.clone().into() },
+            KernelRequest::SpMSpV { a: a.clone().into(), x: Arc::clone(&x) },
+            KernelRequest::SpMM { a: a.clone().into(), n_cols: 64 },
+            KernelRequest::SpGEMM { a: a.clone().into(), b: a.clone().into() },
+        ]
+    };
+    for phase in ["cold", "warm"] {
+        for (req, expected) in requests().into_iter().zip(&expectations) {
+            let kernel = format!("{:?}", req.kernel());
+            let resp = svc
+                .submit(JobRequest::new(req))
+                .wait()
+                .unwrap_or_else(|e| panic!("{phase} {kernel}: {e}"));
+            assert_eq!(&resp.report.counter_signature(), expected, "{phase} {kernel}");
+        }
+    }
+}
+
+/// The 50 %-sparse deterministic vector the bench harness uses.
+fn bench_vector(dim: usize) -> sparse::SparseVector {
+    let mut idx = Vec::new();
+    let mut values = Vec::new();
+    for i in (0..dim).step_by(2) {
+        idx.push(i as u32);
+        values.push(((i % 13) as f64 - 6.0) / 4.0);
+    }
+    sparse::SparseVector::try_new(dim, idx, values).expect("indices are sorted")
+}
+
+#[test]
+fn concurrent_submits_from_many_threads_agree() {
+    // Eight client threads hammer one service with the same request; the
+    // fingerprint caches race on hit/miss, but every response must carry
+    // the identical report and the stream must have been compiled at
+    // most a handful of times (once per racing miss, all bit-identical).
+    let a = dense_ish(64);
+    let expected = serial_spmv_signature(&a);
+    let svc = Arc::new(Service::start(ServiceConfig::default()));
+    let mut joins = Vec::new();
+    for t in 0..8 {
+        let svc = Arc::clone(&svc);
+        let a = a.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut sigs = Vec::new();
+            for _ in 0..4 {
+                let resp = svc
+                    .submit(JobRequest::new(KernelRequest::SpMV { a: a.clone().into() }))
+                    .wait()
+                    .unwrap_or_else(|e| panic!("client {t}: {e}"));
+                sigs.push(resp.report.counter_signature());
+            }
+            sigs
+        }));
+    }
+    for join in joins {
+        let sigs = join.join().expect("client thread must not panic");
+        for sig in sigs {
+            assert_eq!(sig, expected);
+        }
+    }
+    let svc = Arc::try_unwrap(svc).unwrap_or_else(|_| panic!("all clients joined"));
+    let m = svc.shutdown();
+    assert_eq!(m.counter("service/jobs_completed"), 32);
+    // 32 lookups total; at most one miss per batch the dispatcher saw,
+    // and at least one (the first).
+    let hits = m.counter("service/stream_cache_hits");
+    let misses = m.counter("service/stream_cache_misses");
+    assert_eq!(hits + misses, m.counter("service/batches"));
+    assert!(misses >= 1);
+    assert_eq!(m.counter("service/encoding_cache_misses"), 1, "one fingerprint, one encode");
+}
+
+#[test]
+fn shared_cache_race_keeps_one_value_and_consistent_stats() {
+    // Direct race on the cache primitive: many threads get_or_insert the
+    // same key concurrently. Losers must adopt the winner's Arc, stats
+    // must add up, and exactly one insert may land.
+    let cache: Arc<SharedCache<u64, u64>> = Arc::new(SharedCache::new(8));
+    let threads = 8;
+    let rounds = 50;
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let cache = Arc::clone(&cache);
+        joins.push(std::thread::spawn(move || {
+            let mut observed = Vec::new();
+            for r in 0..rounds {
+                let key = r % 4;
+                let (v, _hit) = cache.get_or_insert_with(&key, || key * 1000 + 1);
+                observed.push((key, *v));
+            }
+            let _ = t;
+            observed
+        }));
+    }
+    let mut all = Vec::new();
+    for join in joins {
+        all.extend(join.join().expect("racer must not panic"));
+    }
+    for (key, v) in all {
+        assert_eq!(v, key * 1000 + 1, "every racer observes the one cached value");
+    }
+    let stats = cache.stats();
+    assert_eq!(cache.len(), 4, "four distinct keys stay resident");
+    assert_eq!(stats.inserts, 4, "exactly one insert per key wins");
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(
+        stats.hits + stats.misses,
+        threads * rounds,
+        "every call is tallied as exactly one hit or one miss"
+    );
+}

@@ -83,4 +83,13 @@ cargo run --release -p bench --bin perf_regression -- \
 cargo run --release -p bench --bin perf_regression -- \
     --label ci-check --threads 2 --compare BENCH_ci-smoke.json
 
+echo "== service smoke =="
+# Drives the batch job service over the representative corpus cold then
+# warm, writes the BENCH_ci-service-{cold,warm}.json pair, and gates on
+# bit-identical counter signatures, a 100 % warm-pass hit rate on both
+# fingerprint caches, a live queue-depth histogram, and every job being
+# answered (DESIGN.md §15).
+cargo run --release -p bench --bin service_bench -- \
+    --label ci-service --threads 2 --assert
+
 echo "CI OK"

@@ -172,9 +172,11 @@ fn bench_doc_file_round_trip_and_compare_gate() {
 
     let mut slowed = prev.clone();
     slowed.entries[0].cycles = 1100; // injected 10 % slowdown
-    let regs = perf::compare(&loaded, &slowed, 5.0);
-    assert_eq!(regs.len(), 1, "exactly the slowed entry must be flagged");
-    assert!(regs[0].key.contains("m1"));
-    assert!((regs[0].pct - 10.0).abs() < 1e-9);
-    assert!(perf::compare(&loaded, &prev, 5.0).is_empty());
+    let cmp = perf::compare(&loaded, &slowed, 5.0).expect("well-formed documents");
+    assert_eq!(cmp.regressions.len(), 1, "exactly the slowed entry must be flagged");
+    assert!(cmp.regressions[0].key.contains("m1"));
+    assert!((cmp.regressions[0].pct - 10.0).abs() < 1e-9);
+    assert_eq!((cmp.only_in_prev, cmp.only_in_new), (0, 0), "same corpus on both sides");
+    let clean = perf::compare(&loaded, &prev, 5.0).expect("well-formed documents");
+    assert!(clean.regressions.is_empty());
 }
