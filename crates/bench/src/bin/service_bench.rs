@@ -39,10 +39,11 @@ struct Args {
     label: String,
     threads: usize,
     assert: bool,
+    slo_p99_us: Option<u64>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { label: "local".to_owned(), threads: 1, assert: false };
+    let mut args = Args { label: "local".to_owned(), threads: 1, assert: false, slo_p99_us: None };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -56,10 +57,21 @@ fn parse_args() -> Args {
                     .max(1)
             }
             "--assert" => args.assert = true,
+            "--slo-p99-us" => {
+                args.slo_p99_us = Some(
+                    it.next()
+                        .expect("--slo-p99-us needs a value")
+                        .parse::<u64>()
+                        .expect("--slo-p99-us must be a number of microseconds"),
+                )
+            }
             "--json" | "--full" => {} // shared-mode flags, handled by the serializer
             other => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: service_bench [--label L] [--threads N] [--assert] [--json]");
+                eprintln!(
+                    "usage: service_bench [--label L] [--threads N] [--assert] \
+                     [--slo-p99-us U] [--json]"
+                );
                 std::process::exit(2);
             }
         }
@@ -83,13 +95,20 @@ struct Workload {
 }
 
 fn workloads() -> Vec<Workload> {
-    representative_matrices()
+    let mut loads: Vec<Workload> = representative_matrices()
         .into_iter()
         .map(|r| {
             let x = Arc::new(sparse_vector(r.matrix.ncols(), SPMSPV_X_SPARSITY, 5));
             Workload { name: r.name.to_owned(), csr: r.matrix, x }
         })
-        .collect()
+        .collect();
+    // The stencil corpus section: lowered structured-grid operators under
+    // the 16-aligned tile ordering (see `bench::stencil_lowerings`).
+    loads.extend(bench::stencil_lowerings().into_iter().map(|l| {
+        let x = Arc::new(sparse_vector(l.csr.ncols(), SPMSPV_X_SPARSITY, 5));
+        Workload { name: l.name(), csr: l.csr, x }
+    }));
+    loads
 }
 
 fn request_for(w: &Workload, kernel: Kernel) -> JobRequest {
@@ -230,6 +249,21 @@ fn main() -> ExitCode {
     summary.note(format!("documents: {} / {}", cold_path.display(), warm_path.display()));
     report.push(summary);
 
+    let mut latency = Section::new(
+        "per-kernel latency quantiles (bucket upper bounds)",
+        &["kernel", "p50_us", "p99_us"],
+    );
+    for kernel in KERNELS {
+        let p50 = metrics.gauge(&format!("service/latency_p50_us/{kernel}"));
+        let p99 = metrics.gauge(&format!("service/latency_p99_us/{kernel}"));
+        let render = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |v| format!("{v:.0}"));
+        latency.row(vec![kernel.to_string(), render(p50), render(p99)]);
+    }
+    if let Some(slo) = args.slo_p99_us {
+        latency.note(format!("SLO: p99 <= {slo} us per kernel (gated under --assert)"));
+    }
+    report.push(latency);
+
     if args.assert {
         let queue_depths = metrics
             .histogram("service/queue_depth_hist")
@@ -250,6 +284,15 @@ fn main() -> ExitCode {
             metrics.counter("service/jobs_completed")
                 == (cold_entries.len() + warm_entries.len()) as u64,
         );
+        if let Some(slo) = args.slo_p99_us {
+            for kernel in KERNELS {
+                let p99 = metrics.gauge(&format!("service/latency_p99_us/{kernel}"));
+                gate(
+                    &format!("{kernel} p99 <= {slo} us"),
+                    p99.is_some_and(|v| v <= slo as f64),
+                );
+            }
+        }
         report.push(gates);
     }
 

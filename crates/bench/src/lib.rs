@@ -260,6 +260,29 @@ pub fn spgemm_within_cap(ctx: &MatrixCtx) -> bool {
     sparse::ops::spgemm_flops(&ctx.csr, &ctx.csr).is_ok_and(|f| f <= spgemm_flops_cap())
 }
 
+/// The stencil corpus section: one representative of each structural
+/// family under the production 16-aligned tile ordering — an unaligned
+/// 2-D star grid (where the ordering cuts T1 tasks), a 16-aligned 2-D
+/// box grid, and a 3-D box grid (where diagonal blocks turn half-dense).
+/// Used by `perf_regression`, `service_bench` and `stencil_bench`.
+pub fn stencil_lowerings() -> Vec<workloads::stencil::Lowering> {
+    use workloads::stencil::{lower, GridShape, Ordering, StencilKind};
+    vec![
+        lower(StencilKind::Star5, GridShape::D2 { nx: 50, ny: 50 }, Ordering::Tiled16),
+        lower(StencilKind::Box9, GridShape::D2 { nx: 48, ny: 48 }, Ordering::Tiled16),
+        lower(StencilKind::Box27, GridShape::D3 { nx: 12, ny: 12, nz: 12 }, Ordering::Tiled16),
+    ]
+}
+
+/// [`stencil_lowerings`] as prepared kernel contexts for corpus sweeps.
+pub fn stencil_contexts() -> Vec<MatrixCtx> {
+    stencil_lowerings()
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| MatrixCtx::new(l.name(), l.csr, 0x057E_4C11 + i as u64))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -197,10 +197,15 @@ pub fn collect_threaded(label: &str, threads: usize) -> BenchDoc {
     let em = EnergyModel::default();
     let mut reg = MetricsRegistry::new();
     reg.set_gauge("runtime/backend_ordinal", backend as u8 as f64);
-    let contexts: Vec<MatrixCtx> = representative_matrices()
+    let mut contexts: Vec<MatrixCtx> = representative_matrices()
         .into_iter()
         .map(|r| MatrixCtx::new(r.name, r.matrix, 5))
         .collect();
+    // The stencil corpus section (ROADMAP item 4): lowered structured-grid
+    // operators under the 16-aligned tile ordering.
+    let stencil = crate::stencil_contexts();
+    reg.set_gauge("corpus/stencil_matrices", stencil.len() as f64);
+    contexts.extend(stencil);
     reg.set_gauge("corpus/matrices", contexts.len() as f64);
     reg.set_gauge("runtime/threads", threads.max(1) as f64);
     let total_span = WallSpan::start();
@@ -464,7 +469,11 @@ mod tests {
             assert_eq!(ea.cycles, eb.cycles, "{}", ea.key());
             assert_eq!(ea.signature, eb.signature, "{}", ea.key());
         }
-        // 8 matrices x 3 engines x 4 kernels.
-        assert_eq!(a.entries.len(), 8 * 3 * 4);
+        // (8 representative + 3 stencil) matrices x 3 engines x 4 kernels.
+        assert_eq!(a.entries.len(), (8 + 3) * 3 * 4);
+        assert!(
+            a.entries.iter().any(|e| e.matrix.starts_with("stencil-")),
+            "stencil corpus section present"
+        );
     }
 }

@@ -16,6 +16,7 @@
 use sparse::rng::Rng64;
 use sparse::{CooMatrix, CsrMatrix, DenseMatrix, SparseVector};
 use workloads::gen;
+use workloads::stencil::{self, GridShape, Ordering, StencilKind};
 
 /// Largest matrix edge a regime generates; keeps the full sweep fast while
 /// still crossing several 16x16 block boundaries.
@@ -49,11 +50,18 @@ pub enum Regime {
     SingleDenseCol,
     /// Uniform random density via [`workloads::gen::random_uniform`].
     UniformRandom,
+    /// Structured stencil operators via [`workloads::stencil`]: small
+    /// 2-D/3-D grids, all four stencil kinds, natural and 16-aligned
+    /// tile orderings — the banded-with-permutation structure the
+    /// time-stepped solver family feeds the engines.
+    Stencil,
 }
 
 impl Regime {
-    /// Every regime, in sweep order.
-    pub const ALL: [Regime; 10] = [
+    /// Every regime, in sweep order. New regimes append at the end:
+    /// downstream suites (e.g. `runtime_resilience`) index into this
+    /// array by position.
+    pub const ALL: [Regime; 11] = [
         Regime::Empty,
         Regime::Diagonal,
         Regime::Banded,
@@ -64,6 +72,7 @@ impl Regime {
         Regime::SingleDenseRow,
         Regime::SingleDenseCol,
         Regime::UniformRandom,
+        Regime::Stencil,
     ];
 
     /// Stable display name (used in golden files and counterexamples).
@@ -79,6 +88,7 @@ impl Regime {
             Regime::SingleDenseRow => "single-dense-row",
             Regime::SingleDenseCol => "single-dense-col",
             Regime::UniformRandom => "uniform-random",
+            Regime::Stencil => "stencil",
         }
     }
 
@@ -173,6 +183,24 @@ impl Regime {
                 CsrMatrix::try_from(coo).expect("dense-col coordinates in range")
             }
             Regime::UniformRandom => gen::random_uniform(n, 0.02 + 0.3 * rng.next_f64(), seed),
+            Regime::Stencil => {
+                // Small structured grids (matrix dim <= MAX_DIM), all
+                // four stencil kinds, both orderings. Weights are small
+                // integers, so products are exact in FP64.
+                let kind = StencilKind::ALL[rng.next_range(StencilKind::ALL.len())];
+                let ordering =
+                    if rng.next_bool(0.5) { Ordering::Tiled16 } else { Ordering::Natural };
+                let shape = if kind.dims() == 2 {
+                    GridShape::D2 { nx: 2 + rng.next_range(7), ny: 2 + rng.next_range(5) }
+                } else {
+                    GridShape::D3 {
+                        nx: 2 + rng.next_range(3),
+                        ny: 2 + rng.next_range(2),
+                        nz: 2 + rng.next_range(2),
+                    }
+                };
+                stencil::lower(kind, shape, ordering).csr
+            }
         }
     }
 }
@@ -283,6 +311,29 @@ mod tests {
         let a = Regime::DlmcMask.generate(5);
         let cells = a.nrows() * a.ncols();
         assert_eq!(a.nnz(), cells.div_ceil(4));
+    }
+
+    #[test]
+    fn stencil_regime_stays_small_and_symmetric() {
+        let mut saw_2d = false;
+        let mut saw_3d = false;
+        for seed in 0..16 {
+            let a = Regime::Stencil.generate(seed);
+            assert_eq!(a.nrows(), a.ncols(), "seed {seed}");
+            assert!(a.nrows() <= MAX_DIM, "seed {seed}: dim {}", a.nrows());
+            assert!(a.nnz() > 0, "seed {seed}");
+            for (r, c, v) in a.iter() {
+                assert_eq!(a.get(c, r), Some(v), "seed {seed}: asymmetric at ({r},{c})");
+            }
+            // Star5/Box9 rows have <= 9 entries, Star7/Box27 <= 27.
+            let max_row = (0..a.nrows()).map(|r| a.row_nnz(r)).max().unwrap();
+            if max_row <= 9 {
+                saw_2d = true;
+            } else {
+                saw_3d = true;
+            }
+        }
+        assert!(saw_2d && saw_3d, "16 seeds must cover both dimensionalities");
     }
 
     #[test]

@@ -120,8 +120,8 @@ mod tests {
     #[test]
     fn snapshot_covers_every_regime_engine_kernel() {
         let snap = counters_snapshot();
-        // 10 regimes x 7 engines x 4 kernels + 1 header line.
-        assert_eq!(snap.lines().count(), 10 * 7 * 4 + 1);
+        // 11 regimes x 7 engines x 4 kernels + 1 header line.
+        assert_eq!(snap.lines().count(), 11 * 7 * 4 + 1);
         for regime in Regime::ALL {
             assert!(snap.contains(regime.name()), "{} missing", regime.name());
         }

@@ -93,6 +93,37 @@ impl Histogram {
         self.saturated
     }
 
+    /// The `q`-quantile as an upper bound: the smallest bucket upper
+    /// bound below which at least `ceil(q * count)` observations fall.
+    ///
+    /// Fixed buckets cannot recover exact order statistics, so the
+    /// estimate is conservative (never below the true quantile).
+    /// Returns `None` when the histogram is empty, and `Some(u64::MAX)`
+    /// when the quantile lands in the overflow bucket — an SLO gate on
+    /// the result then fails, which is the right default for "the tail
+    /// escaped the instrumented range".
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < q <= 1.0`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        // ceil(q * total) without floating-point edge surprises at q=1.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+
     fn to_json(&self) -> Value {
         Value::object(vec![
             ("bounds", Value::Array(self.bounds.iter().map(|&b| Value::from(b)).collect())),
@@ -320,6 +351,30 @@ mod tests {
     #[should_panic(expected = "at least one bound")]
     fn empty_bounds_rejected() {
         Histogram::with_bounds(&[]);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let mut h = Histogram::with_bounds(&[1, 4, 16]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for v in [0, 1, 2, 3, 5, 6, 7, 8, 9, 10] {
+            h.observe(v);
+        }
+        // 10 observations: 2 in [0,1], 2 in (1,4], 6 in (4,16].
+        assert_eq!(h.quantile(0.2), Some(1));
+        assert_eq!(h.quantile(0.4), Some(4));
+        assert_eq!(h.quantile(0.5), Some(16));
+        assert_eq!(h.quantile(0.99), Some(16));
+        assert_eq!(h.quantile(1.0), Some(16));
+        h.observe(1_000);
+        assert_eq!(h.quantile(1.0), Some(u64::MAX), "tail escaped the bucket range");
+        assert_eq!(h.quantile(0.5), Some(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1]")]
+    fn quantile_rejects_zero() {
+        let _ = Histogram::with_bounds(&[1]).quantile(0.0);
     }
 
     #[test]

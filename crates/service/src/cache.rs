@@ -32,6 +32,25 @@ pub struct CacheStats {
     pub inserts: u64,
 }
 
+impl CacheStats {
+    /// Eviction pressure: evictions per insert, in `[0, 1]`.
+    ///
+    /// 0 means every stored entry is still resident (the working set
+    /// fits); values approaching 1 mean nearly every insert displaced
+    /// something — the cache is thrashing and capacity, not traffic
+    /// shape, is deciding the hit rate. Returns 0 when nothing was ever
+    /// inserted. Surfaced in the metrics registry as
+    /// `service/<cache>_pressure` and reported by the stencil
+    /// multi-operator eviction study.
+    pub fn pressure(&self) -> f64 {
+        if self.inserts == 0 {
+            0.0
+        } else {
+            self.evictions as f64 / self.inserts as f64
+        }
+    }
+}
+
 /// An LRU cache over a `BTreeMap`, evicting by logical tick.
 ///
 /// Capacity 0 disables storage entirely: every lookup misses and every
@@ -187,6 +206,20 @@ mod tests {
         assert_eq!(c.lookup(&1).as_deref(), Some("one"));
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn pressure_is_evictions_per_insert() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        assert!(c.stats().pressure() == 0.0, "empty cache has no pressure");
+        c.insert_if_absent(1, 10);
+        c.insert_if_absent(2, 20);
+        assert!(c.stats().pressure() == 0.0, "working set fits");
+        c.insert_if_absent(3, 30);
+        c.insert_if_absent(4, 40);
+        let s = c.stats();
+        assert_eq!((s.inserts, s.evictions), (4, 2));
+        assert!(s.pressure() == 0.5);
     }
 
     #[test]

@@ -41,6 +41,18 @@ impl From<BbcMatrix> for Operand {
     }
 }
 
+impl From<Arc<CsrMatrix>> for Operand {
+    fn from(m: Arc<CsrMatrix>) -> Self {
+        Operand::Csr(m)
+    }
+}
+
+impl From<Arc<BbcMatrix>> for Operand {
+    fn from(m: Arc<BbcMatrix>) -> Self {
+        Operand::Bbc(m)
+    }
+}
+
 /// One kernel invocation on submitted operands.
 #[derive(Debug, Clone)]
 pub enum KernelRequest {

@@ -128,6 +128,14 @@ struct Shared {
     metrics: Mutex<MetricsRegistry>,
     encodings: SharedCache<Fingerprint, BbcMatrix>,
     streams: SharedCache<StreamKey, Vec<T1Task>>,
+    /// Memoized admission verdicts: static verification is a pure
+    /// function of the operand content a [`StreamKey`] names, so a
+    /// repeated key replays the recorded verdict (accept *or* reject)
+    /// instead of re-walking the encoded operands on every submission.
+    /// This is what lets one operator fingerprint serve N solver
+    /// iterations at cache-hit cost without weakening admission: every
+    /// distinct content is still verified exactly once.
+    verdicts: SharedCache<StreamKey, Result<(), VerifyError>>,
     queue_depth: AtomicU64,
 }
 
@@ -171,6 +179,9 @@ impl Service {
             metrics: Mutex::new(MetricsRegistry::new()),
             encodings: SharedCache::new(cfg.encoding_cache_capacity),
             streams: SharedCache::new(cfg.stream_cache_capacity),
+            // Verdicts share the stream cache's working set: one entry
+            // per distinct stream key, far smaller than its payload.
+            verdicts: SharedCache::new(cfg.stream_cache_capacity),
             queue_depth: AtomicU64::new(0),
         });
         let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
@@ -220,12 +231,19 @@ impl Service {
     }
 
     /// A point-in-time metrics snapshot: dispatcher counters and
-    /// histograms plus the caches' hit/miss/eviction tallies
-    /// (`service/encoding_cache_*`, `service/stream_cache_*`).
+    /// histograms plus the caches' hit/miss/eviction tallies and
+    /// eviction-pressure gauges (`service/encoding_cache_*`,
+    /// `service/stream_cache_*`, `service/admission_cache_*`), and
+    /// per-kernel latency quantile gauges
+    /// (`service/latency_p50_us/<kernel>`,
+    /// `service/latency_p99_us/<kernel>`) derived from the latency
+    /// histograms at snapshot time.
     pub fn metrics(&self) -> MetricsRegistry {
         let mut m = self.shared.metrics().clone();
         export_cache(&mut m, "service/encoding_cache", self.shared.encodings.stats());
         export_cache(&mut m, "service/stream_cache", self.shared.streams.stats());
+        export_cache(&mut m, "service/admission_cache", self.shared.verdicts.stats());
+        export_latency_quantiles(&mut m);
         m
     }
 
@@ -262,6 +280,29 @@ fn export_cache(m: &mut MetricsRegistry, prefix: &str, s: CacheStats) {
     m.inc_counter(&format!("{prefix}_misses"), s.misses);
     m.inc_counter(&format!("{prefix}_evictions"), s.evictions);
     m.inc_counter(&format!("{prefix}_inserts"), s.inserts);
+    m.set_gauge(&format!("{prefix}_pressure"), s.pressure());
+}
+
+/// Derives p50/p99 gauges from every `service/latency_us/<kernel>`
+/// histogram present in the snapshot. Quantiles are conservative bucket
+/// upper bounds (see `obs::Histogram::quantile`); a tail that escaped the
+/// bucket range reports as `u64::MAX` and fails any finite SLO gate.
+fn export_latency_quantiles(m: &mut MetricsRegistry) {
+    const PREFIX: &str = "service/latency_us/";
+    let mut quantiles = Vec::new();
+    for kernel in ["SpMV", "SpMSpV", "SpMM", "SpGEMM"] {
+        if let Some(h) = m.histogram(&format!("{PREFIX}{kernel}")) {
+            for (tag, q) in [("p50", 0.50), ("p99", 0.99)] {
+                if let Some(v) = h.quantile(q) {
+                    quantiles
+                        .push((format!("service/latency_{tag}_us/{kernel}"), v as f64));
+                }
+            }
+        }
+    }
+    for (name, v) in quantiles {
+        m.set_gauge(&name, v);
+    }
 }
 
 /// The engine roster the service dispatches to: all seven engines of the
@@ -421,6 +462,24 @@ fn reject(e: VerifyError) -> JobError {
     JobError::Rejected { code: e.code, message: e.message }
 }
 
+/// Runs admission control through the verdict memo: on the first
+/// sighting of `key` the verifier walks the operands and the verdict —
+/// accept or reject — is recorded; every repeat replays it without
+/// re-verification. No-op when admission is off.
+fn admit(
+    verifier: Option<&UstcVerifier>,
+    shared: &Shared,
+    key: &StreamKey,
+    verify: impl FnOnce(&UstcVerifier) -> Result<(), VerifyError>,
+) -> Result<(), JobError> {
+    let Some(v) = verifier else { return Ok(()) };
+    let (verdict, _) = shared.verdicts.get_or_insert_with(key, || verify(v));
+    match verdict.as_ref() {
+        Ok(()) => Ok(()),
+        Err(e) => Err(reject(e.clone())),
+    }
+}
+
 /// Validates, encodes and admits one request.
 fn prepare(
     req: &JobRequest,
@@ -435,12 +494,11 @@ fn prepare(
     match &req.kernel {
         KernelRequest::SpMV { a } => {
             let (a_bbc, fp_a, hit) = resolve(a, shared);
-            if let Some(v) = verifier {
-                v.verify_spmv(&a_bbc).map_err(reject)?;
-            }
+            let key = StreamKey::Spmv { a: fp_a };
+            admit(verifier, shared, &key, |v| v.verify_spmv(&a_bbc))?;
             Ok(Prepared {
                 engine,
-                key: StreamKey::Spmv { a: fp_a },
+                key,
                 kernel: Kernel::SpMV,
                 encoding_cached: hit,
                 a: a_bbc,
@@ -451,12 +509,11 @@ fn prepare(
         }
         KernelRequest::SpMSpV { a, x } => {
             let (a_bbc, fp_a, hit) = resolve(a, shared);
-            if let Some(v) = verifier {
-                v.verify_spmspv(&a_bbc, x).map_err(reject)?;
-            }
+            let key = StreamKey::Spmspv { a: fp_a, x: fingerprint_vector(x) };
+            admit(verifier, shared, &key, |v| v.verify_spmspv(&a_bbc, x))?;
             Ok(Prepared {
                 engine,
-                key: StreamKey::Spmspv { a: fp_a, x: fingerprint_vector(x) },
+                key,
                 kernel: Kernel::SpMSpV,
                 encoding_cached: hit,
                 a: a_bbc,
@@ -467,12 +524,11 @@ fn prepare(
         }
         KernelRequest::SpMM { a, n_cols } => {
             let (a_bbc, fp_a, hit) = resolve(a, shared);
-            if let Some(v) = verifier {
-                v.verify_spmm(&a_bbc, *n_cols).map_err(reject)?;
-            }
+            let key = StreamKey::Spmm { a: fp_a, n_cols: *n_cols };
+            admit(verifier, shared, &key, |v| v.verify_spmm(&a_bbc, *n_cols))?;
             Ok(Prepared {
                 engine,
-                key: StreamKey::Spmm { a: fp_a, n_cols: *n_cols },
+                key,
                 kernel: Kernel::SpMM,
                 encoding_cached: hit,
                 a: a_bbc,
@@ -484,9 +540,8 @@ fn prepare(
         KernelRequest::SpGEMM { a, b } => {
             let (a_bbc, fp_a, hit_a) = resolve(a, shared);
             let (b_bbc, fp_b, hit_b) = resolve(b, shared);
-            if let Some(v) = verifier {
-                v.verify_spgemm(&a_bbc, &b_bbc).map_err(reject)?;
-            }
+            let key = StreamKey::Spgemm { a: fp_a, b: fp_b };
+            admit(verifier, shared, &key, |v| v.verify_spgemm(&a_bbc, &b_bbc))?;
             // The task compiler cannot represent a non-conforming grid
             // (it would panic), so this gate holds even with admission
             // off — the same `USTC012` the verified driver reports.
@@ -504,7 +559,7 @@ fn prepare(
             }
             Ok(Prepared {
                 engine,
-                key: StreamKey::Spgemm { a: fp_a, b: fp_b },
+                key,
                 kernel: Kernel::SpGEMM,
                 encoding_cached: hit_a && hit_b,
                 a: a_bbc,

@@ -169,6 +169,46 @@ fn admission_rejects_corrupt_metadata_with_ustc012() {
 }
 
 #[test]
+fn admission_verdicts_are_memoized_per_fingerprint() {
+    // Accepting path: ten identical submissions walk the verifier once;
+    // the other nine replay the recorded verdict.
+    let a = diag_csr(64);
+    let svc = Service::start(ServiceConfig::default());
+    for _ in 0..10 {
+        svc.submit(JobRequest::new(KernelRequest::SpMV { a: a.clone().into() }))
+            .wait()
+            .expect("legal stream must be admitted");
+    }
+    let m = svc.shutdown();
+    assert_eq!(m.counter("service/admission_cache_misses"), 1, "one content, one verification");
+    assert_eq!(m.counter("service/admission_cache_hits"), 9);
+
+    // Rejecting path: the recorded verdict replays the rejection too —
+    // repeated bad submissions never reach the verifier twice.
+    let clean = BbcMatrix::from_csr(&diag_csr(32));
+    let mut bad = clean.clone();
+    bad.flip_bit(BbcField::BitmapLv2, 0, 3);
+    let svc = Service::start(ServiceConfig::default());
+    let codes: Vec<String> = (0..2)
+        .map(|_| {
+            match svc
+                .submit(JobRequest::new(KernelRequest::SpMV { a: bad.clone().into() }))
+                .wait()
+                .expect_err("corrupt metadata must be rejected")
+            {
+                JobError::Rejected { code, .. } => code,
+                other => panic!("expected Rejected, got {other:?}"),
+            }
+        })
+        .collect();
+    assert_eq!(codes, ["USTC012", "USTC012"], "cached rejection must match the fresh one");
+    let m = svc.shutdown();
+    assert_eq!(m.counter("service/admission_cache_misses"), 1);
+    assert_eq!(m.counter("service/admission_cache_hits"), 1);
+    assert_eq!(m.counter("service/jobs_rejected"), 2);
+}
+
+#[test]
 fn admission_off_still_rejects_nonconforming_spgemm() {
     // 32x32 (2x2 blocks) times 64x64 (4x4 blocks): the grids do not
     // conform, so the task compiler cannot even represent the stream.

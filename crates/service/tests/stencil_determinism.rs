@@ -1,0 +1,172 @@
+//! Time-stepped solver determinism through the batch service.
+//!
+//! A stencil solver iterates one fixed operator: every Jacobi/CG/heat
+//! step is one SpMV on the same matrix, so after the first submission
+//! the service answers every further step from the stream cache. These
+//! tests pin the headline invariant for that regime: N iterations
+//! through the service (warm cache) produce bit-identical
+//! `counter_signature()`s and residual trajectories to N direct serial
+//! iterations — including under a fixed-seed chaos sweep.
+
+use std::sync::Arc;
+
+use runtime::{Backoff, ChaosPlan, RuntimeConfig};
+use service::{JobRequest, KernelRequest, Service, ServiceConfig};
+use simkit::{driver, EnergyModel, Precision};
+use sparse::{BbcMatrix, CsrMatrix};
+use uni_stc::{UniStc, UniStcConfig};
+use workloads::stencil::{
+    heat, lower, solver, GridShape, Lowering, Ordering, StencilKind,
+};
+
+/// A fast retry schedule for tests.
+fn fast(cfg: RuntimeConfig) -> RuntimeConfig {
+    RuntimeConfig { backoff: Backoff::none(), ..cfg }
+}
+
+fn lowering() -> Lowering {
+    lower(StencilKind::Star5, GridShape::D2 { nx: 50, ny: 50 }, Ordering::Tiled16)
+}
+
+fn rhs(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i % 17) as f64) - 8.0).collect()
+}
+
+/// The direct serial reference: one SpMV on the default service engine.
+fn serial_signature(a: &CsrMatrix) -> String {
+    let engine = UniStc::new(UniStcConfig::with_precision(Precision::Fp64));
+    driver::run_spmv(&engine, &EnergyModel::default(), &BbcMatrix::from_csr(a))
+        .counter_signature()
+}
+
+/// Submits `spmv_count` SpMV steps on one operator and returns the
+/// responses' signatures plus how many answered from the stream cache.
+fn replay_through_service(
+    svc: &Service,
+    a: &Arc<CsrMatrix>,
+    spmv_count: usize,
+) -> (Vec<String>, usize) {
+    let mut signatures = Vec::with_capacity(spmv_count);
+    let mut stream_hits = 0usize;
+    for step in 0..spmv_count {
+        let resp = svc
+            .submit(JobRequest::new(KernelRequest::SpMV { a: Arc::clone(a).into() }))
+            .wait()
+            .unwrap_or_else(|e| panic!("step {step}: {e}"));
+        if resp.stream_cached {
+            stream_hits += 1;
+        }
+        signatures.push(resp.report.counter_signature());
+    }
+    (signatures, stream_hits)
+}
+
+#[test]
+fn eight_jacobi_iterations_service_vs_direct_are_bit_identical() {
+    // The CI `stencil-smoke` identity: 8 damped-Jacobi iterations.
+    let l = lowering();
+    let b = rhs(l.csr.nrows());
+
+    // Direct serial pass: solver numerics plus one serial driver run per
+    // SpMV the solver performed.
+    let direct = solver::jacobi(&l.csr, &b, solver::JACOBI_WEIGHT, 8);
+    let expected = serial_signature(&l.csr);
+
+    // Service pass: identical numerics recomputed locally, every SpMV
+    // replayed through the warm service.
+    let svc = Service::start(ServiceConfig::default());
+    let through = solver::jacobi(&l.csr, &b, solver::JACOBI_WEIGHT, 8);
+    let a = Arc::new(l.csr.clone());
+    let (signatures, stream_hits) = replay_through_service(&svc, &a, through.spmv_count);
+
+    assert_eq!(through.residuals, direct.residuals, "residual trajectories must be bitwise equal");
+    assert_eq!(through.x, direct.x, "iterates must be bitwise equal");
+    for (step, sig) in signatures.iter().enumerate() {
+        assert_eq!(sig, &expected, "service step {step} diverged from the serial driver");
+    }
+    assert_eq!(
+        stream_hits,
+        through.spmv_count - 1,
+        "every step after the first must hit the stream cache"
+    );
+    let m = svc.shutdown();
+    assert_eq!(m.counter("service/encoding_cache_misses"), 1, "one operator, one encode");
+    assert!(m.gauge("service/latency_p99_us/SpMV").is_some(), "p99 gauge derived at snapshot");
+    assert_eq!(m.gauge("service/stream_cache_pressure"), Some(0.0), "one stream entry fits");
+}
+
+#[test]
+fn cg_trajectory_service_vs_direct_is_bit_identical() {
+    let l = lowering();
+    let b = rhs(l.csr.nrows());
+    let direct = solver::cg_trace(&l.csr, &b, 1e-8, 40);
+    assert!(direct.iterations() > 0);
+
+    let svc = Service::start(ServiceConfig::default());
+    let through = solver::cg_trace(&l.csr, &b, 1e-8, 40);
+    let a = Arc::new(l.csr.clone());
+    let (signatures, stream_hits) = replay_through_service(&svc, &a, through.spmv_count);
+
+    assert_eq!(through.residuals, direct.residuals);
+    assert_eq!(through.x, direct.x);
+    let expected = serial_signature(&l.csr);
+    assert!(signatures.iter().all(|s| s == &expected));
+    assert_eq!(stream_hits, through.spmv_count - 1);
+}
+
+#[test]
+fn heat_steps_stay_identical_under_fixed_seed_chaos_sweep() {
+    let l = lowering();
+    let u0 = heat::initial_condition(&l);
+    let params = heat::HeatParams::stable_for(l.kind, 8);
+    let direct = heat::run(&l.csr, &u0, params);
+    let expected = serial_signature(&l.csr);
+
+    for threads in [1usize, 2] {
+        for (seed, flake, stall) in
+            [(81, 0.0, 0.0), (82, 1e-1, 0.0), (83, 1e-2, 1e-2), (84, 0.0, 1e-1)]
+        {
+            let chaos = ChaosPlan::new(seed, 0.0, stall, flake, 100).expect("valid rates");
+            let cfg = ServiceConfig {
+                exec: fast(RuntimeConfig::with_threads(threads).with_chaos(chaos)),
+                ..ServiceConfig::default()
+            };
+            let svc = Service::start(cfg);
+            let through = heat::run(&l.csr, &u0, params);
+            let a = Arc::new(l.csr.clone());
+            let (signatures, stream_hits) =
+                replay_through_service(&svc, &a, through.spmv_count);
+            assert_eq!(
+                through.energy, direct.energy,
+                "energy trajectory diverged (seed {seed}, threads {threads})"
+            );
+            assert_eq!(through.u, direct.u);
+            for (step, sig) in signatures.iter().enumerate() {
+                assert_eq!(
+                    sig, &expected,
+                    "seed {seed} flake {flake} stall {stall} threads {threads} step {step}"
+                );
+            }
+            assert_eq!(stream_hits, through.spmv_count - 1);
+        }
+    }
+}
+
+#[test]
+fn distinct_stencil_operators_get_distinct_fingerprints() {
+    // Ordering changes the matrix content, so natural vs tiled must be
+    // two cache entries — a warm hit must never cross operators.
+    let shape = GridShape::D2 { nx: 20, ny: 20 };
+    let nat = lower(StencilKind::Star5, shape, Ordering::Natural);
+    let til = lower(StencilKind::Star5, shape, Ordering::Tiled16);
+    let svc = Service::start(ServiceConfig::default());
+    for l in [&nat, &til] {
+        let resp = svc
+            .submit(JobRequest::new(KernelRequest::SpMV { a: l.csr.clone().into() }))
+            .wait()
+            .unwrap_or_else(|e| panic!("{}: {e}", l.name()));
+        assert!(!resp.stream_cached, "{} must be a cold miss", l.name());
+    }
+    let m = svc.shutdown();
+    assert_eq!(m.counter("service/encoding_cache_misses"), 2, "two operators, two encodes");
+}

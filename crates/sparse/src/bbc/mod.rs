@@ -19,11 +19,13 @@
 
 mod build;
 mod io;
+pub mod profile;
 mod validate;
 
 use crate::{CsrMatrix, StorageSize, INDEX_BYTES, VALUE_BYTES};
 
 pub use io::read_bbc;
+pub use profile::BlockDensityProfile;
 pub use validate::BbcField;
 
 /// Edge length of a BBC block (= the T1 task dimension, 16).

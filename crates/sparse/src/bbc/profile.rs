@@ -1,0 +1,227 @@
+//! Block-density introspection over the BBC block grid.
+//!
+//! The stencil lowering (ROADMAP item 4, `workloads::stencil`) chooses a
+//! grid→row ordering so that banded operators condense into dense 16x16
+//! diagonal blocks. This module supplies the measurement side of that
+//! claim: a [`BlockDensityProfile`] summarising how many blocks a matrix
+//! touches, how full each block is, and how much of the mass sits on the
+//! block diagonal. One stored block is the operand of exactly one T1
+//! task, so `blocks` is also the number of T1 tasks an SpMV over the
+//! matrix emits.
+
+use super::{BbcMatrix, BLOCK_DIM};
+
+/// Number of elements in one 16x16 block (`BLOCK_DIM * BLOCK_DIM`).
+const BLOCK_ELEMS: usize = BLOCK_DIM * BLOCK_DIM;
+
+/// A structural summary of a [`BbcMatrix`]'s 16x16 block population.
+///
+/// Produced by [`BbcMatrix::block_profile`]. All counts are integers so
+/// the profile is exactly reproducible; the derived ratios
+/// ([`mean_fill`](Self::mean_fill) etc.) divide them on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockDensityProfile {
+    /// Block rows in the grid (`ceil(nrows / 16)`).
+    pub block_rows: usize,
+    /// Block columns in the grid (`ceil(ncols / 16)`).
+    pub block_cols: usize,
+    /// Stored (structurally nonzero) blocks — one T1 task each.
+    pub blocks: usize,
+    /// Stored 4x4 tiles across all blocks.
+    pub tiles: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Stored blocks on the block diagonal (`block_row == block_col`).
+    pub diag_blocks: usize,
+    /// Nonzeros inside diagonal blocks.
+    pub diag_nnz: usize,
+    /// Smallest per-block nonzero count (0 when no blocks are stored).
+    pub min_fill: usize,
+    /// Largest per-block nonzero count.
+    pub max_fill: usize,
+    /// Blocks at full density (256 nonzeros).
+    pub full_blocks: usize,
+    /// Blocks at or above half density (>= 128 nonzeros).
+    pub half_blocks: usize,
+}
+
+impl BlockDensityProfile {
+    /// T1 tasks one SpMV over this matrix emits (= stored blocks; every
+    /// stored block holds at least one nonzero, so none is filtered as
+    /// trivial).
+    pub fn t1_tasks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Mean nonzeros per stored block (0 when nothing is stored).
+    pub fn mean_fill(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / self.blocks as f64
+        }
+    }
+
+    /// Mean nonzeros per stored *diagonal* block (0 when none stored).
+    pub fn diag_mean_fill(&self) -> f64 {
+        if self.diag_blocks == 0 {
+            0.0
+        } else {
+            self.diag_nnz as f64 / self.diag_blocks as f64
+        }
+    }
+
+    /// Mean fill as a fraction of block capacity (256), in `[0, 1]`.
+    pub fn mean_density(&self) -> f64 {
+        self.mean_fill() / BLOCK_ELEMS as f64
+    }
+
+    /// Fraction of stored nonzeros that live in diagonal blocks.
+    pub fn diag_mass(&self) -> f64 {
+        if self.nnz == 0 {
+            0.0
+        } else {
+            self.diag_nnz as f64 / self.nnz as f64
+        }
+    }
+
+    /// Fraction of grid positions occupied by stored blocks.
+    pub fn occupancy(&self) -> f64 {
+        let grid = self.block_rows * self.block_cols;
+        if grid == 0 {
+            0.0
+        } else {
+            self.blocks as f64 / grid as f64
+        }
+    }
+
+    /// Renders the headline numbers as one fixed-format line, used by the
+    /// stencil bench and example output.
+    pub fn summary(&self) -> String {
+        format!(
+            "blocks={} tiles={} nnz={} mean_fill={:.1} diag_blocks={} \
+             diag_fill={:.1} full={} half={} t1={}",
+            self.blocks,
+            self.tiles,
+            self.nnz,
+            self.mean_fill(),
+            self.diag_blocks,
+            self.diag_mean_fill(),
+            self.full_blocks,
+            self.half_blocks,
+            self.t1_tasks(),
+        )
+    }
+}
+
+impl BbcMatrix {
+    /// Measures the block-density profile of this matrix.
+    ///
+    /// Runs in one pass over the stored blocks; all accumulation is
+    /// integer arithmetic so the result is bit-reproducible across
+    /// platforms and thread counts.
+    pub fn block_profile(&self) -> BlockDensityProfile {
+        let mut p = BlockDensityProfile {
+            block_rows: self.block_rows,
+            block_cols: self.block_cols,
+            blocks: self.block_count(),
+            tiles: self.tile_count(),
+            nnz: self.nnz(),
+            diag_blocks: 0,
+            diag_nnz: 0,
+            min_fill: 0,
+            max_fill: 0,
+            full_blocks: 0,
+            half_blocks: 0,
+        };
+        let mut min_fill = usize::MAX;
+        for b in self.blocks() {
+            let fill = b.nnz();
+            if b.block_row == b.block_col {
+                p.diag_blocks += 1;
+                p.diag_nnz += fill;
+            }
+            min_fill = min_fill.min(fill);
+            p.max_fill = p.max_fill.max(fill);
+            if fill == BLOCK_ELEMS {
+                p.full_blocks += 1;
+            }
+            if fill * 2 >= BLOCK_ELEMS {
+                p.half_blocks += 1;
+            }
+        }
+        if p.blocks > 0 {
+            p.min_fill = min_fill;
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CooMatrix, CsrMatrix};
+
+    fn profile_of(coo: CooMatrix) -> BlockDensityProfile {
+        let csr = CsrMatrix::try_from(coo).expect("valid triplets");
+        BbcMatrix::from_csr(&csr).block_profile()
+    }
+
+    #[test]
+    fn empty_matrix_profile_is_all_zero() {
+        let p = profile_of(CooMatrix::new(32, 32));
+        assert_eq!(p.blocks, 0);
+        assert_eq!(p.t1_tasks(), 0);
+        assert_eq!(p.min_fill, 0);
+        assert_eq!(p.max_fill, 0);
+        assert!(p.mean_fill() == 0.0);
+        assert!(p.diag_mass() == 0.0);
+        assert!(p.occupancy() == 0.0);
+    }
+
+    #[test]
+    fn diagonal_and_off_diagonal_blocks_are_separated() {
+        let mut coo = CooMatrix::new(32, 32);
+        // Diagonal block (0,0): 3 entries; off-diagonal block (0,1): 1.
+        coo.push(0, 0, 1.0);
+        coo.push(5, 5, 1.0);
+        coo.push(10, 3, 1.0);
+        coo.push(2, 20, 1.0);
+        let p = profile_of(coo);
+        assert_eq!(p.blocks, 2);
+        assert_eq!(p.diag_blocks, 1);
+        assert_eq!(p.diag_nnz, 3);
+        assert_eq!(p.nnz, 4);
+        assert_eq!(p.min_fill, 1);
+        assert_eq!(p.max_fill, 3);
+        assert!(p.diag_mass() == 0.75);
+        assert!(p.occupancy() == 0.5);
+    }
+
+    #[test]
+    fn full_block_is_counted_full_and_half() {
+        let mut coo = CooMatrix::new(16, 16);
+        for r in 0..16 {
+            for c in 0..16 {
+                coo.push(r, c, 1.0 + (r * 16 + c) as f64);
+            }
+        }
+        let p = profile_of(coo);
+        assert_eq!(p.blocks, 1);
+        assert_eq!(p.full_blocks, 1);
+        assert_eq!(p.half_blocks, 1);
+        assert_eq!(p.min_fill, 256);
+        assert_eq!(p.max_fill, 256);
+        assert!(p.mean_density() == 1.0);
+        assert!(p.diag_mass() == 1.0);
+    }
+
+    #[test]
+    fn summary_renders_counts() {
+        let mut coo = CooMatrix::new(16, 16);
+        coo.push(0, 0, 1.0);
+        let s = profile_of(coo).summary();
+        assert!(s.contains("blocks=1"));
+        assert!(s.contains("t1=1"));
+    }
+}

@@ -60,7 +60,9 @@ mod sparsevec;
 
 pub use bitmap::BitmapMatrix;
 pub use bsr::BsrMatrix;
-pub use bbc::{BbcBlock, BbcField, BbcMatrix, BLOCK_DIM, TILES_PER_BLOCK, TILE_DIM};
+pub use bbc::{
+    BbcBlock, BbcField, BbcMatrix, BlockDensityProfile, BLOCK_DIM, TILES_PER_BLOCK, TILE_DIM,
+};
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;

@@ -17,7 +17,11 @@ pub struct SolveResult {
 }
 
 /// One damped-Jacobi sweep: `x += w * D^-1 (b - A x)`.
-fn jacobi_sweep(a: &CsrMatrix, b: &[f64], x: &mut [f64], weight: f64) {
+///
+/// Shared with the stencil time-stepped solver driver
+/// (`crate::stencil::solver`), which replays the same smoother outside a
+/// V-cycle.
+pub(crate) fn jacobi_sweep(a: &CsrMatrix, b: &[f64], x: &mut [f64], weight: f64) {
     let ax = spmv(a, x).expect("dimensions fixed by hierarchy");
     for i in 0..a.nrows() {
         let d = a.get(i, i).unwrap_or(1.0);

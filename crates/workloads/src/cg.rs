@@ -31,6 +31,27 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Panics if `a` is not square or `b.len() != a.nrows()`.
 pub fn solve(a: &CsrMatrix, b: &[f64], tol: f64, max_iters: usize) -> (Vec<f64>, CgResult) {
+    let (x, res, _) = solve_traced(a, b, tol, max_iters);
+    (x, res)
+}
+
+/// [`solve`], additionally recording the relative recurrence residual
+/// `sqrt(r·r) / ||b||` after every iteration — the residual trajectory
+/// the time-stepped stencil benchmarks compare across execution paths
+/// (see `crate::stencil::solver`).
+///
+/// The trajectory has exactly `result.iterations` entries and costs no
+/// extra SpMV: CG's recurrence already maintains `r·r`.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b.len() != a.nrows()`.
+pub fn solve_traced(
+    a: &CsrMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iters: usize,
+) -> (Vec<f64>, CgResult, Vec<f64>) {
     assert_eq!(a.nrows(), a.ncols(), "CG needs a square operator");
     assert_eq!(b.len(), a.nrows(), "rhs length mismatch");
     let n = b.len();
@@ -40,6 +61,7 @@ pub fn solve(a: &CsrMatrix, b: &[f64], tol: f64, max_iters: usize) -> (Vec<f64>,
     let mut p = r.clone();
     let mut rsold = dot(&r, &r);
     let mut iterations = 0usize;
+    let mut trajectory = Vec::new();
     while iterations < max_iters {
         if rsold.sqrt() / bnorm < tol {
             break;
@@ -61,9 +83,10 @@ pub fn solve(a: &CsrMatrix, b: &[f64], tol: f64, max_iters: usize) -> (Vec<f64>,
         }
         rsold = rsnew;
         iterations += 1;
+        trajectory.push(rsold.sqrt() / bnorm);
     }
     let rel = rsold.sqrt() / bnorm;
-    (x, CgResult { iterations, relative_residual: rel, converged: rel < tol })
+    (x, CgResult { iterations, relative_residual: rel, converged: rel < tol }, trajectory)
 }
 
 /// Number of SpMV invocations a CG solve of `res` performed (one per

@@ -23,6 +23,11 @@
 //! * [`bfs`] / [`gnn`] — the other Table II applications: linear-algebraic
 //!   breadth-first search (SpMV/SpMSpV mix) and a pooled GCN forward pass
 //!   (SpMM/SpGEMM mix), both with engine-replayable kernel traces.
+//! * [`stencil`] — structured-grid stencil operators (2-D 5/9-point,
+//!   3-D 7/27-point) lowered CSR→BBC under a 16-aligned tile ordering
+//!   that condenses the band into dense diagonal blocks, plus
+//!   time-stepped damped-Jacobi / CG / heat-equation drivers — the
+//!   repeated-operand regime the batch service's caches exploit.
 //!
 //! Everything is seeded and deterministic: the same inputs always produce
 //! the same matrices.
@@ -39,3 +44,4 @@ pub mod dnn;
 pub mod gen;
 pub mod gnn;
 pub mod representative;
+pub mod stencil;

@@ -1,0 +1,168 @@
+//! Explicit heat-equation time-stepper on a lowered stencil operator.
+//!
+//! Forward-Euler diffusion: `u ← u - dt·κ·A u`, with `A` the
+//! (Dirichlet-truncated) stencil Laplacian from [`crate::stencil::lowering`].
+//! Every step is exactly one SpMV on the *same* operator, so an N-step
+//! run submitted through `crates/service` hits the encoding and stream
+//! caches on every step after the first — the workload ROADMAP item 4
+//! introduces to make the PR 9 caches measurable.
+//!
+//! The explicit scheme is stable when `dt·κ·λmax(A) < 2`; by Gershgorin
+//! `λmax(A) ≤ 2·center_weight`, so [`HeatParams::stable_for`] derives a
+//! safe default step from the stencil kind alone.
+
+use sparse::ops::spmv;
+use sparse::CsrMatrix;
+
+use super::lowering::{GridShape, Lowering, StencilKind};
+
+/// Parameters of a heat-equation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeatParams {
+    /// Time-step size.
+    pub dt: f64,
+    /// Diffusivity κ.
+    pub kappa: f64,
+    /// Number of explicit steps to take.
+    pub steps: usize,
+}
+
+impl HeatParams {
+    /// A stable parameter set for `kind`: κ = 1 and
+    /// `dt = 1 / (2·center_weight)`, half the Gershgorin stability
+    /// limit.
+    pub fn stable_for(kind: StencilKind, steps: usize) -> HeatParams {
+        HeatParams { dt: 1.0 / (2.0 * kind.center_weight()), kappa: 1.0, steps }
+    }
+}
+
+/// The record of a heat run: final field plus per-step diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatRun {
+    /// The temperature field after the last step.
+    pub u: Vec<f64>,
+    /// Thermal energy `Σ u²` after each step (one entry per step).
+    /// Dirichlet boundaries leak heat, so the sequence must decay.
+    pub energy: Vec<f64>,
+    /// Exact number of SpMV invocations (= steps) — the service/engine
+    /// replay count.
+    pub spmv_count: usize,
+}
+
+impl HeatRun {
+    /// Energy after the final step (the initial energy if no steps ran).
+    pub fn final_energy(&self) -> f64 {
+        self.energy.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// A deterministic initial condition: a hot square patch in the grid
+/// centre (value 1.0, elsewhere 0.0), expressed in the lowering's row
+/// ordering so the same physical field is used under any [`super::Ordering`].
+pub fn initial_condition(lowering: &Lowering) -> Vec<f64> {
+    let mut u = vec![0.0; lowering.shape.len()];
+    let hot = |coord: usize, extent: usize| {
+        let lo = extent / 4;
+        let hi = extent - extent / 4;
+        coord >= lo && coord < hi
+    };
+    match lowering.shape {
+        GridShape::D2 { nx, ny } => {
+            for y in 0..ny {
+                for x in 0..nx {
+                    if hot(x, nx) && hot(y, ny) {
+                        u[lowering.perm[y * nx + x]] = 1.0;
+                    }
+                }
+            }
+        }
+        GridShape::D3 { nx, ny, nz } => {
+            for z in 0..nz {
+                for y in 0..ny {
+                    for x in 0..nx {
+                        if hot(x, nx) && hot(y, ny) && hot(z, nz) {
+                            u[lowering.perm[(z * ny + y) * nx + x]] = 1.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    u
+}
+
+/// One explicit step `u ← u - dt·κ·A u`. Exactly one SpMV.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `u.len() != a.nrows()`.
+pub fn step(a: &CsrMatrix, u: &mut [f64], dt: f64, kappa: f64) {
+    assert_eq!(a.nrows(), a.ncols(), "heat stepping needs a square operator");
+    assert_eq!(u.len(), a.nrows(), "field length mismatch");
+    let au = spmv(a, u).expect("dimensions checked above");
+    for (ui, aui) in u.iter_mut().zip(&au) {
+        *ui -= dt * kappa * aui;
+    }
+}
+
+/// Runs `params.steps` explicit steps from `u0`, recording the energy
+/// after each step.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `u0.len() != a.nrows()`.
+pub fn run(a: &CsrMatrix, u0: &[f64], params: HeatParams) -> HeatRun {
+    let mut u = u0.to_vec();
+    let mut energy = Vec::with_capacity(params.steps);
+    for _ in 0..params.steps {
+        step(a, &mut u, params.dt, params.kappa);
+        energy.push(u.iter().map(|v| v * v).sum::<f64>());
+    }
+    HeatRun { u, energy, spmv_count: params.steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::lowering::{lower, Ordering};
+
+    #[test]
+    fn energy_decays_monotonically_under_stable_step() {
+        let l = lower(StencilKind::Star5, GridShape::D2 { nx: 24, ny: 24 }, Ordering::Tiled16);
+        let u0 = initial_condition(&l);
+        let params = HeatParams::stable_for(StencilKind::Star5, 32);
+        let run = run(&l.csr, &u0, params);
+        assert_eq!(run.spmv_count, 32);
+        let e0: f64 = u0.iter().map(|v| v * v).sum();
+        let mut prev = e0;
+        for &e in &run.energy {
+            assert!(e <= prev + 1e-12, "energy rose: {e} > {prev}");
+            assert!(e >= 0.0);
+            prev = e;
+        }
+        assert!(run.final_energy() < e0, "Dirichlet boundaries must leak heat");
+    }
+
+    #[test]
+    fn orderings_step_the_same_physics() {
+        // The same physical field stepped under both orderings must agree
+        // pointwise through the permutation, bit for bit.
+        let shape = GridShape::D2 { nx: 18, ny: 14 };
+        let nat = lower(StencilKind::Box9, shape, Ordering::Natural);
+        let til = lower(StencilKind::Box9, shape, Ordering::Tiled16);
+        let params = HeatParams::stable_for(StencilKind::Box9, 12);
+        let rn = run(&nat.csr, &initial_condition(&nat), params);
+        let rt = run(&til.csr, &initial_condition(&til), params);
+        for (natural, &new) in til.perm.iter().enumerate() {
+            assert_eq!(rt.u[new], rn.u[natural], "field diverged at grid point {natural}");
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let l = lower(StencilKind::Star7, GridShape::D3 { nx: 6, ny: 6, nz: 6 }, Ordering::Tiled16);
+        let u0 = initial_condition(&l);
+        let params = HeatParams::stable_for(StencilKind::Star7, 8);
+        assert_eq!(run(&l.csr, &u0, params), run(&l.csr, &u0, params));
+    }
+}

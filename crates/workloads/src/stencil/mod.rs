@@ -1,0 +1,39 @@
+//! Stencil workload family: structured-grid operators lowered into BBC
+//! block structure, plus the time-stepped solvers that reuse them.
+//!
+//! SparStencil and SPIDER (PAPERS.md) retarget sparse tensor cores to
+//! scientific stencil computation by transforming structured stencil
+//! operators into the hardware's sparse block format. This module is that
+//! front-end for Uni-STC (ROADMAP item 4):
+//!
+//! * [`lowering`] — assemble 2-D (5/9-point) and 3-D (7/27-point)
+//!   stencil operators on structured grids and lower them CSR→BBC under a
+//!   chosen grid→row [`Ordering`]. The interesting part is the
+//!   structured-sparsity transformation: the 16-aligned tile ordering
+//!   ([`Ordering::Tiled16`]) folds each grid patch of 16 points onto one
+//!   aligned row run, so the stencil's neighbour couplings condense into
+//!   dense 16x16 diagonal blocks instead of smearing across the band.
+//!   Every lowering reports a [`sparse::BlockDensityProfile`] proving the
+//!   transformation quality against the naive ordering.
+//! * [`solver`] — multi-iteration damped Jacobi (reusing the AMG
+//!   smoother) and traced CG (reusing [`crate::cg`]), each recording the
+//!   residual trajectory and the SpMV replay count for per-engine cycle
+//!   accounting.
+//! * [`heat`] — an explicit heat-equation time-stepper: N steps of
+//!   `u ← u - dt·κ·A u` on one fixed operator, the repeated-operand
+//!   regime the service's encoding/stream caches are built for.
+//!
+//! Everything is deterministic: the same kind/shape/ordering always
+//! produces the same operator, and the solvers are seeded by their
+//! inputs alone.
+
+pub mod heat;
+pub mod lowering;
+pub mod solver;
+
+pub use heat::{HeatParams, HeatRun};
+pub use lowering::{
+    compare_orderings, lower, ordering_permutation, GridShape, Lowering, Ordering,
+    OrderingComparison, StencilKind,
+};
+pub use solver::IterationTrace;

@@ -92,4 +92,16 @@ echo "== service smoke =="
 cargo run --release -p bench --bin service_bench -- \
     --label ci-service --threads 2 --assert
 
+echo "== stencil smoke =="
+# The stencil workload family (DESIGN.md §16): block-density assertions
+# for the 16-aligned tile ordering plus the 8-iteration
+# service-vs-direct signature-identity suite, then the time-stepped
+# stencil_bench gates — per-step bit-identity against the serial driver,
+# 100 % stream-cache hits after each operator's first step, and nonzero
+# eviction pressure in the multi-operator sweep.
+cargo test -p workloads -q stencil
+cargo test -p service -q --test stencil_determinism
+cargo run --release -p bench --bin stencil_bench -- \
+    --label ci-stencil --steps 8 --threads 2 --assert
+
 echo "CI OK"
